@@ -1,0 +1,218 @@
+// Command dppd runs DPP components as networked processes over TCP,
+// demonstrating the disaggregated deployment of §3.2.1: a Master serving
+// splits, stateless Workers preprocessing them, and a Client (standing in
+// for a trainer) consuming tensors.
+//
+// Because the module is self-contained and offline, every role
+// regenerates the same deterministic synthetic dataset locally (seeded by
+// -seed), standing in for shared access to the Tectonic cluster.
+//
+// Usage:
+//
+//	dppd -role master -addr :7070
+//	dppd -role worker -master localhost:7070 -addr :7071
+//	dppd -role client -workers localhost:7071,localhost:7072
+//	dppd -role demo            # all three roles in one process
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dsi/internal/datagen"
+	"dsi/internal/dpp"
+	"dsi/internal/warehouse"
+)
+
+func main() {
+	role := flag.String("role", "demo", "master | worker | client | demo")
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address (master/worker)")
+	masterAddr := flag.String("master", "127.0.0.1:7070", "master address (worker)")
+	workerList := flag.String("workers", "", "comma-separated worker addresses (client)")
+	model := flag.String("model", "RM1", "workload profile: RM1, RM2, or RM3")
+	seed := flag.Int64("seed", 1, "dataset seed (must match across roles)")
+	id := flag.String("id", fmt.Sprintf("worker-%d", os.Getpid()), "worker ID")
+	flag.Parse()
+
+	switch *role {
+	case "master":
+		runMaster(*model, *seed, *addr)
+	case "worker":
+		runWorker(*model, *seed, *masterAddr, *addr, *id)
+	case "client":
+		runClient(strings.Split(*workerList, ","))
+	case "demo":
+		runDemo(*model, *seed)
+	default:
+		log.Fatalf("dppd: unknown role %q", *role)
+	}
+}
+
+// buildWorkload regenerates the deterministic synthetic dataset and
+// session spec for the chosen model.
+func buildWorkload(model string, seed int64) (*warehouse.Warehouse, dpp.SessionSpec) {
+	p, err := datagen.ProfileByName(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, spec, err := BuildWorkload(p, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d, spec
+}
+
+func runMaster(model string, seed int64, addr string) {
+	wh, spec := buildWorkload(model, seed)
+	m, err := dpp.NewMaster(wh, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, stop, err := dpp.ServeMaster(m, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	log.Printf("dppd master: %d splits on %s", m.SplitCount(), ln.Addr())
+	for {
+		done, _ := m.Done()
+		completed, total := m.Progress()
+		log.Printf("dppd master: %d/%d splits complete, %d workers", completed, total, m.WorkerCount())
+		if done {
+			log.Print("dppd master: session complete")
+			return
+		}
+		m.ReapDead()
+		time.Sleep(2 * time.Second)
+	}
+}
+
+func runWorker(model string, seed int64, masterAddr, addr, id string) {
+	wh, _ := buildWorkload(model, seed)
+	remote, err := dpp.DialMaster(masterAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	w, err := dpp.NewWorker(id, remote, wh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, stop, err := dpp.ServeWorker(w, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	log.Printf("dppd worker %s: serving tensors on %s", id, ln.Addr())
+	if err := w.Run(nil); err != nil {
+		log.Fatal(err)
+	}
+	rep := w.Report()
+	log.Printf("dppd worker %s: done, %d splits, %d rows, %d batches",
+		id, rep.SplitsDone, rep.RowsOut, rep.BatchesOut)
+	// Keep serving until the buffer drains.
+	for w.Buffered() > 0 {
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func runClient(addrs []string) {
+	var apis []dpp.WorkerAPI
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		rw, err := dpp.DialWorker(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rw.Close()
+		apis = append(apis, rw)
+	}
+	client, err := dpp.NewClient(apis, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows int64
+	for {
+		b, ok, err := client.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += int64(b.Rows)
+	}
+	log.Printf("dppd client: consumed %d rows in %d batches (%d bytes)",
+		rows, client.BatchesFetched, client.BytesFetched)
+}
+
+// runDemo hosts master, two workers, and a client in one process, all
+// over real TCP loopback connections.
+func runDemo(model string, seed int64) {
+	wh, spec := buildWorkload(model, seed)
+	m, err := dpp.NewMaster(wh, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mln, stopM, err := dpp.ServeMaster(m, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopM()
+	log.Printf("dppd demo: master on %s with %d splits", mln.Addr(), m.SplitCount())
+
+	var apis []dpp.WorkerAPI
+	for i := 0; i < 2; i++ {
+		remote, err := dpp.DialMaster(mln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := dpp.NewWorker(fmt.Sprintf("demo-w%d", i), remote, wh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wln, stopW, err := dpp.ServeWorker(w, "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopW()
+		go func(w *dpp.Worker) {
+			if err := w.Run(nil); err != nil {
+				log.Print(err)
+			}
+		}(w)
+		rw, err := dpp.DialWorker(wln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rw.Close()
+		apis = append(apis, rw)
+		log.Printf("dppd demo: worker %d on %s", i, wln.Addr())
+	}
+
+	client, err := dpp.NewClient(apis, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows int64
+	start := time.Now()
+	for {
+		b, ok, err := client.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += int64(b.Rows)
+	}
+	log.Printf("dppd demo: trained on %d rows in %d batches over TCP in %v",
+		rows, client.BatchesFetched, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,49 @@
+// Command dsibench regenerates the paper's tables and figures at
+// simulation scale and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	dsibench            # run every experiment
+//	dsibench -list      # list experiment IDs
+//	dsibench -exp ID    # run one experiment (e.g. table12, fig7)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsi/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	exp := flag.String("exp", "", "run a single experiment by ID (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-10s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	if *exp != "" {
+		res, err := experiments.Run(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsibench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		return
+	}
+
+	results, err := experiments.RunAll()
+	for _, res := range results {
+		fmt.Println(res)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsibench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Package dsi is a reproduction, at simulation scale, of "Understanding
+// Data Storage and Ingestion for Large-Scale Deep Recommendation Model
+// Training" (Zhao et al., ISCA 2022): Meta's end-to-end DSI pipeline —
+// Scribe/LogDevice log transport, ETL into a Hive-style warehouse of
+// DWRF columnar files on a Tectonic-style distributed filesystem, and
+// the disaggregated Data PreProcessing Service (DPP) feeding GPU
+// trainers.
+//
+// The implementation lives under internal/; see README.md for the
+// architecture overview, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation via `go test -bench=.`.
+package dsi

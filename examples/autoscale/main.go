@@ -1,0 +1,176 @@
+// Autoscale: demonstrates the DPP Master's control plane under churn —
+// the auto-scaler grows the worker pool until trainer demand is met
+// without data stalls, a worker is killed mid-session and its split is
+// reassigned, and the master fails over to a replica restored from a
+// checkpoint. The session still delivers every row exactly once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dsi/internal/datagen"
+	"dsi/internal/dpp"
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+	"dsi/internal/tectonic"
+	"dsi/internal/tensor"
+	"dsi/internal/transforms"
+	"dsi/internal/warehouse"
+)
+
+func main() {
+	// Build a small RM3-style dataset.
+	profile := datagen.RM3
+	spec := profile.Scale(0.05, 2, 1024)
+	gen := datagen.NewGenerator(spec, 3)
+	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wh := warehouse.New(cluster)
+	tbl, err := wh.CreateTable(profile.Name, spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalRows := 0
+	for day := 0; day < spec.Partitions; day++ {
+		pw, err := tbl.NewPartition(fmt.Sprintf("p%d", day))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < spec.RowsPerPart; i++ {
+			if err := pw.WriteRow(gen.Sample()); err != nil {
+				log.Fatal(err)
+			}
+			totalRows++
+		}
+		if err := pw.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	proj := gen.Projection(1)
+	session := dpp.SessionSpec{
+		Table:    profile.Name,
+		Features: proj.IDs(),
+		Ops: []transforms.Op{
+			&transforms.SigridHash{In: proj.IDs()[len(proj.IDs())-1], Out: 1 << 20, Salt: 1, MaxValue: 1 << 18},
+		},
+		DenseOut:  proj.IDs()[:4],
+		SparseOut: []schema.FeatureID{1 << 20},
+		BatchSize: 64,
+		Read:      dwrf.ReadOptions{CoalesceBytes: 128 << 10, Flatmap: true},
+	}
+	master, err := dpp.NewMaster(wh, session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	master.LeaseTimeout = 50 * time.Millisecond
+	fmt.Printf("session planned: %d splits over %d rows\n", master.SplitCount(), totalRows)
+
+	// Worker pool managed by the auto-scaler.
+	scaler := dpp.NewAutoScaler(1, 6)
+	var (
+		mu      sync.Mutex
+		apis    []dpp.WorkerAPI
+		wg      sync.WaitGroup
+		widx    int
+		stops   []chan struct{}
+		workers []*dpp.Worker
+	)
+	launch := func(n int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < n; i++ {
+			w, err := dpp.NewWorker(fmt.Sprintf("auto-%d", widx), master, wh)
+			if err != nil {
+				log.Fatal(err)
+			}
+			widx++
+			stop := make(chan struct{})
+			stops = append(stops, stop)
+			workers = append(workers, w)
+			apis = append(apis, dpp.LocalWorkerAPI(w))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := w.Run(stop); err != nil {
+					log.Print(err)
+				}
+			}()
+		}
+		fmt.Printf("scaler: pool grown to %d workers\n", widx)
+	}
+	launch(scaler.Evaluate(master.WorkerStatsSnapshot()))
+
+	// Kill the first worker almost immediately: stateless workers are
+	// restarted by the master without checkpoint restore.
+	time.Sleep(time.Millisecond)
+	close(stops[0])
+	fmt.Println("chaos: killed worker auto-0 mid-session")
+	time.Sleep(60 * time.Millisecond)
+	if n := master.ReapDead(); n > 0 {
+		fmt.Printf("master: reassigned %d orphaned split(s)\n", n)
+	}
+
+	// Checkpoint the master and fail over to a replica.
+	ckpt, err := master.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	replica, err := dpp.RestoreMaster(wh, session, ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done, total := replica.Progress()
+	fmt.Printf("failover: replica restored from checkpoint at %d/%d splits\n", done, total)
+
+	// Finish the session on the replica with a fresh pool.
+	var rows int
+	w, err := dpp.NewWorker("replica-w0", replica, wh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Sink = func(b *tensor.Batch) { rows += b.Rows }
+	for {
+		ok, err := w.ProcessOneSplit()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+
+	// Drain whatever the first pool had already buffered so every row is
+	// delivered exactly once across the failover.
+	mu.Lock()
+	client, err := dpp.NewClient(apis, 0, 0)
+	mu.Unlock()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		b, ok, _, err := client.TryNext()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += b.Rows
+	}
+	for _, s := range stops[1:] {
+		close(s)
+	}
+	wg.Wait()
+
+	fmt.Printf("delivered %d of %d rows across kill + failover\n", rows, totalRows)
+	if rows != totalRows {
+		log.Fatalf("row loss or duplication: got %d want %d", rows, totalRows)
+	}
+	fmt.Println("exactly-once delivery held")
+}

@@ -1,0 +1,123 @@
+package datagen
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"dsi/internal/schema"
+	"dsi/internal/scribe"
+)
+
+// FeatureLog is the serving-time record of the features a model was
+// evaluated with (§3.1): logged at serving time to avoid data leakage
+// between serving and training.
+type FeatureLog struct {
+	RequestID int64
+	Dense     map[schema.FeatureID]float32
+	Sparse    map[schema.FeatureID][]int64
+}
+
+// EventLog is the record of the recommendation's observed outcome (e.g.
+// whether the user interacted with the item).
+type EventLog struct {
+	RequestID int64
+	Engaged   bool
+}
+
+// EncodeFeatureLog gob-serializes a feature log.
+func EncodeFeatureLog(f *FeatureLog) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("datagen: encode feature log: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFeatureLog parses a gob-serialized feature log.
+func DecodeFeatureLog(data []byte) (*FeatureLog, error) {
+	var f FeatureLog
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("datagen: decode feature log: %w", err)
+	}
+	return &f, nil
+}
+
+// EncodeEventLog gob-serializes an event log.
+func EncodeEventLog(e *EventLog) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("datagen: encode event log: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEventLog parses a gob-serialized event log.
+func DecodeEventLog(data []byte) (*EventLog, error) {
+	var e EventLog
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("datagen: decode event log: %w", err)
+	}
+	return &e, nil
+}
+
+// FeatureCategory names the Scribe category carrying a model's feature
+// logs.
+func FeatureCategory(model string) string { return model + "/features" }
+
+// EventCategory names the Scribe category carrying a model's event logs.
+func EventCategory(model string) string { return model + "/events" }
+
+// ServingSimulator emits paired feature and event logs through a Scribe
+// daemon, standing in for the model-serving fleet.
+type ServingSimulator struct {
+	Model  string
+	gen    *Generator
+	daemon *scribe.Daemon
+	nextID int64
+	// EventDropRate is the fraction of requests whose outcome event is
+	// never observed (the join in ETL must tolerate these).
+	EventDropRate float64
+}
+
+// NewServingSimulator returns a simulator that logs through daemon.
+func NewServingSimulator(model string, gen *Generator, daemon *scribe.Daemon) *ServingSimulator {
+	return &ServingSimulator{Model: model, gen: gen, daemon: daemon, nextID: 1}
+}
+
+// ServeRequests simulates n recommendation requests, logging a feature
+// record for each and an event record for the non-dropped ones.
+func (s *ServingSimulator) ServeRequests(n int) error {
+	for i := 0; i < n; i++ {
+		id := s.nextID
+		s.nextID++
+		sample := s.gen.Sample()
+		fl := &FeatureLog{
+			RequestID: id,
+			Dense:     sample.DenseFeatures,
+			Sparse:    sample.SparseFeatures,
+		}
+		payload, err := EncodeFeatureLog(fl)
+		if err != nil {
+			return err
+		}
+		if err := s.daemon.Log(FeatureCategory(s.Model), payload); err != nil {
+			return err
+		}
+		if s.gen.rng.Float64() < s.EventDropRate {
+			continue
+		}
+		ev := &EventLog{RequestID: id, Engaged: sample.Label > 0}
+		evPayload, err := EncodeEventLog(ev)
+		if err != nil {
+			return err
+		}
+		if err := s.daemon.Log(EventCategory(s.Model), evPayload); err != nil {
+			return err
+		}
+	}
+	return s.daemon.Flush()
+}
+
+// RequestsServed reports how many requests have been simulated.
+func (s *ServingSimulator) RequestsServed() int64 { return s.nextID - 1 }

@@ -1,0 +1,126 @@
+package dpp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dsi/internal/tensor"
+)
+
+// WorkerAPI is the data-plane surface Clients depend on: a single RPC
+// that returns a batch of tensors from the Worker's buffer (§3.2.1).
+type WorkerAPI interface {
+	// FetchBatch pops one batch. ok=false with done=true means the
+	// worker has finished and drained; ok=false with done=false means
+	// temporarily empty.
+	FetchBatch() (b *tensor.Batch, ok bool, done bool, err error)
+}
+
+// localWorker adapts *Worker to WorkerAPI.
+type localWorker struct{ w *Worker }
+
+// FetchBatch implements WorkerAPI.
+func (l localWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
+	b, ok, done := l.w.TryGetBatch()
+	return b, ok, done, nil
+}
+
+// LocalWorkerAPI wraps an in-process worker as a WorkerAPI.
+func LocalWorkerAPI(w *Worker) WorkerAPI { return localWorker{w} }
+
+// Client runs on each training node and exposes the hook the training
+// loop calls to obtain preprocessed tensors. It routes fetches across a
+// capped subset of workers with partitioned round-robin routing, so
+// client and worker connection counts stay bounded as both sides scale
+// (§3.2.1).
+type Client struct {
+	mu      sync.Mutex
+	workers []WorkerAPI
+	next    int
+
+	// BatchesFetched counts delivered batches.
+	BatchesFetched int64
+	// BytesFetched counts delivered tensor bytes.
+	BytesFetched int64
+}
+
+// NewClient builds a client over the given workers, connecting to at
+// most maxConnections of them (0 means all). The partition is chosen by
+// clientIndex so different trainers spread across workers.
+func NewClient(workers []WorkerAPI, maxConnections, clientIndex int) (*Client, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("dpp: client needs at least one worker")
+	}
+	if maxConnections <= 0 || maxConnections > len(workers) {
+		maxConnections = len(workers)
+	}
+	subset := make([]WorkerAPI, 0, maxConnections)
+	for i := 0; i < maxConnections; i++ {
+		subset = append(subset, workers[(clientIndex*maxConnections+i)%len(workers)])
+	}
+	return &Client{workers: subset}, nil
+}
+
+// Connections reports how many workers the client is attached to.
+func (c *Client) Connections() int { return len(c.workers) }
+
+// Next returns the next tensor batch, rotating across the client's
+// workers. It returns ok=false only when every connected worker has
+// finished and drained.
+func (c *Client) Next() (*tensor.Batch, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		allDone := true
+		for i := 0; i < len(c.workers); i++ {
+			w := c.workers[(c.next+i)%len(c.workers)]
+			b, ok, done, err := w.FetchBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				c.next = (c.next + i + 1) % len(c.workers)
+				c.BatchesFetched++
+				c.BytesFetched += b.SizeBytes()
+				return b, true, nil
+			}
+			if !done {
+				allDone = false
+			}
+		}
+		if allDone {
+			return nil, false, nil
+		}
+		// Workers exist but are all momentarily empty; yield briefly
+		// rather than spinning.
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// TryNext sweeps the connected workers once without blocking. ok=false
+// with done=false means no batch was ready (a data stall from the
+// trainer's point of view); done=true means every worker has finished
+// and drained.
+func (c *Client) TryNext() (b *tensor.Batch, ok, done bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	allDone := true
+	for i := 0; i < len(c.workers); i++ {
+		w := c.workers[(c.next+i)%len(c.workers)]
+		b, ok, wDone, err := w.FetchBatch()
+		if err != nil {
+			return nil, false, false, err
+		}
+		if ok {
+			c.next = (c.next + i + 1) % len(c.workers)
+			c.BatchesFetched++
+			c.BytesFetched += b.SizeBytes()
+			return b, true, false, nil
+		}
+		if !wDone {
+			allDone = false
+		}
+	}
+	return nil, false, allDone, nil
+}

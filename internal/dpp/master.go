@@ -1,0 +1,388 @@
+package dpp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"dsi/internal/warehouse"
+)
+
+// WorkerStats is the utilization snapshot each Worker reports with its
+// heartbeat; the Master's auto-scaling controller consumes these
+// (§3.2.1: "CPU, memory, and network statistics and the number of
+// buffered tensors").
+type WorkerStats struct {
+	CPUUtil         float64
+	MemBWUtil       float64
+	MemCapacityUtil float64
+	NICUtil         float64
+	BufferedBatches int
+	RowsPerSec      float64
+}
+
+// MasterAPI is the control-plane surface Workers depend on. The Master
+// implements it directly; the TCP transport wraps it.
+type MasterAPI interface {
+	// RegisterWorker announces a worker and returns the session spec
+	// (workers pull their transformations from the master on startup).
+	RegisterWorker(workerID string) (SessionSpec, error)
+	// NextSplit leases the next unprocessed split. ok=false means no
+	// work is currently available (done, or everything is in flight).
+	NextSplit(workerID string) (split warehouse.Split, splitID int, ok bool, err error)
+	// CompleteSplit acknowledges a finished split.
+	CompleteSplit(workerID string, splitID int) error
+	// Heartbeat reports liveness and utilization.
+	Heartbeat(workerID string, stats WorkerStats) error
+	// Done reports whether every split has completed.
+	Done() (bool, error)
+}
+
+// Master is the DPP control plane for one training session.
+type Master struct {
+	spec   SessionSpec
+	splits []warehouse.Split
+
+	mu        sync.Mutex
+	pending   []int
+	inflight  map[int]*lease
+	completed []bool
+	nComplete int
+	workers   map[string]*workerInfo
+
+	// now is injectable for deterministic tests.
+	now func() time.Time
+
+	// LeaseTimeout is how long a split may stay leased to a silent
+	// worker before ReapDead reassigns it.
+	LeaseTimeout time.Duration
+}
+
+type lease struct {
+	worker string
+	since  time.Time
+}
+
+type workerInfo struct {
+	lastSeen time.Time
+	stats    WorkerStats
+	draining bool
+}
+
+// NewMaster plans the session: it enumerates splits over the requested
+// partitions and prepares the lease table.
+func NewMaster(wh *warehouse.Warehouse, spec SessionSpec) (*Master, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	tbl, err := wh.Table(spec.Table)
+	if err != nil {
+		return nil, err
+	}
+	splits, err := tbl.Splits(spec.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("dpp: session over %s selects no splits", spec.Table)
+	}
+	m := &Master{
+		spec:         spec,
+		splits:       splits,
+		inflight:     make(map[int]*lease),
+		completed:    make([]bool, len(splits)),
+		workers:      make(map[string]*workerInfo),
+		now:          time.Now,
+		LeaseTimeout: 30 * time.Second,
+	}
+	for i := range splits {
+		m.pending = append(m.pending, i)
+	}
+	return m, nil
+}
+
+// Spec returns the session spec.
+func (m *Master) Spec() SessionSpec { return m.spec }
+
+// SplitCount reports the total number of splits in the session.
+func (m *Master) SplitCount() int { return len(m.splits) }
+
+// RegisterWorker implements MasterAPI.
+func (m *Master) RegisterWorker(workerID string) (SessionSpec, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers[workerID] = &workerInfo{lastSeen: m.now()}
+	return m.spec, nil
+}
+
+// NextSplit implements MasterAPI.
+func (m *Master) NextSplit(workerID string) (warehouse.Split, int, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[workerID]
+	if !ok {
+		return warehouse.Split{}, 0, false, fmt.Errorf("dpp: unregistered worker %q", workerID)
+	}
+	w.lastSeen = m.now()
+	if w.draining || len(m.pending) == 0 {
+		return warehouse.Split{}, 0, false, nil
+	}
+	id := m.pending[0]
+	m.pending = m.pending[1:]
+	m.inflight[id] = &lease{worker: workerID, since: m.now()}
+	return m.splits[id], id, true, nil
+}
+
+// CompleteSplit implements MasterAPI.
+func (m *Master) CompleteSplit(workerID string, splitID int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if splitID < 0 || splitID >= len(m.splits) {
+		return fmt.Errorf("dpp: split id %d out of range", splitID)
+	}
+	l, ok := m.inflight[splitID]
+	if !ok {
+		// Already completed or reassigned; treat the duplicate ack as
+		// benign (workers may be restarted mid-split).
+		return nil
+	}
+	if l.worker != workerID {
+		return fmt.Errorf("dpp: split %d leased to %s, completed by %s", splitID, l.worker, workerID)
+	}
+	delete(m.inflight, splitID)
+	if !m.completed[splitID] {
+		m.completed[splitID] = true
+		m.nComplete++
+	}
+	return nil
+}
+
+// Heartbeat implements MasterAPI.
+func (m *Master) Heartbeat(workerID string, stats WorkerStats) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[workerID]
+	if !ok {
+		return fmt.Errorf("dpp: unregistered worker %q", workerID)
+	}
+	w.lastSeen = m.now()
+	w.stats = stats
+	return nil
+}
+
+// Done implements MasterAPI.
+func (m *Master) Done() (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nComplete == len(m.splits), nil
+}
+
+// Progress reports completed and total split counts.
+func (m *Master) Progress() (completed, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nComplete, len(m.splits)
+}
+
+// ReapDead re-queues splits leased to workers that have not been seen
+// within the lease timeout, and forgets those workers. Workers are
+// stateless, so reassignment needs no checkpoint restore (§3.2.1).
+// It returns the number of splits reassigned.
+func (m *Master) ReapDead() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	dead := make(map[string]bool)
+	for id, w := range m.workers {
+		if now.Sub(w.lastSeen) > m.LeaseTimeout {
+			dead[id] = true
+		}
+	}
+	reassigned := 0
+	for splitID, l := range m.inflight {
+		if dead[l.worker] || now.Sub(l.since) > m.LeaseTimeout {
+			delete(m.inflight, splitID)
+			m.pending = append(m.pending, splitID)
+			reassigned++
+		}
+	}
+	for id := range dead {
+		delete(m.workers, id)
+	}
+	return reassigned
+}
+
+// Drain marks a worker as draining: it receives no further splits but may
+// finish its current one (used by the auto-scaler to shrink the pool).
+func (m *Master) Drain(workerID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[workerID]
+	if !ok {
+		return fmt.Errorf("dpp: unregistered worker %q", workerID)
+	}
+	w.draining = true
+	return nil
+}
+
+// WorkerCount reports registered (non-drained) workers.
+func (m *Master) WorkerCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.workers {
+		if !w.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkerStatsSnapshot returns the latest stats of live workers.
+func (m *Master) WorkerStatsSnapshot() []WorkerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerStats, 0, len(m.workers))
+	for _, w := range m.workers {
+		if !w.draining {
+			out = append(out, w.stats)
+		}
+	}
+	return out
+}
+
+// checkpointState is the serialized reader state.
+type checkpointState struct {
+	Completed []bool
+}
+
+// Checkpoint serializes the session's reader state (which splits have
+// completed). In-flight leases are intentionally not persisted: on
+// restore they simply re-run, which is safe because split processing is
+// idempotent.
+func (m *Master) Checkpoint() ([]byte, error) {
+	m.mu.Lock()
+	state := checkpointState{Completed: append([]bool(nil), m.completed...)}
+	m.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&state); err != nil {
+		return nil, fmt.Errorf("dpp: checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreMaster builds a replacement Master (e.g. the replica taking
+// over, §3.2.1) from a checkpoint. Splits are re-enumerated from the
+// warehouse and completed ones skipped.
+func RestoreMaster(wh *warehouse.Warehouse, spec SessionSpec, checkpoint []byte) (*Master, error) {
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		return nil, err
+	}
+	var state checkpointState
+	if err := gob.NewDecoder(bytes.NewReader(checkpoint)).Decode(&state); err != nil {
+		return nil, fmt.Errorf("dpp: restore: %w", err)
+	}
+	if len(state.Completed) != len(m.splits) {
+		return nil, fmt.Errorf("dpp: checkpoint covers %d splits, session has %d", len(state.Completed), len(m.splits))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending = m.pending[:0]
+	for i, done := range state.Completed {
+		m.completed[i] = done
+		if done {
+			m.nComplete++
+		} else {
+			m.pending = append(m.pending, i)
+		}
+	}
+	return m, nil
+}
+
+// AutoScaler is the Master's scaling controller: it evaluates worker
+// utilization and buffer occupancy and decides how many workers to launch
+// or drain, "maintaining a non-zero number of buffered tensors and
+// maximum CPU, network, and memory utilization" (§3.2.1).
+type AutoScaler struct {
+	// MinWorkers and MaxWorkers bound the pool.
+	MinWorkers, MaxWorkers int
+	// LowBuffer is the buffered-batch level below which trainers are at
+	// risk of stalling (scale up).
+	LowBuffer int
+	// HighBuffer is the level above which workers are oversupplied
+	// (scale down if also under-utilized).
+	HighBuffer int
+	// IdleUtil is the utilization below which an oversupplied worker is
+	// considered drainable.
+	IdleUtil float64
+	// StepUp caps how many workers are added per evaluation.
+	StepUp int
+}
+
+// NewAutoScaler returns a controller with the given pool bounds.
+func NewAutoScaler(minWorkers, maxWorkers int) *AutoScaler {
+	return &AutoScaler{
+		MinWorkers: minWorkers,
+		MaxWorkers: maxWorkers,
+		LowBuffer:  1,
+		HighBuffer: 6,
+		IdleUtil:   0.45,
+		StepUp:     4,
+	}
+}
+
+// Evaluate returns the worker-count delta (positive: launch, negative:
+// drain) for the current stats.
+func (a *AutoScaler) Evaluate(stats []WorkerStats) int {
+	n := len(stats)
+	if n == 0 {
+		if a.MinWorkers > 0 {
+			return a.MinWorkers
+		}
+		return 1
+	}
+	starving := 0
+	drainable := 0
+	for _, s := range stats {
+		if s.BufferedBatches <= a.LowBuffer {
+			starving++
+		}
+		util := maxf(s.CPUUtil, maxf(s.MemBWUtil, s.NICUtil))
+		if s.BufferedBatches >= a.HighBuffer && util < a.IdleUtil {
+			drainable++
+		}
+	}
+	switch {
+	case starving*2 > n: // majority near-empty buffers: data stall risk
+		add := starving
+		if add > a.StepUp {
+			add = a.StepUp
+		}
+		if n+add > a.MaxWorkers {
+			add = a.MaxWorkers - n
+		}
+		if add < 0 {
+			add = 0
+		}
+		return add
+	case drainable > 0 && n > a.MinWorkers:
+		drop := drainable
+		if n-drop < a.MinWorkers {
+			drop = n - a.MinWorkers
+		}
+		return -drop
+	default:
+		return 0
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+package dpp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"dsi/internal/tensor"
+	"dsi/internal/warehouse"
+)
+
+// This file provides the TCP transport: the same Master/Worker logic
+// exposed over net/rpc with gob encoding, standing in for the paper's
+// Thrift RPC. The in-process transport remains the default for
+// simulations; cmd/dppd uses this one.
+
+// MasterService is the RPC wrapper around a Master.
+type MasterService struct {
+	master *Master
+}
+
+// RegisterArgs identifies the calling worker.
+type RegisterArgs struct{ WorkerID string }
+
+// RegisterReply carries the session spec.
+type RegisterReply struct{ Spec SessionSpec }
+
+// Register handles worker registration.
+func (s *MasterService) Register(args *RegisterArgs, reply *RegisterReply) error {
+	spec, err := s.master.RegisterWorker(args.WorkerID)
+	if err != nil {
+		return err
+	}
+	reply.Spec = spec
+	return nil
+}
+
+// NextSplitArgs identifies the calling worker.
+type NextSplitArgs struct{ WorkerID string }
+
+// NextSplitReply carries one leased split.
+type NextSplitReply struct {
+	Split   warehouse.Split
+	SplitID int
+	OK      bool
+}
+
+// NextSplit leases a split.
+func (s *MasterService) NextSplit(args *NextSplitArgs, reply *NextSplitReply) error {
+	split, id, ok, err := s.master.NextSplit(args.WorkerID)
+	if err != nil {
+		return err
+	}
+	reply.Split, reply.SplitID, reply.OK = split, id, ok
+	return nil
+}
+
+// CompleteArgs acknowledges a split.
+type CompleteArgs struct {
+	WorkerID string
+	SplitID  int
+}
+
+// Complete acknowledges a finished split.
+func (s *MasterService) Complete(args *CompleteArgs, reply *struct{}) error {
+	return s.master.CompleteSplit(args.WorkerID, args.SplitID)
+}
+
+// HeartbeatArgs carries a worker utilization snapshot.
+type HeartbeatArgs struct {
+	WorkerID string
+	Stats    WorkerStats
+}
+
+// Heartbeat records worker liveness.
+func (s *MasterService) Heartbeat(args *HeartbeatArgs, reply *struct{}) error {
+	return s.master.Heartbeat(args.WorkerID, args.Stats)
+}
+
+// Done reports session completion.
+func (s *MasterService) Done(args *struct{}, reply *bool) error {
+	done, err := s.master.Done()
+	if err != nil {
+		return err
+	}
+	*reply = done
+	return nil
+}
+
+// ServeMaster listens on addr and serves the master over net/rpc. It
+// returns the bound listener (use its Addr for clients) and a stop
+// function.
+func ServeMaster(master *Master, addr string) (net.Listener, func(), error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Master", &MasterService{master: master}); err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				srv.ServeConn(conn)
+			}()
+		}
+	}()
+	stop := func() {
+		close(done)
+		ln.Close()
+	}
+	return ln, stop, nil
+}
+
+// RemoteMaster is a MasterAPI backed by an RPC connection.
+type RemoteMaster struct {
+	client *rpc.Client
+}
+
+// DialMaster connects to a master served by ServeMaster.
+func DialMaster(addr string) (*RemoteMaster, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dpp: dial master %s: %w", addr, err)
+	}
+	return &RemoteMaster{client: client}, nil
+}
+
+// Close releases the connection.
+func (r *RemoteMaster) Close() error { return r.client.Close() }
+
+// RegisterWorker implements MasterAPI.
+func (r *RemoteMaster) RegisterWorker(workerID string) (SessionSpec, error) {
+	var reply RegisterReply
+	if err := r.client.Call("Master.Register", &RegisterArgs{WorkerID: workerID}, &reply); err != nil {
+		return SessionSpec{}, err
+	}
+	return reply.Spec, nil
+}
+
+// NextSplit implements MasterAPI.
+func (r *RemoteMaster) NextSplit(workerID string) (warehouse.Split, int, bool, error) {
+	var reply NextSplitReply
+	if err := r.client.Call("Master.NextSplit", &NextSplitArgs{WorkerID: workerID}, &reply); err != nil {
+		return warehouse.Split{}, 0, false, err
+	}
+	return reply.Split, reply.SplitID, reply.OK, nil
+}
+
+// CompleteSplit implements MasterAPI.
+func (r *RemoteMaster) CompleteSplit(workerID string, splitID int) error {
+	return r.client.Call("Master.Complete", &CompleteArgs{WorkerID: workerID, SplitID: splitID}, &struct{}{})
+}
+
+// Heartbeat implements MasterAPI.
+func (r *RemoteMaster) Heartbeat(workerID string, stats WorkerStats) error {
+	return r.client.Call("Master.Heartbeat", &HeartbeatArgs{WorkerID: workerID, Stats: stats}, &struct{}{})
+}
+
+// Done implements MasterAPI.
+func (r *RemoteMaster) Done() (bool, error) {
+	var done bool
+	err := r.client.Call("Master.Done", &struct{}{}, &done)
+	return done, err
+}
+
+var _ MasterAPI = (*RemoteMaster)(nil)
+
+// WorkerService is the RPC wrapper around a Worker's data plane.
+type WorkerService struct {
+	worker *Worker
+}
+
+// FetchReply carries one tensor batch.
+type FetchReply struct {
+	Batch *tensor.Batch
+	OK    bool
+	Done  bool
+}
+
+// Fetch pops one buffered batch.
+func (s *WorkerService) Fetch(args *struct{}, reply *FetchReply) error {
+	b, ok, done := s.worker.TryGetBatch()
+	reply.Batch, reply.OK, reply.Done = b, ok, done
+	return nil
+}
+
+// ServeWorker exposes a worker's buffer over net/rpc.
+func ServeWorker(worker *Worker, addr string) (net.Listener, func(), error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &WorkerService{worker: worker}); err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	stop := func() {
+		close(done)
+		ln.Close()
+	}
+	return ln, stop, nil
+}
+
+// RemoteWorker is a WorkerAPI backed by an RPC connection.
+type RemoteWorker struct {
+	client *rpc.Client
+}
+
+// DialWorker connects to a worker served by ServeWorker.
+func DialWorker(addr string) (*RemoteWorker, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dpp: dial worker %s: %w", addr, err)
+	}
+	return &RemoteWorker{client: client}, nil
+}
+
+// Close releases the connection.
+func (r *RemoteWorker) Close() error { return r.client.Close() }
+
+// FetchBatch implements WorkerAPI.
+func (r *RemoteWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
+	var reply FetchReply
+	if err := r.client.Call("Worker.Fetch", &struct{}{}, &reply); err != nil {
+		if errors.Is(err, rpc.ErrShutdown) {
+			return nil, false, true, nil
+		}
+		return nil, false, false, err
+	}
+	return reply.Batch, reply.OK, reply.Done, nil
+}
+
+var _ WorkerAPI = (*RemoteWorker)(nil)

@@ -1,0 +1,196 @@
+// Package dpp implements the paper's primary contribution: the Data
+// PreProcessing Service (§3.2.1), a disaggregated online-preprocessing
+// service that reads raw training data from storage, transforms it into
+// ready-to-load tensors, and serves them to trainers.
+//
+// DPP divides into a control plane and a data plane:
+//
+//   - The Master (control plane) breaks the preprocessing workload into
+//     self-contained splits, serves them to Workers, tracks progress,
+//     checkpoints reader state, restarts failed Workers, and auto-scales
+//     the Worker pool to eliminate data stalls.
+//   - Workers (data plane) are stateless: they pull the transformation
+//     spec at startup, then loop fetching splits, extracting and
+//     transforming rows, and buffering materialized tensors.
+//   - Clients run on trainer nodes and fetch tensors from Workers with
+//     partitioned round-robin routing.
+//
+// The package supports two transports: direct in-process calls (used by
+// simulations and tests) and net/rpc over TCP (cmd/dppd), exercising the
+// same Master/Worker/Client logic.
+package dpp
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+	"dsi/internal/transforms"
+)
+
+// SessionSpec is the preprocessing workload description an ML engineer
+// submits (the paper's "PyTorchDataSet" session specification): dataset
+// table, partitions, required features, per-feature transformations, and
+// the tensor batch size.
+type SessionSpec struct {
+	Table      string
+	Partitions []string
+	// Features is the raw-feature projection read from storage.
+	Features []schema.FeatureID
+	// Ops is the transformation DAG, serialized as a flat op list (the
+	// "serialized and compiled PyTorch module" Workers pull from the
+	// Master).
+	Ops []transforms.Op
+	// DenseOut and SparseOut are the post-transform features materialized
+	// into each tensor batch.
+	DenseOut  []schema.FeatureID
+	SparseOut []schema.FeatureID
+	// BatchSize is rows per emitted tensor batch.
+	BatchSize int
+	// Read configures the storage read path (coalescing, flatmap).
+	Read dwrf.ReadOptions
+	// BufferDepth is the per-worker tensor buffer capacity in batches.
+	BufferDepth int
+	// Costs tunes the worker resource model; zero value means defaults.
+	Costs CostParams
+}
+
+// Validate checks the spec for obvious misconfiguration.
+func (s *SessionSpec) Validate() error {
+	if s.Table == "" {
+		return fmt.Errorf("dpp: session needs a table")
+	}
+	if s.BatchSize <= 0 {
+		return fmt.Errorf("dpp: session needs a positive batch size")
+	}
+	if len(s.Features) == 0 {
+		return fmt.Errorf("dpp: session needs a feature projection")
+	}
+	return nil
+}
+
+// withDefaults returns a copy with defaulted optional fields.
+func (s SessionSpec) withDefaults() SessionSpec {
+	if s.BufferDepth == 0 {
+		s.BufferDepth = 8
+	}
+	s.Costs = s.Costs.withDefaults()
+	return s
+}
+
+// Projection builds the schema projection for the spec's raw features.
+func (s *SessionSpec) Projection() *schema.Projection {
+	return schema.NewProjection(s.Features...)
+}
+
+// BuildGraph compiles the op list into an executable DAG.
+func (s *SessionSpec) BuildGraph() (*transforms.Graph, error) {
+	g := transforms.NewGraph().Add(s.Ops...)
+	if err := g.Compile(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CostParams models the per-byte and per-cycle costs of the worker data
+// plane that the paper measures: extraction (decode) cycles, the
+// "datacenter tax" of TLS + deserialization on every network byte
+// (§6.2), TLS memory-bandwidth amplification (§7.2: 3x), and the
+// row-map materialization penalty removed by the in-memory flatmap
+// (§7.5).
+type CostParams struct {
+	// ExtractCyclesPerByte is decode CPU per raw (decoded) byte.
+	ExtractCyclesPerByte float64
+	// RowMapPenalty multiplies extract cycles and memory traffic when
+	// decoding into row maps instead of the flatmap representation (FM
+	// off). Paper: FM improved worker throughput ~15%.
+	RowMapPenalty float64
+	// LocalOptFactor divides all CPU costs when build/localized
+	// optimizations (LO) are enabled. Paper: +28% throughput.
+	LocalOptFactor float64
+	// TaxCyclesPerByte is the datacenter-tax CPU per network byte moved
+	// (TLS, Thrift).
+	TaxCyclesPerByte float64
+	// TLSMemAmplification multiplies memory traffic for NIC bytes
+	// (paper: TLS amplifies memory bandwidth 3x).
+	TLSMemAmplification float64
+	// ExtractMemBytesPerByte is memory traffic per decoded byte
+	// (decompress + reconstruct copies).
+	ExtractMemBytesPerByte float64
+	// XformCycleScale scales transformation CPU and memory cost to the
+	// model's intensity (RM1's transforms are the most expensive, §6.3).
+	XformCycleScale float64
+	// ThreadResidentGB is the resident memory one preprocessing thread
+	// pins (buffers, dictionaries, intermediates). When large, the
+	// worker's thread pool is capped by memory capacity rather than
+	// core count — RM3's situation in §6.3 ("bound on memory capacity,
+	// forcing us to limit the worker thread pool size to avoid OOM").
+	ThreadResidentGB float64
+	// LocalOpt enables the LO optimizations.
+	LocalOpt bool
+	// Flatmap uses the in-memory flatmap batch representation (FM).
+	Flatmap bool
+}
+
+func (c CostParams) withDefaults() CostParams {
+	if c.ExtractCyclesPerByte == 0 {
+		c.ExtractCyclesPerByte = 13
+	}
+	if c.RowMapPenalty == 0 {
+		c.RowMapPenalty = 1.35
+	}
+	if c.LocalOptFactor == 0 {
+		c.LocalOptFactor = 1.28
+	}
+	if c.TaxCyclesPerByte == 0 {
+		c.TaxCyclesPerByte = 1.7
+	}
+	if c.TLSMemAmplification == 0 {
+		c.TLSMemAmplification = 3.0
+	}
+	if c.ExtractMemBytesPerByte == 0 {
+		c.ExtractMemBytesPerByte = 36
+	}
+	if c.XformCycleScale == 0 {
+		c.XformCycleScale = 1
+	}
+	return c
+}
+
+// cpuDivisor is the factor CPU work is divided by under LO.
+func (c CostParams) cpuDivisor() float64 {
+	if c.LocalOpt {
+		return c.LocalOptFactor
+	}
+	return 1
+}
+
+// extractMultiplier is the row-map penalty when FM is off.
+func (c CostParams) extractMultiplier() float64 {
+	if c.Flatmap {
+		return 1
+	}
+	return c.RowMapPenalty
+}
+
+func init() {
+	// Register every transform op so SessionSpec round-trips through gob
+	// for the TCP transport.
+	gob.Register(&transforms.Cartesian{})
+	gob.Register(&transforms.Bucketize{})
+	gob.Register(&transforms.ComputeScore{})
+	gob.Register(&transforms.Enumerate{})
+	gob.Register(&transforms.PositiveModulus{})
+	gob.Register(&transforms.IdListTransform{})
+	gob.Register(&transforms.BoxCox{})
+	gob.Register(&transforms.Logit{})
+	gob.Register(&transforms.MapId{})
+	gob.Register(&transforms.FirstX{})
+	gob.Register(&transforms.GetLocalHour{})
+	gob.Register(&transforms.SigridHash{})
+	gob.Register(&transforms.NGram{})
+	gob.Register(&transforms.Onehot{})
+	gob.Register(&transforms.Clamp{})
+	gob.Register(&transforms.Sampling{})
+}

@@ -1,0 +1,475 @@
+package dpp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dsi/internal/hw"
+	"dsi/internal/schema"
+	"dsi/internal/tensor"
+	"dsi/internal/transforms"
+	"dsi/internal/warehouse"
+)
+
+// ResourceReport is the worker's cumulative resource accounting, split by
+// the categories the paper measures (Fig 9: transformation, extraction,
+// and miscellaneous CPU cycles; §6.3: memory traffic by source).
+type ResourceReport struct {
+	// CPU cycles by phase.
+	ExtractCycles   float64
+	TransformCycles float64
+	TaxCycles       float64 // datacenter tax: TLS, deserialization, RPC framing
+
+	// Memory traffic (bytes) by source, mirroring the paper's LLC-miss
+	// attribution (50.4% transforms, 24.9% extraction, 16.4% net RX,
+	// 4.7% net TX for RM2 on C-v2).
+	MemTransform float64
+	MemExtract   float64
+	MemNetRX     float64
+	MemNetTX     float64
+
+	// Network bytes.
+	NICRxBytes int64 // compressed bytes fetched from storage
+	NICTxBytes int64 // tensor bytes to trainers
+	// StorageWantedBytes is the requested (selected-stream) subset of
+	// NICRxBytes; the difference is coalescing over-read.
+	StorageWantedBytes int64
+	// DecodedBytes is raw payload decoded after decompression.
+	DecodedBytes int64
+
+	// Work counters.
+	RowsIn       int64
+	RowsOut      int64
+	BatchesOut   int64
+	SplitsDone   int64
+	ResidentPeak int64 // peak buffered tensor bytes
+
+	// ThreadLimit caps how many cores the workload can actually use
+	// (0 = all). Memory-capacity-bound models (RM3, §6.3) run with a
+	// reduced thread pool to avoid OOM.
+	ThreadLimit int
+	// ThreadResidentBytes is resident memory pinned per thread.
+	ThreadResidentBytes int64
+}
+
+// effectiveCores reports the usable core count on the node given the
+// thread limit.
+func (r ResourceReport) effectiveCores(node hw.NodeSpec) float64 {
+	cores := node.PhysicalCores
+	if r.ThreadLimit > 0 && r.ThreadLimit < cores {
+		cores = r.ThreadLimit
+	}
+	return float64(cores)
+}
+
+// TotalCPUCycles sums all CPU phases.
+func (r ResourceReport) TotalCPUCycles() float64 {
+	return r.ExtractCycles + r.TransformCycles + r.TaxCycles
+}
+
+// TotalMemBytes sums all memory traffic.
+func (r ResourceReport) TotalMemBytes() float64 {
+	return r.MemTransform + r.MemExtract + r.MemNetRX + r.MemNetTX
+}
+
+// BusySeconds converts the accounted work into per-domain busy time on
+// the given node, assuming the given core clock. The bottleneck domain
+// is the one with the largest busy time.
+func (r ResourceReport) BusySeconds(node hw.NodeSpec, ghz float64) (cpu, mem, nicRx, nicTx float64) {
+	cpu = r.TotalCPUCycles() / (ghz * 1e9 * r.effectiveCores(node))
+	mem = r.TotalMemBytes() / (node.PeakMemBWGBps * 1e9)
+	nicRx = float64(r.NICRxBytes*8) / (node.NICGbps * 1e9)
+	nicTx = float64(r.NICTxBytes*8) / (node.NICGbps * 1e9)
+	return cpu, mem, nicRx, nicTx
+}
+
+// MemCapacityShare reports the fraction of node memory pinned by the
+// thread pool's resident sets.
+func (r ResourceReport) MemCapacityShare(node hw.NodeSpec) float64 {
+	threads := r.effectiveCores(node)
+	return float64(r.ThreadResidentBytes) * threads / (node.MemoryGB * 1e9)
+}
+
+// Bottleneck names the dominant resource on the given node. A CPU
+// bottleneck caused by a memory-capacity-limited thread pool is reported
+// as "memcap".
+func (r ResourceReport) Bottleneck(node hw.NodeSpec, ghz float64) string {
+	cpu, mem, nicRx, nicTx := r.BusySeconds(node, ghz)
+	best, name := cpu, "cpu"
+	if r.ThreadLimit > 0 && r.ThreadLimit < node.PhysicalCores {
+		name = "memcap"
+	}
+	if mem > best {
+		best, name = mem, "membw"
+	}
+	if nicRx+nicTx > best {
+		name = "nic"
+	}
+	return name
+}
+
+// SaturatedThroughput reports rows/sec when the node runs its bottleneck
+// resource at 100%.
+func (r ResourceReport) SaturatedThroughput(node hw.NodeSpec, ghz float64) float64 {
+	cpu, mem, nicRx, nicTx := r.BusySeconds(node, ghz)
+	busy := maxf(cpu, maxf(mem, nicRx+nicTx))
+	if busy == 0 {
+		return 0
+	}
+	return float64(r.RowsIn) / busy
+}
+
+// CPUBoundThroughput reports rows/sec when the node's CPU alone is the
+// limit. Table 12's "DPP throughput" column tracks this quantity: the
+// paper attributes the FF/FM/LO gains to reductions in CPU cycles spent
+// extracting and converting data.
+func (r ResourceReport) CPUBoundThroughput(node hw.NodeSpec, ghz float64) float64 {
+	cpu, _, _, _ := r.BusySeconds(node, ghz)
+	if cpu == 0 {
+		return 0
+	}
+	return float64(r.RowsIn) / cpu
+}
+
+// Utilizations reports each domain's utilization when the bottleneck is
+// saturated (the operating point the paper measures in Fig 9).
+func (r ResourceReport) Utilizations(node hw.NodeSpec, ghz float64) (cpu, mem, nic float64) {
+	c, m, rx, tx := r.BusySeconds(node, ghz)
+	busy := maxf(c, maxf(m, rx+tx))
+	if busy == 0 {
+		return 0, 0, 0
+	}
+	return c / busy, m / busy, (rx + tx) / busy
+}
+
+// Worker is a stateless DPP data-plane node: it pulls splits from the
+// Master, extracts and transforms rows, and buffers materialized tensor
+// batches for Clients.
+type Worker struct {
+	ID string
+
+	master MasterAPI
+	wh     *warehouse.Warehouse
+	spec   SessionSpec
+	graph  *transforms.Graph
+	proj   *schema.Projection
+
+	mu       sync.Mutex
+	buffer   []*tensor.Batch
+	bufBytes int64
+	finished bool
+	report   ResourceReport
+	notEmpty chan struct{} // closed-and-replaced signal for waiters
+
+	// Sink, when set, receives batches directly instead of the buffer
+	// (offline measurement mode).
+	Sink func(*tensor.Batch)
+
+	// Node is the hardware this worker is modelled on (default C-v1, the
+	// paper's worker node).
+	Node hw.NodeSpec
+	// ClockGHz is the modelled core clock.
+	ClockGHz float64
+}
+
+// NewWorker registers with the master, pulls the session spec, and
+// compiles the transformation graph.
+func NewWorker(id string, master MasterAPI, wh *warehouse.Warehouse) (*Worker, error) {
+	spec, err := master.RegisterWorker(id)
+	if err != nil {
+		return nil, fmt.Errorf("dpp: worker %s register: %w", id, err)
+	}
+	spec = spec.withDefaults()
+	graph, err := spec.BuildGraph()
+	if err != nil {
+		return nil, fmt.Errorf("dpp: worker %s graph: %w", id, err)
+	}
+	return &Worker{
+		ID:       id,
+		master:   master,
+		wh:       wh,
+		spec:     spec,
+		graph:    graph,
+		proj:     spec.Projection(),
+		notEmpty: make(chan struct{}),
+		Node:     hw.CV1,
+		ClockGHz: 2.5,
+	}, nil
+}
+
+// Spec returns the session spec the worker pulled from the master.
+func (w *Worker) Spec() SessionSpec { return w.spec }
+
+// ProcessOneSplit fetches and fully processes one split. It returns
+// false when the master has no split to hand out.
+func (w *Worker) ProcessOneSplit() (bool, error) {
+	split, splitID, ok, err := w.master.NextSplit(w.ID)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	if err := w.processSplit(split); err != nil {
+		return false, fmt.Errorf("dpp: worker %s split %d: %w", w.ID, splitID, err)
+	}
+	if err := w.master.CompleteSplit(w.ID, splitID); err != nil {
+		return false, err
+	}
+	w.mu.Lock()
+	w.report.SplitsDone++
+	w.mu.Unlock()
+	return true, nil
+}
+
+// processSplit runs the extract → transform → batch pipeline for one
+// split and accounts resources.
+func (w *Worker) processSplit(split warehouse.Split) error {
+	costs := w.spec.Costs
+
+	// Extract: read the stripe from storage into the columnar batch.
+	batch, readStats, err := w.wh.ReadSplitBatch(split, w.proj, w.spec.Read)
+	if err != nil {
+		return err
+	}
+
+	// Transform: run the DAG.
+	xformStats, err := w.graph.Run(batch)
+	if err != nil {
+		return err
+	}
+
+	// Load (partial): materialize tensors.
+	full, err := tensor.Materialize(batch, w.spec.DenseOut, w.spec.SparseOut)
+	if err != nil {
+		return err
+	}
+	batches := sliceBatches(full, w.spec.BatchSize)
+
+	var txBytes int64
+	for _, b := range batches {
+		txBytes += b.SizeBytes()
+	}
+
+	// Resource accounting.
+	w.mu.Lock()
+	r := &w.report
+	cpuDiv := costs.cpuDivisor()
+	r.ExtractCycles += float64(readStats.BytesDecoded) * costs.ExtractCyclesPerByte * costs.extractMultiplier() / cpuDiv
+	r.TransformCycles += xformStats.TotalCycles() * costs.XformCycleScale / cpuDiv
+	r.TaxCycles += float64(readStats.BytesRead+txBytes) * costs.TaxCyclesPerByte
+	r.MemExtract += float64(readStats.BytesDecoded) * costs.ExtractMemBytesPerByte * costs.extractMultiplier()
+	r.MemTransform += xformStats.MemBytes * costs.XformCycleScale
+	r.MemNetRX += float64(readStats.BytesRead) * costs.TLSMemAmplification
+	r.MemNetTX += float64(txBytes) * costs.TLSMemAmplification / 2
+	r.NICRxBytes += readStats.BytesRead
+	r.NICTxBytes += txBytes
+	r.StorageWantedBytes += readStats.BytesWanted
+	r.DecodedBytes += readStats.BytesDecoded
+	r.RowsIn += int64(xformStats.RowsIn)
+	r.RowsOut += int64(full.Rows)
+	r.BatchesOut += int64(len(batches))
+	w.mu.Unlock()
+
+	for _, b := range batches {
+		w.deliver(b)
+	}
+	return nil
+}
+
+// deliver hands a batch to the sink or buffers it, blocking while the
+// buffer is at capacity (backpressure from slow trainers).
+func (w *Worker) deliver(b *tensor.Batch) {
+	if w.Sink != nil {
+		w.Sink(b)
+		return
+	}
+	for {
+		w.mu.Lock()
+		if len(w.buffer) < w.spec.BufferDepth {
+			w.buffer = append(w.buffer, b)
+			w.bufBytes += b.SizeBytes()
+			if w.bufBytes > w.report.ResidentPeak {
+				w.report.ResidentPeak = w.bufBytes
+			}
+			close(w.notEmpty)
+			w.notEmpty = make(chan struct{})
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// GetBatch pops one buffered batch. ok=false means the worker has
+// finished and the buffer is drained.
+func (w *Worker) GetBatch() (*tensor.Batch, bool) {
+	for {
+		w.mu.Lock()
+		if len(w.buffer) > 0 {
+			b := w.buffer[0]
+			w.buffer = w.buffer[1:]
+			w.bufBytes -= b.SizeBytes()
+			w.mu.Unlock()
+			return b, true
+		}
+		if w.finished {
+			w.mu.Unlock()
+			return nil, false
+		}
+		wait := w.notEmpty
+		w.mu.Unlock()
+		select {
+		case <-wait:
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// TryGetBatch pops a buffered batch without blocking. done=true means
+// the worker has finished and drained.
+func (w *Worker) TryGetBatch() (b *tensor.Batch, ok, done bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.buffer) > 0 {
+		b = w.buffer[0]
+		w.buffer = w.buffer[1:]
+		w.bufBytes -= b.SizeBytes()
+		return b, true, false
+	}
+	return nil, false, w.finished
+}
+
+// Buffered reports the number of buffered batches.
+func (w *Worker) Buffered() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buffer)
+}
+
+// Finished reports whether Run has completed.
+func (w *Worker) Finished() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.finished
+}
+
+// Report snapshots the worker's cumulative resource accounting,
+// including the memory-capacity thread limit on the worker's node.
+func (w *Worker) Report() ResourceReport {
+	w.mu.Lock()
+	rep := w.report
+	w.mu.Unlock()
+	if gb := w.spec.Costs.ThreadResidentGB; gb > 0 {
+		rep.ThreadResidentBytes = int64(gb * 1e9)
+		limit := int(w.Node.MemoryGB * 0.9 / gb)
+		if limit < 1 {
+			limit = 1
+		}
+		rep.ThreadLimit = limit
+	}
+	return rep
+}
+
+// Stats assembles the heartbeat payload: saturation-relative utilizations
+// plus buffer occupancy.
+func (w *Worker) Stats() WorkerStats {
+	rep := w.Report()
+	cpu, mem, nic := rep.Utilizations(w.Node, w.ClockGHz)
+	w.mu.Lock()
+	buffered := len(w.buffer)
+	resident := float64(w.bufBytes)
+	w.mu.Unlock()
+	return WorkerStats{
+		CPUUtil:         cpu,
+		MemBWUtil:       mem,
+		NICUtil:         nic,
+		MemCapacityUtil: resident / (w.Node.MemoryGB * 1e9),
+		BufferedBatches: buffered,
+		RowsPerSec:      rep.SaturatedThroughput(w.Node, w.ClockGHz),
+	}
+}
+
+// Run processes splits until the master reports the session done or stop
+// is closed. Heartbeats are sent after every split.
+func (w *Worker) Run(stop <-chan struct{}) error {
+	defer func() {
+		w.mu.Lock()
+		w.finished = true
+		close(w.notEmpty)
+		w.notEmpty = make(chan struct{})
+		w.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		processed, err := w.ProcessOneSplit()
+		if err != nil {
+			return err
+		}
+		if err := w.master.Heartbeat(w.ID, w.Stats()); err != nil {
+			return err
+		}
+		if processed {
+			continue
+		}
+		done, err := w.master.Done()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sliceBatches splits a materialized batch into chunks of at most
+// batchSize rows.
+func sliceBatches(b *tensor.Batch, batchSize int) []*tensor.Batch {
+	if batchSize <= 0 || b.Rows <= batchSize {
+		return []*tensor.Batch{b}
+	}
+	var out []*tensor.Batch
+	for start := 0; start < b.Rows; start += batchSize {
+		end := start + batchSize
+		if end > b.Rows {
+			end = b.Rows
+		}
+		out = append(out, sliceBatch(b, start, end))
+	}
+	return out
+}
+
+// sliceBatch extracts rows [start, end) preserving the CSR layout.
+func sliceBatch(b *tensor.Batch, start, end int) *tensor.Batch {
+	rows := end - start
+	out := &tensor.Batch{
+		Rows:            rows,
+		DenseFeatureIDs: b.DenseFeatureIDs,
+		Labels:          append([]float32(nil), b.Labels[start:end]...),
+		Dense: &tensor.Dense2D{
+			Rows: rows,
+			Cols: b.Dense.Cols,
+			Data: append([]float32(nil), b.Dense.Data[start*b.Dense.Cols:end*b.Dense.Cols]...),
+		},
+	}
+	for _, s := range b.Sparse {
+		lo, hi := s.Offsets[start], s.Offsets[end]
+		ns := &tensor.SparseTensor{
+			Feature: s.Feature,
+			Offsets: make([]int32, rows+1),
+			Indices: append([]int64(nil), s.Indices[lo:hi]...),
+		}
+		for i := 0; i <= rows; i++ {
+			ns.Offsets[i] = s.Offsets[start+i] - lo
+		}
+		out.Sparse = append(out.Sparse, ns)
+	}
+	return out
+}

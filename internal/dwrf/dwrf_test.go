@@ -1,0 +1,601 @@
+package dwrf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dsi/internal/schema"
+	"dsi/internal/tectonic"
+)
+
+// buildSchema returns a schema with nDense dense and nSparse sparse
+// features plus one score-list feature. Dense IDs are 1..nDense, sparse
+// IDs follow, score-list is last.
+func buildSchema(t testing.TB, nDense, nSparse int) *schema.TableSchema {
+	t.Helper()
+	ts := schema.NewTableSchema("t")
+	id := schema.FeatureID(1)
+	for i := 0; i < nDense; i++ {
+		if err := ts.AddColumn(schema.Column{ID: id, Kind: schema.Dense, Name: fmt.Sprintf("d%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	}
+	for i := 0; i < nSparse; i++ {
+		if err := ts.AddColumn(schema.Column{ID: id, Kind: schema.Sparse, Name: fmt.Sprintf("s%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	}
+	if err := ts.AddColumn(schema.Column{ID: id, Kind: schema.ScoreList, Name: "sl"}); err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// genRows produces deterministic pseudo-random samples with the given
+// coverage.
+func genRows(ts *schema.TableSchema, n int, coverage float64, seed int64) []*schema.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]*schema.Sample, n)
+	for i := range rows {
+		s := schema.NewSample()
+		s.Label = float32(rng.Intn(2))
+		for _, c := range ts.Columns {
+			if rng.Float64() > coverage {
+				continue
+			}
+			switch c.Kind {
+			case schema.Dense:
+				s.DenseFeatures[c.ID] = rng.Float32()
+			case schema.Sparse:
+				vals := make([]int64, 1+rng.Intn(8))
+				for j := range vals {
+					vals[j] = rng.Int63n(1 << 30)
+				}
+				s.SparseFeatures[c.ID] = vals
+			case schema.ScoreList:
+				vals := make([]schema.ScoredValue, 1+rng.Intn(4))
+				for j := range vals {
+					vals[j] = schema.ScoredValue{Value: rng.Int63n(1 << 20), Score: rng.Float32()}
+				}
+				s.ScoreListFeatures[c.ID] = vals
+			}
+		}
+		rows[i] = s
+	}
+	return rows
+}
+
+func newCluster(t testing.TB) *tectonic.Cluster {
+	t.Helper()
+	c, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2, ChunkSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func writeFile(t testing.TB, c *tectonic.Cluster, path string, ts *schema.TableSchema, rows []*schema.Sample, opts WriterOptions) {
+	t.Helper()
+	w, err := NewWriter(c, path, ts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.WriteRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAllRows(t testing.TB, r *Reader, proj *schema.Projection, opts ReadOptions) []*schema.Sample {
+	t.Helper()
+	var out []*schema.Sample
+	for i := 0; i < r.Stripes(); i++ {
+		rows, _, err := r.ReadStripe(i, proj, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rows...)
+	}
+	return out
+}
+
+func sampleEqual(a, b *schema.Sample) bool {
+	if a.Label != b.Label {
+		return false
+	}
+	if !reflect.DeepEqual(a.DenseFeatures, b.DenseFeatures) {
+		return false
+	}
+	if len(a.SparseFeatures) != len(b.SparseFeatures) {
+		return false
+	}
+	for id, av := range a.SparseFeatures {
+		if !reflect.DeepEqual(av, b.SparseFeatures[id]) {
+			return false
+		}
+	}
+	if len(a.ScoreListFeatures) != len(b.ScoreListFeatures) {
+		return false
+	}
+	for id, av := range a.ScoreListFeatures {
+		if !reflect.DeepEqual(av, b.ScoreListFeatures[id]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripFlattened(t *testing.T) {
+	ts := buildSchema(t, 4, 3)
+	rows := genRows(ts, 100, 0.7, 1)
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 32})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 100 || !r.Flattened() {
+		t.Fatalf("Rows=%d Flattened=%v", r.Rows(), r.Flattened())
+	}
+	if r.Stripes() != 4 { // 32+32+32+4
+		t.Fatalf("Stripes = %d, want 4", r.Stripes())
+	}
+	got := readAllRows(t, r, nil, ReadOptions{})
+	if len(got) != len(rows) {
+		t.Fatalf("read %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if !sampleEqual(rows[i], got[i]) {
+			t.Fatalf("row %d mismatch:\nwant %+v\ngot  %+v", i, rows[i], got[i])
+		}
+	}
+}
+
+func TestRoundTripUnflattened(t *testing.T) {
+	ts := buildSchema(t, 4, 3)
+	rows := genRows(ts, 50, 0.6, 2)
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, rows, WriterOptions{Flatten: false, RowsPerStripe: 16})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flattened() {
+		t.Fatal("file should not be flattened")
+	}
+	got := readAllRows(t, r, nil, ReadOptions{})
+	for i := range rows {
+		if !sampleEqual(rows[i], got[i]) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestProjectionFlattened(t *testing.T) {
+	ts := buildSchema(t, 5, 5)
+	rows := genRows(ts, 64, 1.0, 3)
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 64})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := schema.NewProjection(1, 6) // one dense, one sparse
+	got := readAllRows(t, r, proj, ReadOptions{})
+	for i, row := range got {
+		if len(row.DenseFeatures) != 1 || len(row.SparseFeatures) != 1 || len(row.ScoreListFeatures) != 0 {
+			t.Fatalf("row %d has unprojected features: %+v", i, row)
+		}
+		if row.DenseFeatures[1] != rows[i].DenseFeatures[1] {
+			t.Fatalf("row %d dense value mismatch", i)
+		}
+		if row.Label != rows[i].Label {
+			t.Fatalf("row %d label mismatch", i)
+		}
+	}
+}
+
+func TestProjectionUnflattenedReadsEverything(t *testing.T) {
+	// The paper's baseline: without flattening, the whole row is read
+	// from storage even when only two features are wanted.
+	ts := buildSchema(t, 5, 5)
+	rows := genRows(ts, 64, 1.0, 4)
+	c := newCluster(t)
+	writeFile(t, c, "plain", ts, rows, WriterOptions{Flatten: false, RowsPerStripe: 64})
+	writeFile(t, c, "flat", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 64})
+
+	proj := schema.NewProjection(1, 6)
+	rPlain, err := OpenReader(c, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFlat, err := OpenReader(c, "flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statsPlain, err := rPlain.ReadStripe(0, proj, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statsFlat, err := rFlat.ReadStripe(0, proj, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsFlat.BytesRead*2 > statsPlain.BytesRead {
+		t.Fatalf("flattened read %d bytes, plain %d: flattening should cut bytes by >2x",
+			statsFlat.BytesRead, statsPlain.BytesRead)
+	}
+	// Rows decoded under projection must still match.
+	gotPlain := readAllRows(t, rPlain, proj, ReadOptions{})
+	gotFlat := readAllRows(t, rFlat, proj, ReadOptions{})
+	for i := range gotPlain {
+		if !sampleEqual(gotPlain[i], gotFlat[i]) {
+			t.Fatalf("row %d differs between layouts", i)
+		}
+	}
+}
+
+func TestCoalescingReducesIOsAndOverReads(t *testing.T) {
+	ts := buildSchema(t, 20, 20)
+	rows := genRows(ts, 128, 1.0, 5)
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 128})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project a scattered subset of features.
+	proj := schema.NewProjection(1, 5, 9, 22, 30, 38)
+
+	_, noCoalesce, err := r.ReadStripe(0, proj, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coalesced, err := r.ReadStripe(0, proj, ReadOptions{CoalesceBytes: DefaultCoalesceBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noCoalesce.IOs <= coalesced.IOs {
+		t.Fatalf("coalescing should reduce IOs: %d -> %d", noCoalesce.IOs, coalesced.IOs)
+	}
+	if noCoalesce.BytesOverRead != 0 {
+		t.Fatalf("uncoalesced reads should not over-read, got %d", noCoalesce.BytesOverRead)
+	}
+	if coalesced.BytesOverRead == 0 {
+		t.Fatal("coalesced reads of scattered features should over-read")
+	}
+	if coalesced.BytesWanted != noCoalesce.BytesWanted {
+		t.Fatalf("wanted bytes changed: %d vs %d", coalesced.BytesWanted, noCoalesce.BytesWanted)
+	}
+}
+
+func TestFeatureReorderingReducesOverRead(t *testing.T) {
+	ts := buildSchema(t, 20, 20)
+	rows := genRows(ts, 128, 1.0, 6)
+	c := newCluster(t)
+
+	popular := []schema.FeatureID{2, 7, 11, 23, 31, 39}
+	writeFile(t, c, "rand", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 128})
+	writeFile(t, c, "ordered", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 128, StreamOrder: popular})
+
+	proj := schema.NewProjection(popular...)
+	opts := ReadOptions{CoalesceBytes: DefaultCoalesceBytes}
+
+	rRand, err := OpenReader(c, "rand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOrd, err := OpenReader(c, "ordered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statsRand, err := rRand.ReadStripe(0, proj, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statsOrd, err := rOrd.ReadStripe(0, proj, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsOrd.BytesOverRead >= statsRand.BytesOverRead {
+		t.Fatalf("reordering should cut over-read: %d -> %d",
+			statsRand.BytesOverRead, statsOrd.BytesOverRead)
+	}
+	// Decoded data must be identical regardless of layout.
+	a := readAllRows(t, rRand, proj, opts)
+	b := readAllRows(t, rOrd, proj, opts)
+	for i := range a {
+		if !sampleEqual(a[i], b[i]) {
+			t.Fatalf("row %d differs between stream orders", i)
+		}
+	}
+}
+
+func TestLargeStripesIncreaseIOSize(t *testing.T) {
+	ts := buildSchema(t, 10, 10)
+	rows := genRows(ts, 512, 1.0, 7)
+	c := newCluster(t)
+	writeFile(t, c, "small", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 64})
+	writeFile(t, c, "large", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 512})
+
+	proj := schema.NewProjection(1, 11)
+	avgIO := func(path string) float64 {
+		r, err := OpenReader(c, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bytes int64
+		var ios int
+		for i := 0; i < r.Stripes(); i++ {
+			_, stats, err := r.ReadStripe(i, proj, ReadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bytes += stats.BytesRead
+			ios += stats.IOs
+		}
+		return float64(bytes) / float64(ios)
+	}
+	small, large := avgIO("small"), avgIO("large")
+	if large <= small*2 {
+		t.Fatalf("large stripes should raise average I/O size: small=%.0f large=%.0f", small, large)
+	}
+}
+
+func TestBatchDecodeMatchesRowDecode(t *testing.T) {
+	ts := buildSchema(t, 4, 4)
+	rows := genRows(ts, 96, 0.6, 8)
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 48})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := schema.NewProjection(1, 2, 5, 6, 9)
+	for stripe := 0; stripe < r.Stripes(); stripe++ {
+		rowDecoded, _, err := r.ReadStripe(stripe, proj, ReadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, _, err := r.ReadStripeBatch(stripe, proj, ReadOptions{Flatmap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Rows != len(rowDecoded) {
+			t.Fatalf("batch rows %d vs %d", batch.Rows, len(rowDecoded))
+		}
+		for i, row := range rowDecoded {
+			if batch.Labels[i] != row.Label {
+				t.Fatalf("stripe %d row %d label mismatch", stripe, i)
+			}
+			for id, v := range row.DenseFeatures {
+				col := batch.Dense[id]
+				if col == nil || !col.Present[i] || col.Values[i] != v {
+					t.Fatalf("stripe %d row %d dense %d mismatch", stripe, i, id)
+				}
+			}
+			for id, vals := range row.SparseFeatures {
+				col := batch.Sparse[id]
+				if col == nil || !reflect.DeepEqual(col.RowValues(i), vals) {
+					t.Fatalf("stripe %d row %d sparse %d mismatch", stripe, i, id)
+				}
+			}
+			for id, vals := range row.ScoreListFeatures {
+				col := batch.ScoreList[id]
+				if col == nil || !reflect.DeepEqual(col.RowValues(i), vals) {
+					t.Fatalf("stripe %d row %d scorelist %d mismatch", stripe, i, id)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchDecodeRequiresFlattened(t *testing.T) {
+	ts := buildSchema(t, 2, 2)
+	rows := genRows(ts, 8, 1.0, 9)
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, rows, WriterOptions{Flatten: false})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadStripeBatch(0, nil, ReadOptions{}); err == nil {
+		t.Fatal("batch decode of unflattened file accepted")
+	}
+}
+
+func TestStripeOutOfRange(t *testing.T) {
+	ts := buildSchema(t, 2, 2)
+	rows := genRows(ts, 8, 1.0, 10)
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, rows, WriterOptions{Flatten: true})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadStripe(5, nil, ReadOptions{}); err == nil {
+		t.Fatal("out-of-range stripe accepted")
+	}
+	if _, _, err := r.ReadStripe(-1, nil, ReadOptions{}); err == nil {
+		t.Fatal("negative stripe accepted")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	ts := buildSchema(t, 1, 1)
+	c := newCluster(t)
+	w, err := NewWriter(c, "f", ts, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow(schema.NewSample()); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFeatureRejected(t *testing.T) {
+	ts := buildSchema(t, 1, 0)
+	c := newCluster(t)
+	w, err := NewWriter(c, "f", ts, WriterOptions{Flatten: true, RowsPerStripe: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.NewSample()
+	s.DenseFeatures[99] = 1 // not in schema
+	if err := w.WriteRow(s); err == nil {
+		t.Fatal("row with unknown feature accepted")
+	}
+}
+
+func TestOpenReaderErrors(t *testing.T) {
+	c := newCluster(t)
+	if _, err := OpenReader(c, "missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Corrupt: a file without magic.
+	if err := c.Create("junk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append("junk", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(c, "junk"); err == nil {
+		t.Fatal("junk file accepted")
+	}
+}
+
+func TestPlanIOAdjacentStreamsMergeWithZeroGap(t *testing.T) {
+	streams := []StreamMeta{
+		{Offset: 0, Length: 10},
+		{Offset: 10, Length: 10},
+		{Offset: 40, Length: 5},
+	}
+	plans := planIO(streams, 0)
+	if len(plans) != 2 {
+		t.Fatalf("planIO = %d plans, want 2", len(plans))
+	}
+	if plans[0].length != 20 || plans[1].length != 5 {
+		t.Fatalf("plans = %+v", plans)
+	}
+}
+
+func TestPlanIOCoalescesAcrossGaps(t *testing.T) {
+	streams := []StreamMeta{
+		{Offset: 0, Length: 10},
+		{Offset: 30, Length: 10}, // gap 20
+		{Offset: 100, Length: 10},
+	}
+	plans := planIO(streams, 25)
+	if len(plans) != 2 {
+		t.Fatalf("planIO = %d plans, want 2: %+v", len(plans), plans)
+	}
+	if plans[0].offset != 0 || plans[0].length != 40 {
+		t.Fatalf("first plan = %+v", plans[0])
+	}
+}
+
+// Property: flattened round-trip preserves all samples for arbitrary
+// coverage and stripe sizes.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, stripeRows uint8, coverPct uint8) bool {
+		ts := buildSchema(t, 3, 3)
+		cover := float64(coverPct%101) / 100
+		rows := genRows(ts, 40, cover, seed)
+		c, err := tectonic.NewCluster(tectonic.Options{Nodes: 3, Replication: 1, ChunkSize: 1 << 18})
+		if err != nil {
+			return false
+		}
+		w, err := NewWriter(c, "f", ts, WriterOptions{Flatten: true, RowsPerStripe: int(stripeRows%32) + 1})
+		if err != nil {
+			return false
+		}
+		for _, r := range rows {
+			if err := w.WriteRow(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := OpenReader(c, "f")
+		if err != nil {
+			return false
+		}
+		var got []*schema.Sample
+		for i := 0; i < r.Stripes(); i++ {
+			rs, _, err := r.ReadStripe(i, nil, ReadOptions{})
+			if err != nil {
+				return false
+			}
+			got = append(got, rs...)
+		}
+		if len(got) != len(rows) {
+			return false
+		}
+		for i := range rows {
+			if !sampleEqual(rows[i], got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the I/O plan always covers every selected stream exactly, and
+// plan spans never overlap.
+func TestPlanIOCoversProperty(t *testing.T) {
+	f := func(lens []uint16, gaps []uint16, coalesce uint16) bool {
+		n := len(lens)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		if n == 0 {
+			return true
+		}
+		var streams []StreamMeta
+		off := int64(0)
+		for i := 0; i < n; i++ {
+			off += int64(gaps[i] % 256)
+			l := int64(lens[i]%256) + 1
+			streams = append(streams, StreamMeta{Offset: off, Length: l})
+			off += l
+		}
+		plans := planIO(streams, int64(coalesce%512))
+		covered := 0
+		prevEnd := int64(-1)
+		for _, p := range plans {
+			if p.offset <= prevEnd {
+				return false // overlapping plans
+			}
+			prevEnd = p.offset + p.length
+			for _, s := range p.streams {
+				if s.Offset < p.offset || s.Offset+s.Length > p.offset+p.length {
+					return false // stream not contained
+				}
+				covered++
+			}
+		}
+		return covered == len(streams)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

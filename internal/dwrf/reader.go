@@ -1,0 +1,459 @@
+package dwrf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"dsi/internal/schema"
+	"dsi/internal/tectonic"
+)
+
+// ReadOptions configures the read path.
+type ReadOptions struct {
+	// CoalesceBytes enables coalesced reads (CR): adjacent selected
+	// streams separated by at most this many unwanted bytes are fetched
+	// in one I/O, trading over-read for fewer seeks. The paper uses
+	// 1.25 MiB. Zero disables coalescing (one I/O per stream).
+	CoalesceBytes int64
+	// Flatmap decodes into the columnar in-memory Batch (FM) instead of
+	// row maps, avoiding per-row map materialization.
+	Flatmap bool
+}
+
+// DefaultCoalesceBytes is the paper's coalesced-read window (§7.5).
+const DefaultCoalesceBytes = 1310720 // 1.25 MiB
+
+// ReadStats accounts the storage and decode work of a read, feeding the
+// Table 6 / Table 12 measurements.
+type ReadStats struct {
+	IOs            int
+	BytesRead      int64 // bytes fetched from storage
+	BytesWanted    int64 // bytes belonging to selected streams
+	BytesOverRead  int64 // fetched but not selected
+	BytesDecoded   int64 // raw payload bytes decoded (post-decompress)
+	StorageTime    time.Duration
+	StreamsDecoded int
+}
+
+// add merges other into s.
+func (s *ReadStats) add(other ReadStats) {
+	s.IOs += other.IOs
+	s.BytesRead += other.BytesRead
+	s.BytesWanted += other.BytesWanted
+	s.BytesOverRead += other.BytesOverRead
+	s.BytesDecoded += other.BytesDecoded
+	if other.StorageTime > s.StorageTime {
+		s.StorageTime = other.StorageTime
+	}
+	s.StreamsDecoded += other.StreamsDecoded
+}
+
+// Batch is the in-memory flatmap representation (FM): per-feature
+// columnar arrays over a stripe's rows, matching both the on-disk DWRF
+// layout and the downstream tensor layout so extraction avoids
+// row-oriented map materialization (§7.5).
+type Batch struct {
+	Rows   int
+	Labels []float32
+	// Dense maps feature ID -> (present bitmap, values). Values align
+	// with row indices; Missing rows hold 0 with Present=false.
+	Dense map[schema.FeatureID]*DenseColumn
+	// Sparse maps feature ID -> ragged values.
+	Sparse map[schema.FeatureID]*SparseColumn
+	// ScoreList maps feature ID -> ragged scored values.
+	ScoreList map[schema.FeatureID]*ScoreListColumn
+}
+
+// DenseColumn is one dense feature across a batch's rows.
+type DenseColumn struct {
+	Present []bool
+	Values  []float32
+}
+
+// SparseColumn is one sparse feature across a batch's rows.
+type SparseColumn struct {
+	// Offsets has Rows+1 entries; row i's values are
+	// Values[Offsets[i]:Offsets[i+1]].
+	Offsets []int32
+	Values  []int64
+}
+
+// RowValues returns row i's values (possibly empty).
+func (c *SparseColumn) RowValues(i int) []int64 {
+	return c.Values[c.Offsets[i]:c.Offsets[i+1]]
+}
+
+// ScoreListColumn is one score-list feature across a batch's rows.
+type ScoreListColumn struct {
+	Offsets []int32
+	Values  []schema.ScoredValue
+}
+
+// RowValues returns row i's scored values (possibly empty).
+func (c *ScoreListColumn) RowValues(i int) []schema.ScoredValue {
+	return c.Values[c.Offsets[i]:c.Offsets[i+1]]
+}
+
+// newBatch allocates an empty batch for rows rows.
+func newBatch(rows int) *Batch {
+	return &Batch{
+		Rows:      rows,
+		Dense:     make(map[schema.FeatureID]*DenseColumn),
+		Sparse:    make(map[schema.FeatureID]*SparseColumn),
+		ScoreList: make(map[schema.FeatureID]*ScoreListColumn),
+	}
+}
+
+// Reader reads a DWRF file from a Tectonic cluster.
+type Reader struct {
+	cluster *tectonic.Cluster
+	path    string
+	footer  FileFooter
+}
+
+// OpenReader fetches and parses the file footer.
+func OpenReader(cluster *tectonic.Cluster, path string) (*Reader, error) {
+	size, err := cluster.Size(path)
+	if err != nil {
+		return nil, err
+	}
+	tailLen := int64(8 + len(Magic))
+	if size < tailLen {
+		return nil, fmt.Errorf("dwrf: %s too short (%d bytes)", path, size)
+	}
+	tail, _, err := cluster.ReadAt(path, size-tailLen, tailLen)
+	if err != nil {
+		return nil, err
+	}
+	if string(tail[8:]) != Magic {
+		return nil, fmt.Errorf("dwrf: %s missing trailing magic", path)
+	}
+	footerLen := int64(binary.LittleEndian.Uint64(tail[:8]))
+	if footerLen <= 0 || footerLen > size-tailLen {
+		return nil, fmt.Errorf("dwrf: %s has invalid footer length %d", path, footerLen)
+	}
+	footerBytes, _, err := cluster.ReadAt(path, size-tailLen-footerLen, footerLen)
+	if err != nil {
+		return nil, err
+	}
+	var footer FileFooter
+	if err := gob.NewDecoder(bytes.NewReader(footerBytes)).Decode(&footer); err != nil {
+		return nil, fmt.Errorf("dwrf: decode footer of %s: %w", path, err)
+	}
+	return &Reader{cluster: cluster, path: path, footer: footer}, nil
+}
+
+// Rows reports the total row count.
+func (r *Reader) Rows() int { return r.footer.Rows }
+
+// Stripes reports the stripe count.
+func (r *Reader) Stripes() int { return len(r.footer.Stripes) }
+
+// Flattened reports whether the file uses the feature-flattened layout.
+func (r *Reader) Flattened() bool { return r.footer.Flattened }
+
+// Columns returns the schema columns recorded in the footer.
+func (r *Reader) Columns() []schema.Column { return r.footer.Columns }
+
+// StripeRows reports the row count of stripe i.
+func (r *Reader) StripeRows(i int) int { return r.footer.Stripes[i].Rows }
+
+// DataBytes reports the total stored stream bytes (excluding header and
+// footer).
+func (r *Reader) DataBytes() int64 {
+	var total int64
+	for _, st := range r.footer.Stripes {
+		total += st.Length
+	}
+	return total
+}
+
+// FeatureBytes reports stored (compressed) bytes per feature ID across all
+// stripes, the per-column storage footprint used by the Table 5 and
+// Figure 7 analyses. Label and row-data streams are reported under
+// feature ID 0.
+func (r *Reader) FeatureBytes() map[schema.FeatureID]int64 {
+	out := make(map[schema.FeatureID]int64)
+	for _, st := range r.footer.Stripes {
+		for _, s := range st.Streams {
+			out[s.Feature] += s.Length
+		}
+	}
+	return out
+}
+
+// ProjectedBytes reports the stored bytes a projection selects (plus
+// labels), without reading data. This answers Table 5's "% bytes used".
+func (r *Reader) ProjectedBytes(proj *schema.Projection) int64 {
+	var total int64
+	for _, st := range r.footer.Stripes {
+		for _, s := range st.Streams {
+			if s.Kind == streamRowData || s.Kind == streamLabel || proj == nil || proj.Contains(s.Feature) {
+				total += s.Length
+			}
+		}
+	}
+	return total
+}
+
+// selectStreams picks the streams of a stripe needed for the projection.
+// The label stream (or the row-data stream for unflattened files) is
+// always selected.
+func (r *Reader) selectStreams(meta *StripeMeta, proj *schema.Projection) []StreamMeta {
+	var out []StreamMeta
+	for _, s := range meta.Streams {
+		switch s.Kind {
+		case streamRowData, streamLabel:
+			out = append(out, s)
+		default:
+			if proj == nil || proj.Contains(s.Feature) {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// ioPlan is one physical read covering one or more selected streams.
+type ioPlan struct {
+	offset, length int64
+	streams        []StreamMeta
+}
+
+// planIO builds the physical read plan for the selected streams,
+// coalescing per opts. Streams are already in on-disk (offset) order
+// within a stripe except for the label stream which is first; sort
+// defensively anyway.
+func planIO(selected []StreamMeta, coalesce int64) []ioPlan {
+	if len(selected) == 0 {
+		return nil
+	}
+	ordered := append([]StreamMeta(nil), selected...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].Offset < ordered[j-1].Offset; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	var plans []ioPlan
+	cur := ioPlan{offset: ordered[0].Offset, length: ordered[0].Length, streams: []StreamMeta{ordered[0]}}
+	for _, s := range ordered[1:] {
+		gap := s.Offset - (cur.offset + cur.length)
+		if gap >= 0 && gap <= coalesce {
+			cur.length = s.Offset + s.Length - cur.offset
+			cur.streams = append(cur.streams, s)
+			continue
+		}
+		plans = append(plans, cur)
+		cur = ioPlan{offset: s.Offset, length: s.Length, streams: []StreamMeta{s}}
+	}
+	return append(plans, cur)
+}
+
+// fetchStripe executes the I/O plan and returns each selected stream's
+// decrypted, decompressed payload keyed by file offset.
+func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts ReadOptions) (map[int64][]byte, []StreamMeta, ReadStats, error) {
+	selected := r.selectStreams(meta, proj)
+	plans := planIO(selected, opts.CoalesceBytes)
+	var stats ReadStats
+	payloads := make(map[int64][]byte, len(selected))
+	for _, p := range plans {
+		raw, t, err := r.cluster.ReadAt(r.path, p.offset, p.length)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		stats.IOs++
+		stats.BytesRead += p.length
+		if t > stats.StorageTime {
+			stats.StorageTime = t
+		}
+		for _, s := range p.streams {
+			stats.BytesWanted += s.Length
+			enc := make([]byte, s.Length)
+			copy(enc, raw[s.Offset-p.offset:s.Offset-p.offset+s.Length])
+			if err := cryptStream(enc, s.Offset); err != nil {
+				return nil, nil, stats, err
+			}
+			dec, err := decompress(enc)
+			if err != nil {
+				return nil, nil, stats, fmt.Errorf("dwrf: stream at %d: %w", s.Offset, err)
+			}
+			stats.BytesDecoded += int64(len(dec))
+			stats.StreamsDecoded++
+			payloads[s.Offset] = dec
+		}
+	}
+	stats.BytesOverRead = stats.BytesRead - stats.BytesWanted
+	return payloads, selected, stats, nil
+}
+
+// ReadStripe decodes stripe i under the projection into row-map samples.
+// For unflattened files the whole stripe is decoded and unselected
+// features are dropped afterwards — the paper's "over read" baseline.
+func (r *Reader) ReadStripe(i int, proj *schema.Projection, opts ReadOptions) ([]*schema.Sample, ReadStats, error) {
+	if i < 0 || i >= len(r.footer.Stripes) {
+		return nil, ReadStats{}, fmt.Errorf("dwrf: stripe %d out of range [0,%d)", i, len(r.footer.Stripes))
+	}
+	meta := &r.footer.Stripes[i]
+	payloads, selected, stats, err := r.fetchStripe(meta, proj, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	if !r.footer.Flattened {
+		rows, err := decodeRowData(payloads[selected[0].Offset])
+		if err != nil {
+			return nil, stats, err
+		}
+		if proj != nil {
+			for _, row := range rows {
+				filterSample(row, proj)
+			}
+		}
+		return rows, stats, nil
+	}
+
+	rows := make([]*schema.Sample, meta.Rows)
+	for j := range rows {
+		rows[j] = schema.NewSample()
+	}
+	for _, s := range selected {
+		payload := payloads[s.Offset]
+		switch s.Kind {
+		case streamLabel:
+			labels, err := decodeLabels(payload)
+			if err != nil {
+				return nil, stats, err
+			}
+			for j, l := range labels {
+				rows[j].Label = l
+			}
+		case streamDense:
+			err = decodeDense(payload, func(row int, v float32) {
+				rows[row].DenseFeatures[s.Feature] = v
+			})
+		case streamSparse:
+			err = decodeSparse(payload, func(row int, vals []int64) {
+				rows[row].SparseFeatures[s.Feature] = vals
+			})
+		case streamScoreList:
+			err = decodeScoreList(payload, func(row int, vals []schema.ScoredValue) {
+				rows[row].ScoreListFeatures[s.Feature] = vals
+			})
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("dwrf: decode feature %d: %w", s.Feature, err)
+		}
+	}
+	return rows, stats, nil
+}
+
+// ReadStripeBatch decodes stripe i under the projection into the columnar
+// Batch representation (the FM optimization). Only flattened files
+// support batch decoding.
+func (r *Reader) ReadStripeBatch(i int, proj *schema.Projection, opts ReadOptions) (*Batch, ReadStats, error) {
+	if !r.footer.Flattened {
+		return nil, ReadStats{}, fmt.Errorf("dwrf: flatmap decode requires a flattened file")
+	}
+	if i < 0 || i >= len(r.footer.Stripes) {
+		return nil, ReadStats{}, fmt.Errorf("dwrf: stripe %d out of range [0,%d)", i, len(r.footer.Stripes))
+	}
+	meta := &r.footer.Stripes[i]
+	payloads, selected, stats, err := r.fetchStripe(meta, proj, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	b := newBatch(meta.Rows)
+	for _, s := range selected {
+		payload := payloads[s.Offset]
+		switch s.Kind {
+		case streamLabel:
+			if b.Labels, err = decodeLabels(payload); err != nil {
+				return nil, stats, err
+			}
+		case streamDense:
+			col := &DenseColumn{Present: make([]bool, meta.Rows), Values: make([]float32, meta.Rows)}
+			err = decodeDense(payload, func(row int, v float32) {
+				col.Present[row] = true
+				col.Values[row] = v
+			})
+			b.Dense[s.Feature] = col
+		case streamSparse:
+			col := &SparseColumn{}
+			type entry struct {
+				row  int
+				vals []int64
+			}
+			var entries []entry
+			err = decodeSparse(payload, func(row int, vals []int64) {
+				entries = append(entries, entry{row, vals})
+			})
+			if err == nil {
+				col.Offsets = make([]int32, meta.Rows+1)
+				idx := 0
+				var off int32
+				for row := 0; row < meta.Rows; row++ {
+					col.Offsets[row] = off
+					if idx < len(entries) && entries[idx].row == row {
+						col.Values = append(col.Values, entries[idx].vals...)
+						off += int32(len(entries[idx].vals))
+						idx++
+					}
+				}
+				col.Offsets[meta.Rows] = off
+			}
+			b.Sparse[s.Feature] = col
+		case streamScoreList:
+			col := &ScoreListColumn{}
+			type entry struct {
+				row  int
+				vals []schema.ScoredValue
+			}
+			var entries []entry
+			err = decodeScoreList(payload, func(row int, vals []schema.ScoredValue) {
+				entries = append(entries, entry{row, vals})
+			})
+			if err == nil {
+				col.Offsets = make([]int32, meta.Rows+1)
+				idx := 0
+				var off int32
+				for row := 0; row < meta.Rows; row++ {
+					col.Offsets[row] = off
+					if idx < len(entries) && entries[idx].row == row {
+						col.Values = append(col.Values, entries[idx].vals...)
+						off += int32(len(entries[idx].vals))
+						idx++
+					}
+				}
+				col.Offsets[meta.Rows] = off
+			}
+			b.ScoreList[s.Feature] = col
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("dwrf: decode feature %d: %w", s.Feature, err)
+		}
+	}
+	return b, stats, nil
+}
+
+// filterSample drops features outside the projection (used for the
+// unflattened layout, where everything is decoded first).
+func filterSample(s *schema.Sample, proj *schema.Projection) {
+	for id := range s.DenseFeatures {
+		if !proj.Contains(id) {
+			delete(s.DenseFeatures, id)
+		}
+	}
+	for id := range s.SparseFeatures {
+		if !proj.Contains(id) {
+			delete(s.SparseFeatures, id)
+		}
+	}
+	for id := range s.ScoreListFeatures {
+		if !proj.Contains(id) {
+			delete(s.ScoreListFeatures, id)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package etl implements the offline data-generation path of §3.1.1: a
+// streaming engine that joins raw feature logs with outcome event logs
+// from Scribe, labels the joined records, and materializes them as
+// schematized samples in warehouse partitions.
+//
+// The join is windowed: a feature log waits up to a configurable number
+// of processed records for its matching event; if none arrives the sample
+// is emitted with a negative label (no observed engagement), so the
+// pipeline tolerates event loss.
+package etl
+
+import (
+	"errors"
+	"fmt"
+
+	"dsi/internal/datagen"
+	"dsi/internal/logdevice"
+	"dsi/internal/metrics"
+	"dsi/internal/schema"
+	"dsi/internal/scribe"
+	"dsi/internal/warehouse"
+)
+
+// Sink receives labeled samples from the joiner.
+type Sink interface {
+	Emit(*schema.Sample) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(*schema.Sample) error
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(s *schema.Sample) error { return f(s) }
+
+// Joiner incrementally joins one model's feature and event streams.
+type Joiner struct {
+	Model string
+	// Window is how many feature records a pending join may age before
+	// being flushed unlabeled (negative).
+	Window int
+
+	bus *scribe.Bus
+
+	featCursor  logdevice.LSN
+	eventCursor logdevice.LSN
+
+	pending map[int64]*pendingEntry
+	order   []int64 // FIFO of pending request IDs for window eviction
+	seq     int64   // records processed, drives window ageing
+	sink    Sink
+
+	// Joined counts samples emitted with an observed event.
+	Joined metrics.Counter
+	// Expired counts samples emitted because the window elapsed.
+	Expired metrics.Counter
+	// OrphanEvents counts events with no pending feature log.
+	OrphanEvents metrics.Counter
+}
+
+type pendingEntry struct {
+	feat *datagen.FeatureLog
+	seq  int64
+}
+
+// NewJoiner returns a joiner reading model's categories from bus and
+// emitting into sink.
+func NewJoiner(model string, bus *scribe.Bus, sink Sink) *Joiner {
+	return &Joiner{
+		Model:       model,
+		Window:      4096,
+		bus:         bus,
+		featCursor:  1,
+		eventCursor: 1,
+		pending:     make(map[int64]*pendingEntry),
+		sink:        sink,
+	}
+}
+
+// emit converts a feature log plus label into a sample.
+func (j *Joiner) emit(feat *datagen.FeatureLog, engaged bool) error {
+	s := schema.NewSample()
+	s.DenseFeatures = feat.Dense
+	s.SparseFeatures = feat.Sparse
+	if engaged {
+		s.Label = 1
+	}
+	return j.sink.Emit(s)
+}
+
+// Step consumes up to batch records from each stream and advances the
+// join. It reports how many records were consumed in total.
+func (j *Joiner) Step(batch int) (int, error) {
+	consumed := 0
+
+	feats, err := j.bus.Tail(datagen.FeatureCategory(j.Model), j.featCursor, batch)
+	if err != nil && !isMissingCategory(err) {
+		return 0, err
+	}
+	for _, rec := range feats {
+		fl, err := datagen.DecodeFeatureLog(rec.Payload)
+		if err != nil {
+			return consumed, fmt.Errorf("etl: feature log lsn %d: %w", rec.LSN, err)
+		}
+		j.seq++
+		j.pending[fl.RequestID] = &pendingEntry{feat: fl, seq: j.seq}
+		j.order = append(j.order, fl.RequestID)
+		j.featCursor = rec.LSN + 1
+		consumed++
+	}
+
+	events, err := j.bus.Tail(datagen.EventCategory(j.Model), j.eventCursor, batch)
+	if err != nil && !isMissingCategory(err) {
+		return consumed, err
+	}
+	for _, rec := range events {
+		ev, err := datagen.DecodeEventLog(rec.Payload)
+		if err != nil {
+			return consumed, fmt.Errorf("etl: event log lsn %d: %w", rec.LSN, err)
+		}
+		j.eventCursor = rec.LSN + 1
+		consumed++
+		entry, ok := j.pending[ev.RequestID]
+		if !ok {
+			j.OrphanEvents.Inc()
+			continue
+		}
+		delete(j.pending, ev.RequestID)
+		if err := j.emit(entry.feat, ev.Engaged); err != nil {
+			return consumed, err
+		}
+		j.Joined.Inc()
+	}
+
+	if err := j.evictExpired(); err != nil {
+		return consumed, err
+	}
+	return consumed, nil
+}
+
+// evictExpired flushes pending joins older than the window as negatives.
+func (j *Joiner) evictExpired() error {
+	cutoff := j.seq - int64(j.Window)
+	for len(j.order) > 0 {
+		id := j.order[0]
+		entry, ok := j.pending[id]
+		if !ok { // already joined
+			j.order = j.order[1:]
+			continue
+		}
+		if entry.seq > cutoff {
+			break
+		}
+		j.order = j.order[1:]
+		delete(j.pending, id)
+		if err := j.emit(entry.feat, false); err != nil {
+			return err
+		}
+		j.Expired.Inc()
+	}
+	return nil
+}
+
+// Flush force-emits all pending joins as negatives (end of partition).
+func (j *Joiner) Flush() error {
+	for _, id := range j.order {
+		entry, ok := j.pending[id]
+		if !ok {
+			continue
+		}
+		delete(j.pending, id)
+		if err := j.emit(entry.feat, false); err != nil {
+			return err
+		}
+		j.Expired.Inc()
+	}
+	j.order = nil
+	return nil
+}
+
+// PendingCount reports in-flight joins.
+func (j *Joiner) PendingCount() int { return len(j.pending) }
+
+// TrimConsumed trims the Scribe categories up to the join cursors,
+// releasing LogDevice storage the pipeline no longer needs.
+func (j *Joiner) TrimConsumed() error {
+	if j.featCursor > 1 {
+		if err := j.bus.Trim(datagen.FeatureCategory(j.Model), j.featCursor-1); err != nil && !isMissingCategory(err) {
+			return err
+		}
+	}
+	if j.eventCursor > 1 {
+		if err := j.bus.Trim(datagen.EventCategory(j.Model), j.eventCursor-1); err != nil && !isMissingCategory(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// isMissingCategory reports whether err means the category has never been
+// published to (no backing stream yet); the joiner treats that as an
+// empty stream rather than a failure.
+func isMissingCategory(err error) bool {
+	return errors.Is(err, logdevice.ErrStreamNotFound)
+}
+
+// PartitionJob runs the daily batch ETL of §3.1.1: drain both streams,
+// join, and write one dated warehouse partition.
+type PartitionJob struct {
+	Joiner *Joiner
+	Table  *warehouse.Table
+	Key    string
+}
+
+// Run drains the streams into a new partition and reports rows written.
+func (p *PartitionJob) Run() (int, error) {
+	pw, err := p.Table.NewPartition(p.Key)
+	if err != nil {
+		return 0, err
+	}
+	rows := 0
+	p.Joiner.sink = SinkFunc(func(s *schema.Sample) error {
+		rows++
+		return pw.WriteRow(s)
+	})
+	for {
+		n, err := p.Joiner.Step(1024)
+		if err != nil {
+			return rows, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if err := p.Joiner.Flush(); err != nil {
+		return rows, err
+	}
+	if err := pw.Close(); err != nil {
+		return rows, err
+	}
+	if err := p.Joiner.TrimConsumed(); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,363 @@
+// Package hw models the hardware substrate of the DSI pipeline: compute
+// nodes (Table 10 of the paper), HDD and SSD storage devices, NICs, and
+// memory channels, each with a service-time cost model and a power rating.
+//
+// The models are deliberately simple — seek + transfer for disks, line-rate
+// serialization for NICs, bandwidth occupancy for memory — because the
+// paper's findings (seek-bound small reads, NIC-bound workers, shrinking
+// memory bandwidth per core) are first-order effects of exactly these
+// parameters.
+package hw
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsi/internal/clock"
+)
+
+// NodeSpec describes one generation of general-purpose compute node, as in
+// Table 10 of the paper.
+type NodeSpec struct {
+	Name          string
+	PhysicalCores int
+	NICGbps       float64
+	MemoryGB      float64
+	PeakMemBWGBps float64
+	// PowerWatts is the provisioned node power used for Figure 1 style
+	// power accounting.
+	PowerWatts float64
+}
+
+// MemBWPerCore reports peak memory bandwidth per physical core in GB/s,
+// the metric the paper uses to argue memory bandwidth is the coming
+// bottleneck (§6.3).
+func (n NodeSpec) MemBWPerCore() float64 {
+	return n.PeakMemBWGBps / float64(n.PhysicalCores)
+}
+
+// NICPerCore reports NIC bandwidth per physical core in Gbps.
+func (n NodeSpec) NICPerCore() float64 {
+	return n.NICGbps / float64(n.PhysicalCores)
+}
+
+// The compute-node generations of Table 10. C-v1 is the node DPP Workers
+// run on in the paper's measurements; C-vSotA is the hypothetical
+// state-of-the-art node.
+var (
+	CV1 = NodeSpec{Name: "C-v1", PhysicalCores: 18, NICGbps: 12.5, MemoryGB: 64, PeakMemBWGBps: 75, PowerWatts: 300}
+
+	CV2 = NodeSpec{Name: "C-v2", PhysicalCores: 26, NICGbps: 25.0, MemoryGB: 64, PeakMemBWGBps: 92, PowerWatts: 350}
+
+	CV3 = NodeSpec{Name: "C-v3", PhysicalCores: 36, NICGbps: 25.0, MemoryGB: 64, PeakMemBWGBps: 83, PowerWatts: 400}
+
+	CVSotA = NodeSpec{Name: "C-vSotA", PhysicalCores: 64, NICGbps: 100.0, MemoryGB: 1024, PeakMemBWGBps: 205, PowerWatts: 700}
+)
+
+// Generations lists the Table 10 node generations in order.
+func Generations() []NodeSpec { return []NodeSpec{CV1, CV2, CV3, CVSotA} }
+
+// TrainerSpec models a ZionEX-style 8-GPU training node (§2): per-socket
+// frontend NICs for data ingestion and a host resource budget for data
+// loading.
+type TrainerSpec struct {
+	Name         string
+	GPUs         int
+	CPUSockets   int
+	CoresPerSock int
+	// FrontendNICGbps is the aggregate frontend NIC bandwidth across
+	// sockets, used for data ingestion only (the backend RoCE network is
+	// separate and never contends with DSI traffic).
+	FrontendNICGbps float64
+	MemoryGB        float64
+	PeakMemBWGBps   float64
+	PowerWatts      float64
+}
+
+// V100Trainer is the 2-socket, 8-V100 node used in the paper's Table 7
+// data-stall experiment: two 28-core sockets and two 100 Gbps frontend
+// NICs.
+var V100Trainer = TrainerSpec{
+	Name: "V100-2S", GPUs: 8, CPUSockets: 2, CoresPerSock: 28,
+	FrontendNICGbps: 200, MemoryGB: 384, PeakMemBWGBps: 256, PowerWatts: 3500,
+}
+
+// ZionEX is the A100 training node (§2): 4 CPU sockets, each with a
+// dedicated 100 Gbps frontend NIC.
+var ZionEX = TrainerSpec{
+	Name: "ZionEX", GPUs: 8, CPUSockets: 4, CoresPerSock: 28,
+	FrontendNICGbps: 400, MemoryGB: 768, PeakMemBWGBps: 400, PowerWatts: 6500,
+}
+
+// DiskSpec describes a storage device with a positioning cost and a
+// sequential transfer rate. HDDs pay a seek per random I/O; SSDs pay a
+// small fixed access latency.
+type DiskSpec struct {
+	Name         string
+	SeekTime     time.Duration // average positioning time per random I/O
+	TransferMBps float64       // sequential transfer rate
+	CapacityTB   float64
+	PowerWatts   float64
+}
+
+var (
+	// HDD models the paper's HDD storage nodes: high capacity per watt,
+	// low IOPS per watt. 8 ms average seek, 180 MB/s transfer.
+	HDD = DiskSpec{Name: "HDD", SeekTime: 8 * time.Millisecond, TransferMBps: 180, CapacityTB: 16, PowerWatts: 8}
+
+	// SSD trades capacity for IOPS: per §7.2 the paper's SSD nodes have
+	// ~326% the IOPS/W of HDD at only ~9% of the capacity/W.
+	SSD = DiskSpec{Name: "SSD", SeekTime: 80 * time.Microsecond, TransferMBps: 2000, CapacityTB: 4, PowerWatts: 22}
+)
+
+// ServiceTime reports the device-occupancy time of one random I/O of the
+// given size: one positioning cost plus the transfer time.
+func (d DiskSpec) ServiceTime(bytes int64) time.Duration {
+	if bytes < 0 {
+		panic(fmt.Sprintf("hw: negative I/O size %d", bytes))
+	}
+	transfer := time.Duration(float64(bytes) / (d.TransferMBps * 1e6) * float64(time.Second))
+	return d.SeekTime + transfer
+}
+
+// RandIOPS reports the sustainable random-I/O rate at the given I/O size,
+// in operations per second.
+func (d DiskSpec) RandIOPS(bytes int64) float64 {
+	st := d.ServiceTime(bytes)
+	if st <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(st)
+}
+
+// IOPSPerWatt reports random 4 KiB IOPS per watt, the efficiency metric in
+// §7.2.
+func (d DiskSpec) IOPSPerWatt() float64 {
+	return d.RandIOPS(4096) / d.PowerWatts
+}
+
+// CapacityPerWatt reports TB of capacity per watt.
+func (d DiskSpec) CapacityPerWatt() float64 {
+	return d.CapacityTB / d.PowerWatts
+}
+
+// Disk is a stateful device instance accounting I/O against a timeline.
+type Disk struct {
+	Spec DiskSpec
+
+	tl *clock.Timeline
+
+	mu         sync.Mutex
+	bytesRead  int64
+	lastOffset map[string]int64
+}
+
+// NewDisk returns a disk of the given spec accounting on clk.
+func NewDisk(spec DiskSpec, clk *clock.Clock) *Disk {
+	return &Disk{
+		Spec:       spec,
+		tl:         clock.NewTimeline(clk),
+		lastOffset: make(map[string]int64),
+	}
+}
+
+// Read accounts one read I/O against the disk and returns its simulated
+// completion time. The stream argument names the logical extent being
+// read; a read that starts exactly where the previous read of the same
+// stream ended skips the positioning cost, modelling a sequential scan.
+func (d *Disk) Read(stream string, offset, bytes int64) time.Duration {
+	if bytes < 0 || offset < 0 {
+		panic("hw: negative read parameters")
+	}
+	d.mu.Lock()
+	last, seen := d.lastOffset[stream]
+	sequential := seen && last == offset
+	d.lastOffset[stream] = offset + bytes
+	d.bytesRead += bytes
+	d.mu.Unlock()
+
+	st := d.Spec.ServiceTime(bytes)
+	if sequential {
+		st -= d.Spec.SeekTime
+	}
+	return d.tl.Occupy(st)
+}
+
+// BytesRead reports cumulative bytes read.
+func (d *Disk) BytesRead() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytesRead
+}
+
+// Ops reports the number of I/Os issued.
+func (d *Disk) Ops() int64 { return d.tl.Ops() }
+
+// BusyTotal reports cumulative device-busy time.
+func (d *Disk) BusyTotal() time.Duration { return d.tl.BusyTotal() }
+
+// Utilization reports busy time over the window.
+func (d *Disk) Utilization(window time.Duration) float64 { return d.tl.Utilization(window) }
+
+// ResetAccounting clears byte/op counters for a fresh measurement window.
+func (d *Disk) ResetAccounting() {
+	d.mu.Lock()
+	d.bytesRead = 0
+	d.lastOffset = make(map[string]int64)
+	d.mu.Unlock()
+	d.tl.Reset()
+}
+
+// NIC models a network interface as a line-rate serializer.
+type NIC struct {
+	Gbps float64
+
+	tl   *clock.Timeline
+	sent atomic.Int64
+	recv atomic.Int64
+}
+
+// NewNIC returns a NIC of the given line rate accounting on clk.
+func NewNIC(gbps float64, clk *clock.Clock) *NIC {
+	return &NIC{Gbps: gbps, tl: clock.NewTimeline(clk)}
+}
+
+func (n *NIC) serialize(bytes int64) time.Duration {
+	secs := float64(bytes*8) / (n.Gbps * 1e9)
+	return n.tl.Occupy(time.Duration(secs * float64(time.Second)))
+}
+
+// Send accounts an egress payload and returns its simulated completion
+// time.
+func (n *NIC) Send(bytes int64) time.Duration {
+	n.sent.Add(bytes)
+	return n.serialize(bytes)
+}
+
+// Recv accounts an ingress payload and returns its simulated completion
+// time.
+func (n *NIC) Recv(bytes int64) time.Duration {
+	n.recv.Add(bytes)
+	return n.serialize(bytes)
+}
+
+// BytesSent reports cumulative egress bytes.
+func (n *NIC) BytesSent() int64 { return n.sent.Load() }
+
+// BytesRecv reports cumulative ingress bytes.
+func (n *NIC) BytesRecv() int64 { return n.recv.Load() }
+
+// Utilization reports wire-busy time over the window.
+func (n *NIC) Utilization(window time.Duration) float64 { return n.tl.Utilization(window) }
+
+// BusyTotal reports cumulative wire-busy time.
+func (n *NIC) BusyTotal() time.Duration { return n.tl.BusyTotal() }
+
+// ResetAccounting clears counters for a fresh measurement window.
+func (n *NIC) ResetAccounting() {
+	n.sent.Store(0)
+	n.recv.Store(0)
+	n.tl.Reset()
+}
+
+// SaturationThreshold is the memory-bandwidth utilization beyond which the
+// paper considers the channel saturated (§6.2: "memory bandwidth saturates
+// at ≈70% utilization").
+const SaturationThreshold = 0.70
+
+// Memory models a node's aggregate memory bandwidth as a shared channel
+// plus a capacity budget. Every byte moved by extraction, transformation,
+// or the network stack occupies the channel.
+type Memory struct {
+	PeakGBps   float64
+	CapacityGB float64
+
+	tl       *clock.Timeline
+	moved    atomic.Int64
+	resident atomic.Int64
+}
+
+// NewMemory returns a memory channel model accounting on clk.
+func NewMemory(peakGBps, capacityGB float64, clk *clock.Clock) *Memory {
+	return &Memory{PeakGBps: peakGBps, CapacityGB: capacityGB, tl: clock.NewTimeline(clk)}
+}
+
+// Move accounts bytes of memory traffic (reads+writes through the channel)
+// and returns the simulated completion time.
+func (m *Memory) Move(bytes int64) time.Duration {
+	if bytes < 0 {
+		panic("hw: negative memory traffic")
+	}
+	m.moved.Add(bytes)
+	secs := float64(bytes) / (m.PeakGBps * 1e9)
+	return m.tl.Occupy(time.Duration(secs * float64(time.Second)))
+}
+
+// Reserve adjusts resident capacity usage by delta bytes and reports
+// whether the node remains within capacity. Negative deltas release
+// memory.
+func (m *Memory) Reserve(delta int64) bool {
+	return float64(m.resident.Add(delta)) <= m.CapacityGB*1e9
+}
+
+// ResidentBytes reports currently reserved bytes.
+func (m *Memory) ResidentBytes() int64 { return m.resident.Load() }
+
+// ResidentFraction reports reserved bytes as a fraction of capacity.
+func (m *Memory) ResidentFraction() float64 {
+	return float64(m.resident.Load()) / (m.CapacityGB * 1e9)
+}
+
+// BytesMoved reports cumulative memory traffic.
+func (m *Memory) BytesMoved() int64 { return m.moved.Load() }
+
+// Utilization reports bandwidth occupancy over the window.
+func (m *Memory) Utilization(window time.Duration) float64 { return m.tl.Utilization(window) }
+
+// ResetAccounting clears traffic counters for a fresh measurement window.
+func (m *Memory) ResetAccounting() {
+	m.moved.Store(0)
+	m.tl.Reset()
+}
+
+// CPU models a pool of cores. Work is expressed in cycles; the pool
+// converts cycles to occupancy time at a fixed clock rate and tracks
+// utilization across all cores.
+type CPU struct {
+	Cores    int
+	ClockGHz float64
+
+	tl     *clock.Timeline
+	cycles atomic.Int64
+}
+
+// NewCPU returns a CPU pool accounting on clk.
+func NewCPU(cores int, ghz float64, clk *clock.Clock) *CPU {
+	return &CPU{Cores: cores, ClockGHz: ghz, tl: clock.NewTimeline(clk)}
+}
+
+// Spend accounts cycles of compute across the pool and returns the
+// simulated completion time. The pool is modelled as a single queue with
+// aggregate throughput cores×clock.
+func (c *CPU) Spend(cycles int64) time.Duration {
+	if cycles < 0 {
+		panic("hw: negative cycles")
+	}
+	c.cycles.Add(cycles)
+	secs := float64(cycles) / (c.ClockGHz * 1e9 * float64(c.Cores))
+	return c.tl.Occupy(time.Duration(secs * float64(time.Second)))
+}
+
+// CyclesSpent reports cumulative cycles accounted.
+func (c *CPU) CyclesSpent() int64 { return c.cycles.Load() }
+
+// Utilization reports pool occupancy over the window.
+func (c *CPU) Utilization(window time.Duration) float64 { return c.tl.Utilization(window) }
+
+// ResetAccounting clears counters for a fresh measurement window.
+func (c *CPU) ResetAccounting() {
+	c.cycles.Store(0)
+	c.tl.Reset()
+}

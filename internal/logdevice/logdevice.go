@@ -1,0 +1,251 @@
+// Package logdevice implements a reliable store for append-only,
+// trimmable record streams, in the style of Meta's LogDevice (§3.1.1 of
+// the paper). Each stream is a sequence of records addressed by a
+// monotonically increasing log sequence number (LSN).
+//
+// Internally each stream uses an LSM-flavoured layout — an active memtable
+// that seals into immutable segments — mirroring LogDevice's RocksDB
+// backing without the on-disk machinery.
+package logdevice
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LSN is a log sequence number. LSNs start at 1 and increase by one per
+// appended record.
+type LSN uint64
+
+// Record is one stored payload with its address.
+type Record struct {
+	LSN     LSN
+	Payload []byte
+}
+
+// ErrStreamNotFound is returned for operations on unknown streams.
+var ErrStreamNotFound = errors.New("logdevice: stream not found")
+
+// ErrTrimmed is returned when reading below a stream's trim point.
+var ErrTrimmed = errors.New("logdevice: range trimmed")
+
+// segment is an immutable sorted run of records.
+type segment struct {
+	firstLSN LSN
+	records  []Record
+}
+
+// stream is one append-only trimmable log.
+type stream struct {
+	mu        sync.Mutex
+	nextLSN   LSN
+	trimPoint LSN // all LSNs <= trimPoint are deleted
+	memtable  []Record
+	segments  []*segment
+	memBytes  int64
+	sealBytes int64
+}
+
+// Store is a collection of named streams.
+type Store struct {
+	mu      sync.Mutex
+	streams map[string]*stream
+	// MemtableFlushBytes is the memtable size that triggers sealing into
+	// a segment.
+	MemtableFlushBytes int64
+}
+
+// NewStore returns an empty store with a 1 MiB memtable flush threshold.
+func NewStore() *Store {
+	return &Store{streams: make(map[string]*stream), MemtableFlushBytes: 1 << 20}
+}
+
+// CreateStream creates an empty stream. Creating an existing stream is an
+// error.
+func (s *Store) CreateStream(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.streams[name]; ok {
+		return fmt.Errorf("logdevice: stream %q already exists", name)
+	}
+	s.streams[name] = &stream{nextLSN: 1}
+	return nil
+}
+
+func (s *Store) lookup(name string) (*stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrStreamNotFound, name)
+	}
+	return st, nil
+}
+
+// Streams lists stream names, sorted.
+func (s *Store) Streams() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.streams))
+	for n := range s.streams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Append appends payload to the stream and returns its LSN. The payload
+// is copied.
+func (s *Store) Append(name string, payload []byte) (LSN, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	lsn := st.nextLSN
+	st.nextLSN++
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	st.memtable = append(st.memtable, Record{LSN: lsn, Payload: cp})
+	st.memBytes += int64(len(cp))
+	if st.memBytes >= s.MemtableFlushBytes {
+		st.sealLocked()
+	}
+	return lsn, nil
+}
+
+// sealLocked moves the memtable into an immutable segment. Callers must
+// hold st.mu.
+func (st *stream) sealLocked() {
+	if len(st.memtable) == 0 {
+		return
+	}
+	seg := &segment{firstLSN: st.memtable[0].LSN, records: st.memtable}
+	st.segments = append(st.segments, seg)
+	st.sealBytes += st.memBytes
+	st.memtable = nil
+	st.memBytes = 0
+}
+
+// Trim deletes all records with LSN <= upTo. Trimming is how the paper's
+// streams stay bounded while being continuously appended.
+func (s *Store) Trim(name string, upTo LSN) error {
+	st, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if upTo <= st.trimPoint {
+		return nil
+	}
+	st.trimPoint = upTo
+	// Drop fully trimmed segments; partially trimmed segments narrow.
+	var kept []*segment
+	for _, seg := range st.segments {
+		last := seg.records[len(seg.records)-1].LSN
+		switch {
+		case last <= upTo:
+			for _, r := range seg.records {
+				st.sealBytes -= int64(len(r.Payload))
+			}
+		case seg.firstLSN > upTo:
+			kept = append(kept, seg)
+		default:
+			idx := sort.Search(len(seg.records), func(i int) bool { return seg.records[i].LSN > upTo })
+			for _, r := range seg.records[:idx] {
+				st.sealBytes -= int64(len(r.Payload))
+			}
+			kept = append(kept, &segment{firstLSN: seg.records[idx].LSN, records: seg.records[idx:]})
+		}
+	}
+	st.segments = kept
+	// Trim the memtable too.
+	idx := sort.Search(len(st.memtable), func(i int) bool { return st.memtable[i].LSN > upTo })
+	for _, r := range st.memtable[:idx] {
+		st.memBytes -= int64(len(r.Payload))
+	}
+	st.memtable = st.memtable[idx:]
+	return nil
+}
+
+// ReadFrom returns up to max records starting at LSN from (inclusive).
+// Reading below the trim point returns ErrTrimmed.
+func (s *Store) ReadFrom(name string, from LSN, max int) ([]Record, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if from <= st.trimPoint {
+		return nil, fmt.Errorf("%w: lsn %d <= trim point %d", ErrTrimmed, from, st.trimPoint)
+	}
+	var out []Record
+	appendRun := func(records []Record) {
+		if len(out) >= max {
+			return
+		}
+		idx := sort.Search(len(records), func(i int) bool { return records[i].LSN >= from })
+		for _, r := range records[idx:] {
+			if len(out) >= max {
+				return
+			}
+			out = append(out, r)
+		}
+	}
+	for _, seg := range st.segments {
+		appendRun(seg.records)
+	}
+	appendRun(st.memtable)
+	return out, nil
+}
+
+// Tail reports the next LSN that will be assigned (i.e. one past the last
+// record).
+func (s *Store) Tail(name string) (LSN, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nextLSN, nil
+}
+
+// TrimPoint reports the stream's current trim point.
+func (s *Store) TrimPoint(name string) (LSN, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.trimPoint, nil
+}
+
+// StoredBytes reports the payload bytes currently retained in the stream.
+func (s *Store) StoredBytes(name string) (int64, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.memBytes + st.sealBytes, nil
+}
+
+// SegmentCount reports the number of sealed segments (for tests and
+// introspection).
+func (s *Store) SegmentCount(name string) (int, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.segments), nil
+}

@@ -1,0 +1,286 @@
+// Package metrics provides the lightweight measurement primitives used by
+// every experiment in the repository: counters, gauges, sample histograms
+// with percentile queries, and byte-popularity CDFs.
+//
+// The package intentionally stores raw samples rather than sketches: the
+// experiments operate at simulation scale (thousands to millions of
+// samples), where exact percentiles are affordable and reproducible.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 counter safe for concurrent
+// use. The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. n must be non-negative.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: negative counter add %d", n))
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64 value safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value reports the current gauge value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram collects float64 samples and answers exact order-statistic
+// queries. The zero value is ready to use. Histogram is safe for
+// concurrent observation.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Sum reports the sum of all recorded samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean reports the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Stddev reports the population standard deviation, or 0 for fewer than two
+// samples.
+func (h *Histogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := h.sum / float64(n)
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// ensureSortedLocked sorts the sample buffer if needed. Callers must hold mu.
+func (h *Histogram) ensureSortedLocked() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Quantile reports the q-th quantile (0 <= q <= 1) using nearest-rank
+// interpolation. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of range [0,1]", q))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.ensureSortedLocked()
+	if n == 1 {
+		return h.samples[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+}
+
+// Min reports the smallest sample, or 0 for an empty histogram.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max reports the largest sample, or 0 for an empty histogram.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Summary is a compact distribution snapshot used in experiment reports.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Stddev float64
+	P5     float64
+	P25    float64
+	P50    float64
+	P75    float64
+	P95    float64
+}
+
+// Summarize captures the distribution snapshot the paper reports for I/O
+// sizes (Table 6): mean, standard deviation, and the 5/25/50/75/95th
+// percentiles.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		Stddev: h.Stddev(),
+		P5:     h.Quantile(0.05),
+		P25:    h.Quantile(0.25),
+		P50:    h.Quantile(0.50),
+		P75:    h.Quantile(0.75),
+		P95:    h.Quantile(0.95),
+	}
+}
+
+// PopularityCDF answers the Figure 7 question: what fraction of total
+// traffic is absorbed by the most popular x% of bytes? Keys identify byte
+// ranges (e.g. feature streams); weights are bytes stored per key; traffic
+// is bytes served per key.
+type PopularityCDF struct {
+	mu      sync.Mutex
+	stored  map[string]float64
+	traffic map[string]float64
+}
+
+// NewPopularityCDF returns an empty popularity tracker.
+func NewPopularityCDF() *PopularityCDF {
+	return &PopularityCDF{
+		stored:  make(map[string]float64),
+		traffic: make(map[string]float64),
+	}
+}
+
+// SetStored records the stored size of a key. Re-setting replaces the size.
+func (p *PopularityCDF) SetStored(key string, bytes float64) {
+	p.mu.Lock()
+	p.stored[key] = bytes
+	p.mu.Unlock()
+}
+
+// AddTraffic accumulates served bytes for a key.
+func (p *PopularityCDF) AddTraffic(key string, bytes float64) {
+	p.mu.Lock()
+	p.traffic[key] += bytes
+	p.mu.Unlock()
+}
+
+// TrafficShare reports the fraction of all traffic served by the hottest
+// keys that together account for storedFrac of all stored bytes. Keys are
+// ranked by traffic density (traffic per stored byte), matching how a cache
+// of a given capacity would be filled.
+func (p *PopularityCDF) TrafficShare(storedFrac float64) float64 {
+	if storedFrac < 0 || storedFrac > 1 {
+		panic(fmt.Sprintf("metrics: stored fraction %v out of range", storedFrac))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	type kv struct {
+		stored, traffic float64
+	}
+	var totalStored, totalTraffic float64
+	items := make([]kv, 0, len(p.stored))
+	for k, s := range p.stored {
+		t := p.traffic[k]
+		items = append(items, kv{stored: s, traffic: t})
+		totalStored += s
+		totalTraffic += t
+	}
+	if totalStored == 0 || totalTraffic == 0 {
+		return 0
+	}
+	sort.Slice(items, func(i, j int) bool {
+		di := items[i].traffic / math.Max(items[i].stored, 1)
+		dj := items[j].traffic / math.Max(items[j].stored, 1)
+		return di > dj
+	})
+	budget := storedFrac * totalStored
+	var used, served float64
+	for _, it := range items {
+		if used+it.stored > budget {
+			// Partial credit for the key straddling the budget edge,
+			// proportional to the fraction of its bytes that fit.
+			remain := budget - used
+			if remain > 0 {
+				served += it.traffic * (remain / it.stored)
+			}
+			break
+		}
+		used += it.stored
+		served += it.traffic
+	}
+	return served / totalTraffic
+}
+
+// StoredShareForTraffic answers the inverse query: the minimum fraction of
+// stored bytes needed to absorb trafficFrac of all traffic. This is the
+// number the paper quotes ("to serve 80% of traffic we need the hottest
+// 39% of RM1's bytes").
+func (p *PopularityCDF) StoredShareForTraffic(trafficFrac float64) float64 {
+	if trafficFrac < 0 || trafficFrac > 1 {
+		panic(fmt.Sprintf("metrics: traffic fraction %v out of range", trafficFrac))
+	}
+	// Binary search over TrafficShare, which is monotonic in storedFrac.
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if p.TrafficShare(mid) >= trafficFrac {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

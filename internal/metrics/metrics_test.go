@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 32000 {
+		t.Fatalf("Value = %d, want 32000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("Value = %v, want 3.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("Value = %v, want -1", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+	if got := h.Sum(); got != 15 {
+		t.Fatalf("Sum = %v, want 15", got)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if got := h.Stddev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 50.5}, {1, 100}, {0.25, 25.75}, {0.95, 95.05},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(2) did not panic")
+		}
+	}()
+	var h Histogram
+	h.Observe(1)
+	h.Quantile(2)
+}
+
+func TestHistogramInterleavedObserveQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("Quantile = %v, want 10", got)
+	}
+	h.Observe(20)
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("Quantile after re-observe = %v, want 20", got)
+	}
+}
+
+func TestHistogramSummarize(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 20; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Summarize()
+	if s.Count != 20 {
+		t.Fatalf("Count = %d, want 20", s.Count)
+	}
+	if s.Mean != 10.5 {
+		t.Fatalf("Mean = %v, want 10.5", s.Mean)
+	}
+	if s.P50 != 10.5 {
+		t.Fatalf("P50 = %v, want 10.5", s.P50)
+	}
+	if !(s.P5 < s.P25 && s.P25 < s.P50 && s.P50 < s.P75 && s.P75 < s.P95) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+// Property: quantiles are monotone in q for arbitrary sample sets.
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		var h Histogram
+		for _, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				continue
+			}
+			h.Observe(s)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies between min and max.
+func TestHistogramMeanBoundsProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		var h Histogram
+		n := 0
+		for _, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s) > 1e12 {
+				continue
+			}
+			h.Observe(s)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		m := h.Mean()
+		return m >= h.Min()-1e-6 && m <= h.Max()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopularityCDFUniform(t *testing.T) {
+	p := NewPopularityCDF()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		p.SetStored(k, 100)
+		p.AddTraffic(k, 10)
+	}
+	if got := p.TrafficShare(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("uniform TrafficShare(0.5) = %v, want 0.5", got)
+	}
+	if got := p.TrafficShare(1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("TrafficShare(1) = %v, want 1", got)
+	}
+	if got := p.TrafficShare(0); got != 0 {
+		t.Fatalf("TrafficShare(0) = %v, want 0", got)
+	}
+}
+
+func TestPopularityCDFSkewed(t *testing.T) {
+	p := NewPopularityCDF()
+	p.SetStored("hot", 100)
+	p.AddTraffic("hot", 900)
+	p.SetStored("cold", 900)
+	p.AddTraffic("cold", 100)
+	// 10% of bytes (the hot key) absorbs 90% of traffic.
+	if got := p.TrafficShare(0.1); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("TrafficShare(0.1) = %v, want 0.9", got)
+	}
+	// Inverse query: 90% of traffic needs ~10% of bytes.
+	if got := p.StoredShareForTraffic(0.9); math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("StoredShareForTraffic(0.9) = %v, want ~0.1", got)
+	}
+}
+
+func TestPopularityCDFPartialKey(t *testing.T) {
+	p := NewPopularityCDF()
+	p.SetStored("only", 100)
+	p.AddTraffic("only", 50)
+	// Asking for 50% of stored bytes should credit 50% of the single key's
+	// traffic.
+	if got := p.TrafficShare(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("TrafficShare(0.5) = %v, want 0.5", got)
+	}
+}
+
+func TestPopularityCDFEmpty(t *testing.T) {
+	p := NewPopularityCDF()
+	if got := p.TrafficShare(0.5); got != 0 {
+		t.Fatalf("empty TrafficShare = %v, want 0", got)
+	}
+}
+
+// Property: TrafficShare is monotone non-decreasing in the stored fraction.
+func TestPopularityCDFMonotoneProperty(t *testing.T) {
+	f := func(stored, traffic []uint16) bool {
+		p := NewPopularityCDF()
+		n := len(stored)
+		if len(traffic) < n {
+			n = len(traffic)
+		}
+		if n == 0 {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			key := string(rune('a' + i%26))
+			p.SetStored(key, float64(stored[i])+1)
+			p.AddTraffic(key, float64(traffic[i]))
+		}
+		prev := -1.0
+		for frac := 0.0; frac <= 1.0; frac += 0.05 {
+			v := p.TrafficShare(frac)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

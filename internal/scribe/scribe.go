@@ -1,0 +1,168 @@
+// Package scribe implements a distributed messaging layer in the style of
+// Meta's Scribe (§3.1.1 of the paper): services write raw feature and
+// event logs to a local daemon, which groups them into record-oriented
+// logical streams ("categories") and persists each stream in LogDevice.
+//
+// Consumers (the ETL jobs in internal/etl) tail categories by LSN.
+package scribe
+
+import (
+	"fmt"
+	"sync"
+
+	"dsi/internal/logdevice"
+	"dsi/internal/metrics"
+)
+
+// Message is one log entry produced by a service.
+type Message struct {
+	// Category routes the message to a logical stream (e.g.
+	// "rm1/features", "rm1/events").
+	Category string
+	// Payload is the serialized log line.
+	Payload []byte
+}
+
+// Bus routes messages from many daemons into per-category LogDevice
+// streams.
+type Bus struct {
+	store *logdevice.Store
+
+	mu         sync.Mutex
+	categories map[string]bool
+
+	// MessagesIn counts messages accepted across all daemons.
+	MessagesIn metrics.Counter
+	// BytesIn counts payload bytes accepted.
+	BytesIn metrics.Counter
+}
+
+// NewBus returns a bus persisting into store.
+func NewBus(store *logdevice.Store) *Bus {
+	return &Bus{store: store, categories: make(map[string]bool)}
+}
+
+// ensureCategory creates the backing stream on first use.
+func (b *Bus) ensureCategory(category string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.categories[category] {
+		return nil
+	}
+	if err := b.store.CreateStream(streamName(category)); err != nil {
+		return err
+	}
+	b.categories[category] = true
+	return nil
+}
+
+func streamName(category string) string { return "scribe/" + category }
+
+// Publish writes one message to its category's stream.
+func (b *Bus) Publish(m Message) (logdevice.LSN, error) {
+	if m.Category == "" {
+		return 0, fmt.Errorf("scribe: empty category")
+	}
+	if err := b.ensureCategory(m.Category); err != nil {
+		return 0, err
+	}
+	lsn, err := b.store.Append(streamName(m.Category), m.Payload)
+	if err != nil {
+		return 0, err
+	}
+	b.MessagesIn.Inc()
+	b.BytesIn.Add(int64(len(m.Payload)))
+	return lsn, nil
+}
+
+// Categories lists categories seen so far.
+func (b *Bus) Categories() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.categories))
+	for c := range b.categories {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Tail returns up to max messages from the category starting at LSN from.
+func (b *Bus) Tail(category string, from logdevice.LSN, max int) ([]logdevice.Record, error) {
+	return b.store.ReadFrom(streamName(category), from, max)
+}
+
+// TailLSN reports one past the last LSN in the category.
+func (b *Bus) TailLSN(category string) (logdevice.LSN, error) {
+	return b.store.Tail(streamName(category))
+}
+
+// Trim deletes category records up to and including upTo, releasing
+// storage once downstream ETL has consumed them.
+func (b *Bus) Trim(category string, upTo logdevice.LSN) error {
+	return b.store.Trim(streamName(category), upTo)
+}
+
+// Daemon is the per-host buffering agent. Services call Log; the daemon
+// batches messages and flushes them to the bus, preserving order within a
+// category.
+type Daemon struct {
+	Host string
+
+	bus *Bus
+
+	mu      sync.Mutex
+	pending []Message
+	// FlushThreshold is the number of buffered messages that triggers an
+	// automatic flush.
+	FlushThreshold int
+
+	// Dropped counts messages rejected because the buffer is full.
+	Dropped metrics.Counter
+	// BufferLimit caps pending messages; zero means unlimited.
+	BufferLimit int
+}
+
+// NewDaemon returns a daemon for host publishing to bus.
+func NewDaemon(host string, bus *Bus) *Daemon {
+	return &Daemon{Host: host, bus: bus, FlushThreshold: 256}
+}
+
+// Log buffers one message, flushing if the threshold is reached. If the
+// buffer is at its limit the message is dropped and counted — Scribe
+// favours availability of the producing service over delivery guarantees.
+func (d *Daemon) Log(category string, payload []byte) error {
+	d.mu.Lock()
+	if d.BufferLimit > 0 && len(d.pending) >= d.BufferLimit {
+		d.mu.Unlock()
+		d.Dropped.Inc()
+		return nil
+	}
+	d.pending = append(d.pending, Message{Category: category, Payload: payload})
+	shouldFlush := len(d.pending) >= d.FlushThreshold
+	d.mu.Unlock()
+	if shouldFlush {
+		return d.Flush()
+	}
+	return nil
+}
+
+// Flush publishes all buffered messages in order.
+func (d *Daemon) Flush() error {
+	d.mu.Lock()
+	batch := d.pending
+	d.pending = nil
+	d.mu.Unlock()
+	for _, m := range batch {
+		if _, err := d.bus.Publish(m); err != nil {
+			return fmt.Errorf("scribe: flush from %s: %w", d.Host, err)
+		}
+	}
+	return nil
+}
+
+// PendingCount reports buffered messages awaiting flush.
+func (d *Daemon) PendingCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}

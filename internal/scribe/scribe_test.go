@@ -1,0 +1,192 @@
+package scribe
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dsi/internal/logdevice"
+)
+
+func newBus() *Bus { return NewBus(logdevice.NewStore()) }
+
+func TestPublishAndTail(t *testing.T) {
+	b := newBus()
+	for i := 0; i < 5; i++ {
+		if _, err := b.Publish(Message{Category: "rm1/features", Payload: []byte(fmt.Sprintf("m%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := b.Tail("rm1/features", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || string(recs[0].Payload) != "m0" || string(recs[4].Payload) != "m4" {
+		t.Fatalf("Tail = %+v", recs)
+	}
+}
+
+func TestPublishEmptyCategory(t *testing.T) {
+	b := newBus()
+	if _, err := b.Publish(Message{Payload: []byte("x")}); err == nil {
+		t.Fatal("empty category accepted")
+	}
+}
+
+func TestCategoriesIsolated(t *testing.T) {
+	b := newBus()
+	if _, err := b.Publish(Message{Category: "a", Payload: []byte("in-a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Message{Category: "b", Payload: []byte("in-b")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.Tail("a", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "in-a" {
+		t.Fatalf("category a = %+v", recs)
+	}
+	if got := len(b.Categories()); got != 2 {
+		t.Fatalf("Categories = %d, want 2", got)
+	}
+}
+
+func TestBusCounters(t *testing.T) {
+	b := newBus()
+	if _, err := b.Publish(Message{Category: "c", Payload: []byte("12345")}); err != nil {
+		t.Fatal(err)
+	}
+	if b.MessagesIn.Value() != 1 || b.BytesIn.Value() != 5 {
+		t.Fatalf("counters = %d msgs, %d bytes", b.MessagesIn.Value(), b.BytesIn.Value())
+	}
+}
+
+func TestTrimReleases(t *testing.T) {
+	b := newBus()
+	for i := 0; i < 4; i++ {
+		if _, err := b.Publish(Message{Category: "c", Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Trim("c", 2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.Tail("c", 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("Tail after trim = %+v", recs)
+	}
+}
+
+func TestTailLSN(t *testing.T) {
+	b := newBus()
+	if _, err := b.Publish(Message{Category: "c", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := b.TailLSN("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 {
+		t.Fatalf("TailLSN = %d, want 2", lsn)
+	}
+}
+
+func TestDaemonBuffersAndFlushes(t *testing.T) {
+	b := newBus()
+	d := NewDaemon("host1", b)
+	d.FlushThreshold = 3
+	if err := d.Log("c", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Log("c", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PendingCount(); got != 2 {
+		t.Fatalf("PendingCount = %d, want 2", got)
+	}
+	if b.MessagesIn.Value() != 0 {
+		t.Fatal("messages published before threshold")
+	}
+	if err := d.Log("c", []byte("3")); err != nil { // triggers flush
+		t.Fatal(err)
+	}
+	if got := d.PendingCount(); got != 0 {
+		t.Fatalf("PendingCount after flush = %d, want 0", got)
+	}
+	if b.MessagesIn.Value() != 3 {
+		t.Fatalf("MessagesIn = %d, want 3", b.MessagesIn.Value())
+	}
+}
+
+func TestDaemonExplicitFlushPreservesOrder(t *testing.T) {
+	b := newBus()
+	d := NewDaemon("host1", b)
+	for i := 0; i < 5; i++ {
+		if err := d.Log("c", []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.Tail("c", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if string(r.Payload) != fmt.Sprintf("%d", i) {
+			t.Fatalf("record %d = %q", i, r.Payload)
+		}
+	}
+}
+
+func TestDaemonDropsAtLimit(t *testing.T) {
+	b := newBus()
+	d := NewDaemon("host1", b)
+	d.FlushThreshold = 1000
+	d.BufferLimit = 2
+	for i := 0; i < 5; i++ {
+		if err := d.Log("c", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Dropped.Value(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	if got := d.PendingCount(); got != 2 {
+		t.Fatalf("PendingCount = %d, want 2", got)
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	b := newBus()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := b.Publish(Message{Category: "c", Payload: []byte("x")}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.MessagesIn.Value(); got != 800 {
+		t.Fatalf("MessagesIn = %d, want 800", got)
+	}
+	recs, err := b.Tail("c", 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 800 {
+		t.Fatalf("Tail = %d records, want 800", len(recs))
+	}
+}

@@ -1,0 +1,408 @@
+// Package tectonic implements an append-only distributed filesystem in the
+// style of Meta's Tectonic (§3.1.2 of the paper): files are split into
+// fixed-size chunks, each chunk is replicated across storage nodes, and
+// every read is accounted against the owning node's disk model so that
+// IOPS, seek behaviour, and I/O-size distributions (Table 6) can be
+// measured.
+//
+// Data is held in memory — the simulation substitutes for exabyte HDD
+// fleets — but the read/write path is real: callers get back exactly the
+// bytes they wrote, through the same chunked, replicated topology the
+// paper describes.
+package tectonic
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"dsi/internal/clock"
+	"dsi/internal/hw"
+	"dsi/internal/metrics"
+)
+
+// DefaultChunkSize is Tectonic's chunk size; §7.5 notes filtering reduced
+// I/O sizes "from almost 8 MB (Tectonic's chunk size)".
+const DefaultChunkSize = 8 << 20
+
+// ErrNotFound is returned for operations on unknown paths.
+var ErrNotFound = errors.New("tectonic: file not found")
+
+// ErrClosed is returned when appending to a sealed file.
+var ErrClosed = errors.New("tectonic: file is sealed")
+
+// Options configures a cluster.
+type Options struct {
+	// Nodes is the number of storage nodes. Must be >= Replication.
+	Nodes int
+	// Replication is the number of replicas per chunk. The paper uses
+	// triplicate replication for durability (§7.1).
+	Replication int
+	// ChunkSize is the chunk size in bytes; defaults to DefaultChunkSize.
+	ChunkSize int64
+	// Disk is the device model for every node; defaults to hw.HDD.
+	Disk hw.DiskSpec
+	// Clock is the virtual clock for I/O accounting; defaults to a new
+	// clock.
+	Clock *clock.Clock
+}
+
+func (o *Options) fill() {
+	if o.Nodes == 0 {
+		o.Nodes = 6
+	}
+	if o.Replication == 0 {
+		o.Replication = 3
+	}
+	if o.ChunkSize == 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	if o.Disk.Name == "" {
+		o.Disk = hw.HDD
+	}
+	if o.Clock == nil {
+		o.Clock = clock.New()
+	}
+}
+
+// StorageNode is one disk-backed node in the cluster.
+type StorageNode struct {
+	ID   int
+	Disk *hw.Disk
+
+	mu     sync.Mutex
+	chunks map[chunkKey][]byte
+}
+
+type chunkKey struct {
+	path  string
+	index int64
+}
+
+// Cluster is a set of storage nodes holding replicated, chunked,
+// append-only files.
+type Cluster struct {
+	opts  Options
+	nodes []*StorageNode
+
+	mu    sync.Mutex
+	files map[string]*fileMeta
+
+	// IOSizes records the size of every read I/O issued to any node,
+	// the Table 6 measurement.
+	IOSizes metrics.Histogram
+	// ReadOps and ReadBytes aggregate the read load across nodes.
+	ReadOps   metrics.Counter
+	ReadBytes metrics.Counter
+}
+
+type fileMeta struct {
+	mu     sync.Mutex
+	size   int64
+	sealed bool
+	// replicas[i] lists the node IDs holding chunk i.
+	replicas [][]int
+}
+
+// NewCluster creates a cluster with the given options.
+func NewCluster(opts Options) (*Cluster, error) {
+	opts.fill()
+	if opts.Nodes < opts.Replication {
+		return nil, fmt.Errorf("tectonic: %d nodes cannot hold %d replicas", opts.Nodes, opts.Replication)
+	}
+	c := &Cluster{opts: opts, files: make(map[string]*fileMeta)}
+	for i := 0; i < opts.Nodes; i++ {
+		c.nodes = append(c.nodes, &StorageNode{
+			ID:     i,
+			Disk:   hw.NewDisk(opts.Disk, opts.Clock),
+			chunks: make(map[chunkKey][]byte),
+		})
+	}
+	return c, nil
+}
+
+// Clock returns the cluster's virtual clock.
+func (c *Cluster) Clock() *clock.Clock { return c.opts.Clock }
+
+// ChunkSize returns the configured chunk size.
+func (c *Cluster) ChunkSize() int64 { return c.opts.ChunkSize }
+
+// Nodes returns the storage nodes (for inspection in experiments).
+func (c *Cluster) Nodes() []*StorageNode { return c.nodes }
+
+// placement deterministically picks the replica nodes for a chunk using
+// rendezvous hashing, so placement is stable across runs.
+func (c *Cluster) placement(path string, chunk int64) []int {
+	type scored struct {
+		node  int
+		score uint64
+	}
+	scoredNodes := make([]scored, len(c.nodes))
+	for i := range c.nodes {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s/%d/%d", path, chunk, i)
+		scoredNodes[i] = scored{node: i, score: h.Sum64()}
+	}
+	sort.Slice(scoredNodes, func(i, j int) bool { return scoredNodes[i].score > scoredNodes[j].score })
+	out := make([]int, c.opts.Replication)
+	for i := range out {
+		out[i] = scoredNodes[i].node
+	}
+	return out
+}
+
+// Create creates an empty append-only file. Creating an existing path is
+// an error.
+func (c *Cluster) Create(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.files[path]; ok {
+		return fmt.Errorf("tectonic: file %q already exists", path)
+	}
+	c.files[path] = &fileMeta{}
+	return nil
+}
+
+func (c *Cluster) lookup(path string) (*fileMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return f, nil
+}
+
+// Append appends data to the file, writing through to all chunk replicas.
+func (c *Cluster) Append(path string, data []byte) error {
+	f, err := c.lookup(path)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sealed {
+		return fmt.Errorf("%w: %s", ErrClosed, path)
+	}
+	cs := c.opts.ChunkSize
+	for len(data) > 0 {
+		chunkIdx := f.size / cs
+		within := f.size % cs
+		n := cs - within
+		if int64(len(data)) < n {
+			n = int64(len(data))
+		}
+		if chunkIdx == int64(len(f.replicas)) {
+			f.replicas = append(f.replicas, c.placement(path, chunkIdx))
+		}
+		for _, nodeID := range f.replicas[chunkIdx] {
+			node := c.nodes[nodeID]
+			key := chunkKey{path: path, index: chunkIdx}
+			node.mu.Lock()
+			buf := node.chunks[key]
+			if int64(len(buf)) != within {
+				// Replicas advance in lockstep under f.mu; divergence is a bug.
+				node.mu.Unlock()
+				panic(fmt.Sprintf("tectonic: replica divergence at %s chunk %d: len %d want %d",
+					path, chunkIdx, len(buf), within))
+			}
+			node.chunks[key] = append(buf, data[:n]...)
+			node.mu.Unlock()
+		}
+		f.size += n
+		data = data[n:]
+	}
+	return nil
+}
+
+// Seal marks the file immutable. Reads are allowed before sealing (the
+// paper's files are append-only but readable while being written).
+func (c *Cluster) Seal(path string) error {
+	f, err := c.lookup(path)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.sealed = true
+	f.mu.Unlock()
+	return nil
+}
+
+// Size reports the file's current length.
+func (c *Cluster) Size(path string) (int64, error) {
+	f, err := c.lookup(path)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size, nil
+}
+
+// Exists reports whether the path exists.
+func (c *Cluster) Exists(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.files[path]
+	return ok
+}
+
+// List returns all paths with the given prefix, sorted.
+func (c *Cluster) List(prefix string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for p := range c.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a file and reclaims its chunks on all replicas.
+func (c *Cluster) Delete(path string) error {
+	c.mu.Lock()
+	f, ok := c.files[path]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(c.files, path)
+	c.mu.Unlock()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for idx, nodes := range f.replicas {
+		for _, nodeID := range nodes {
+			node := c.nodes[nodeID]
+			node.mu.Lock()
+			delete(node.chunks, chunkKey{path: path, index: int64(idx)})
+			node.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// ReadAt reads length bytes at offset from the file, routing each
+// chunk-level I/O to the chunk's primary replica and accounting device
+// time. It returns the bytes and the simulated completion time of the
+// slowest I/O involved.
+func (c *Cluster) ReadAt(path string, offset, length int64) ([]byte, time.Duration, error) {
+	if offset < 0 || length < 0 {
+		return nil, 0, fmt.Errorf("tectonic: negative read parameters")
+	}
+	f, err := c.lookup(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	f.mu.Lock()
+	size := f.size
+	replicas := f.replicas
+	f.mu.Unlock()
+
+	if offset+length > size {
+		return nil, 0, fmt.Errorf("tectonic: read [%d,%d) beyond size %d of %s", offset, offset+length, size, path)
+	}
+
+	out := make([]byte, 0, length)
+	var done time.Duration
+	cs := c.opts.ChunkSize
+	for length > 0 {
+		chunkIdx := offset / cs
+		within := offset % cs
+		n := cs - within
+		if length < n {
+			n = length
+		}
+		nodeID := replicas[chunkIdx][0]
+		node := c.nodes[nodeID]
+		key := chunkKey{path: path, index: chunkIdx}
+		node.mu.Lock()
+		buf := node.chunks[key]
+		out = append(out, buf[within:within+n]...)
+		node.mu.Unlock()
+
+		stream := fmt.Sprintf("%s#%d", path, chunkIdx)
+		if t := node.Disk.Read(stream, within, n); t > done {
+			done = t
+		}
+		c.IOSizes.Observe(float64(n))
+		c.ReadOps.Inc()
+		c.ReadBytes.Add(n)
+
+		offset += n
+		length -= n
+	}
+	return out, done, nil
+}
+
+// ReadAll reads the whole file.
+func (c *Cluster) ReadAll(path string) ([]byte, time.Duration, error) {
+	size, err := c.Size(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.ReadAt(path, 0, size)
+}
+
+// TotalStoredBytes reports the physical bytes stored across all replicas.
+func (c *Cluster) TotalStoredBytes() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, buf := range n.chunks {
+			total += int64(len(buf))
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// LogicalBytes reports the logical (pre-replication) bytes stored.
+func (c *Cluster) LogicalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, f := range c.files {
+		f.mu.Lock()
+		total += f.size
+		f.mu.Unlock()
+	}
+	return total
+}
+
+// AggregateDiskBusy reports the total device-busy time across nodes.
+func (c *Cluster) AggregateDiskBusy() time.Duration {
+	var total time.Duration
+	for _, n := range c.nodes {
+		total += n.Disk.BusyTotal()
+	}
+	return total
+}
+
+// ResetIOAccounting clears per-read metrics for a fresh measurement
+// window (the stored data is untouched).
+func (c *Cluster) ResetIOAccounting() {
+	c.IOSizes = metrics.Histogram{}
+	c.ReadOps = metrics.Counter{}
+	c.ReadBytes = metrics.Counter{}
+	for _, n := range c.nodes {
+		n.Disk.ResetAccounting()
+	}
+}
+
+// EffectiveReadThroughput reports logical read bandwidth in bytes/sec of
+// simulated disk time: bytes served divided by aggregate device busy
+// time. This is the "storage throughput" metric of Table 12.
+func (c *Cluster) EffectiveReadThroughput() float64 {
+	busy := c.AggregateDiskBusy()
+	if busy == 0 {
+		return 0
+	}
+	return float64(c.ReadBytes.Value()) / busy.Seconds()
+}

@@ -1,0 +1,148 @@
+// Package tensor materializes preprocessed columnar batches into the
+// tensors a trainer loads into device memory (§3.2): a dense feature
+// matrix, per-feature sparse index lists in CSR-style layout (the format
+// DLRM embedding lookups consume), and a label vector.
+package tensor
+
+import (
+	"fmt"
+	"sort"
+
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+)
+
+// Dense2D is a row-major [Rows x Cols] float32 matrix.
+type Dense2D struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// At returns element (r, c).
+func (d *Dense2D) At(r, c int) float32 { return d.Data[r*d.Cols+c] }
+
+// SparseTensor is one sparse feature in CSR layout across the batch.
+type SparseTensor struct {
+	Feature schema.FeatureID
+	// Offsets has Rows+1 entries.
+	Offsets []int32
+	Indices []int64
+}
+
+// Row returns row i's indices.
+func (s *SparseTensor) Row(i int) []int64 { return s.Indices[s.Offsets[i]:s.Offsets[i+1]] }
+
+// Batch is a fully materialized training mini-batch.
+type Batch struct {
+	Rows int
+	// DenseFeatureIDs names the columns of Dense, in ascending ID order.
+	DenseFeatureIDs []schema.FeatureID
+	Dense           *Dense2D
+	Sparse          []*SparseTensor
+	Labels          []float32
+}
+
+// SizeBytes reports the wire/memory footprint of the batch: 4 bytes per
+// dense cell and label, 8 per sparse index, 4 per offset.
+func (b *Batch) SizeBytes() int64 {
+	var total int64 = int64(len(b.Labels)) * 4
+	if b.Dense != nil {
+		total += int64(len(b.Dense.Data)) * 4
+	}
+	for _, s := range b.Sparse {
+		total += int64(len(s.Indices))*8 + int64(len(s.Offsets))*4
+	}
+	return total
+}
+
+// Materialize converts a preprocessed columnar batch into tensors,
+// selecting the given dense and sparse features. Missing dense values
+// materialize as zeros (the standard imputation); missing sparse rows as
+// empty lists.
+func Materialize(src *dwrf.Batch, denseIDs, sparseIDs []schema.FeatureID) (*Batch, error) {
+	dIDs := append([]schema.FeatureID(nil), denseIDs...)
+	sort.Slice(dIDs, func(i, j int) bool { return dIDs[i] < dIDs[j] })
+	sIDs := append([]schema.FeatureID(nil), sparseIDs...)
+	sort.Slice(sIDs, func(i, j int) bool { return sIDs[i] < sIDs[j] })
+
+	out := &Batch{
+		Rows:            src.Rows,
+		DenseFeatureIDs: dIDs,
+		Labels:          append([]float32(nil), src.Labels...),
+	}
+	if len(out.Labels) < src.Rows {
+		// Batches decoded without a label stream still materialize with
+		// zero labels.
+		out.Labels = append(out.Labels, make([]float32, src.Rows-len(out.Labels))...)
+	}
+
+	out.Dense = &Dense2D{Rows: src.Rows, Cols: len(dIDs), Data: make([]float32, src.Rows*len(dIDs))}
+	for c, id := range dIDs {
+		col, ok := src.Dense[id]
+		if !ok {
+			continue
+		}
+		if len(col.Values) != src.Rows {
+			return nil, fmt.Errorf("tensor: dense feature %d has %d values for %d rows", id, len(col.Values), src.Rows)
+		}
+		for r := 0; r < src.Rows; r++ {
+			if col.Present[r] {
+				out.Dense.Data[r*len(dIDs)+c] = col.Values[r]
+			}
+		}
+	}
+
+	for _, id := range sIDs {
+		st := &SparseTensor{Feature: id}
+		col, ok := src.Sparse[id]
+		if !ok {
+			st.Offsets = make([]int32, src.Rows+1)
+		} else {
+			if len(col.Offsets) != src.Rows+1 {
+				return nil, fmt.Errorf("tensor: sparse feature %d has %d offsets for %d rows", id, len(col.Offsets), src.Rows)
+			}
+			st.Offsets = append([]int32(nil), col.Offsets...)
+			st.Indices = append([]int64(nil), col.Values...)
+		}
+		out.Sparse = append(out.Sparse, st)
+	}
+	return out, nil
+}
+
+// Concat stacks batches row-wise. All batches must share the same feature
+// layout.
+func Concat(batches []*Batch) (*Batch, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("tensor: concat of zero batches")
+	}
+	first := batches[0]
+	out := &Batch{
+		DenseFeatureIDs: first.DenseFeatureIDs,
+		Dense:           &Dense2D{Cols: first.Dense.Cols},
+	}
+	for _, s := range first.Sparse {
+		out.Sparse = append(out.Sparse, &SparseTensor{Feature: s.Feature, Offsets: []int32{0}})
+	}
+	for _, b := range batches {
+		if b.Dense.Cols != out.Dense.Cols || len(b.Sparse) != len(out.Sparse) {
+			return nil, fmt.Errorf("tensor: concat layout mismatch: %d/%d cols, %d/%d sparse",
+				b.Dense.Cols, out.Dense.Cols, len(b.Sparse), len(out.Sparse))
+		}
+		out.Rows += b.Rows
+		out.Labels = append(out.Labels, b.Labels...)
+		out.Dense.Data = append(out.Dense.Data, b.Dense.Data...)
+		out.Dense.Rows = out.Rows
+		for i, s := range b.Sparse {
+			dst := out.Sparse[i]
+			if dst.Feature != s.Feature {
+				return nil, fmt.Errorf("tensor: concat sparse feature mismatch %d vs %d", dst.Feature, s.Feature)
+			}
+			base := dst.Offsets[len(dst.Offsets)-1]
+			for _, off := range s.Offsets[1:] {
+				dst.Offsets = append(dst.Offsets, base+off)
+			}
+			dst.Indices = append(dst.Indices, s.Indices...)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package tiering
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dsi/internal/hw"
+)
+
+func TestRebalanceAdmitsByDensity(t *testing.T) {
+	tier := New(100)
+	tier.Observe("hot", 80, 1000) // density 12.5
+	tier.Observe("warm", 50, 200) // density 4
+	tier.Observe("cold", 100, 10) // density 0.1
+	n := tier.Rebalance()
+	if n != 1 || !tier.IsHot("hot") {
+		t.Fatalf("Rebalance admitted %d keys; hot=%v", n, tier.IsHot("hot"))
+	}
+	if tier.IsHot("warm") || tier.IsHot("cold") {
+		t.Fatal("budget exceeded")
+	}
+}
+
+func TestRebalancePacksWithinBudget(t *testing.T) {
+	tier := New(130)
+	tier.Observe("a", 80, 800)
+	tier.Observe("b", 50, 400)
+	tier.Observe("c", 60, 300)
+	tier.Rebalance()
+	// a (density 10) + b (8) fit in 130; c (5) does not.
+	if !tier.IsHot("a") || !tier.IsHot("b") || tier.IsHot("c") {
+		t.Fatalf("placement = a:%v b:%v c:%v", tier.IsHot("a"), tier.IsHot("b"), tier.IsHot("c"))
+	}
+}
+
+func TestHitRateTracksPlacement(t *testing.T) {
+	tier := New(100)
+	tier.Observe("hot", 100, 900)
+	tier.Observe("cold", 900, 100)
+	tier.Rebalance()
+	tier.ResetCounters()
+	// Replay the same skewed traffic.
+	for i := 0; i < 9; i++ {
+		tier.Observe("hot", 100, 100)
+	}
+	tier.Observe("cold", 900, 100)
+	if got := tier.HitRate(); got < 0.85 || got > 0.95 {
+		t.Fatalf("HitRate = %.2f, want ~0.9", got)
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	if got := New(10).HitRate(); got != 0 {
+		t.Fatalf("HitRate = %v", got)
+	}
+}
+
+func fleetPlan() FleetPlan {
+	return FleetPlan{
+		DatasetBytes: 12e15, Replication: 3, DemandGBps: 1500,
+		AvgIOBytes: 1310720, HDD: hw.HDD, SSD: hw.SSD, DisksPerNode: 36,
+		HDDNodeWatts: 500, SSDNodeWatts: 900,
+		HotTrafficShare: 0.80, HotBytesShare: 0.39, // Figure 7, RM1
+	}
+}
+
+func TestTieredBeatsPureHDD(t *testing.T) {
+	// §7.2: an SSD tier holding RM1's hot 39% of bytes absorbs 80% of
+	// traffic, shrinking the IOPS-driven HDD over-provisioning enough to
+	// cut total storage power.
+	p := fleetPlan()
+	hddOnly := p.PureHDD()
+	tiered, err := p.Tiered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiered.TotalWatts >= hddOnly.TotalWatts {
+		t.Fatalf("tiered %0.f W not below pure HDD %0.f W", tiered.TotalWatts, hddOnly.TotalWatts)
+	}
+	if tiered.HDDNodes >= hddOnly.HDDNodes {
+		t.Fatal("tier did not shrink the HDD fleet")
+	}
+}
+
+func TestPureSSDIsCapacityBound(t *testing.T) {
+	// Storing the whole dataset on SSD flips to the unfavourable
+	// storage-to-throughput direction (§7.2).
+	p := fleetPlan()
+	ssdOnly := p.PureSSD()
+	capNodes := float64(p.DatasetBytes) * 3 / (p.SSD.CapacityTB * 1e12 * 36)
+	if ssdOnly.SSDNodes < capNodes*0.99 {
+		t.Fatalf("pure SSD fleet %f nodes below capacity floor %f", ssdOnly.SSDNodes, capNodes)
+	}
+}
+
+func TestTieredSharesValidation(t *testing.T) {
+	p := fleetPlan()
+	p.HotTrafficShare = 1.5
+	if _, err := p.Tiered(); err == nil {
+		t.Fatal("invalid share accepted")
+	}
+}
+
+// Property: the hot set never exceeds the byte budget.
+func TestBudgetRespectedProperty(t *testing.T) {
+	f := func(sizes []uint16, traffics []uint16, budget uint16) bool {
+		tier := New(int64(budget))
+		n := len(sizes)
+		if len(traffics) < n {
+			n = len(traffics)
+		}
+		for i := 0; i < n; i++ {
+			tier.Observe(fmt.Sprintf("k%d", i), int64(sizes[i])+1, int64(traffics[i]))
+		}
+		tier.Rebalance()
+		var used int64
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if tier.IsHot(k) {
+				used += int64(sizes[i]) + 1
+			}
+		}
+		return used <= int64(budget)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: growing the budget never shrinks the hot set.
+func TestBudgetMonotoneProperty(t *testing.T) {
+	f := func(sizes []uint8, budget uint16) bool {
+		count := func(b int64) int {
+			tier := New(b)
+			for i, s := range sizes {
+				tier.Observe(fmt.Sprintf("k%d", i), int64(s)+1, int64(i+1))
+			}
+			return tier.Rebalance()
+		}
+		return count(int64(budget)) <= count(int64(budget)*2+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

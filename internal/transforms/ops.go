@@ -1,0 +1,364 @@
+// Package transforms implements the online preprocessing transformations
+// of Table 11: the sixteen production DLRM operations, grouped into the
+// paper's three classes (dense normalization, sparse normalization, and
+// feature generation), plus the DAG executor that chains them per feature
+// (§6.4, §7.2).
+//
+// Ops run for real on columnar batches (dwrf.Batch). Alongside the actual
+// computation, each op carries a cost model — cycles and memory traffic
+// per value — calibrated so that the class-level cycle split matches the
+// paper's ≈5% dense-norm / 20% sparse-norm / 75% feature-generation
+// breakdown, and an accelerator speedup factor from §7.2's GPU
+// measurements.
+package transforms
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+)
+
+// Class is the paper's transformation taxonomy (§6.4).
+type Class int
+
+const (
+	// DenseNorm normalizes continuous features (Logit, BoxCox, Onehot,
+	// Clamp); ≈5% of transform cycles.
+	DenseNorm Class = iota
+	// SparseNorm normalizes categorical lists (SigridHash, FirstX);
+	// ≈20% of transform cycles.
+	SparseNorm
+	// FeatureGen derives new features from raw ones (Bucketize, NGram,
+	// MapId, Cartesian, ...); ≈75% of transform cycles.
+	FeatureGen
+	// RowOp operates on whole rows (Sampling).
+	RowOp
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case DenseNorm:
+		return "dense-norm"
+	case SparseNorm:
+		return "sparse-norm"
+	case FeatureGen:
+		return "feature-gen"
+	case RowOp:
+		return "row-op"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// CostModel describes an op's resource intensity.
+type CostModel struct {
+	// CyclesPerValue is the CPU cost per input value processed.
+	CyclesPerValue float64
+	// MemBytesPerValue is memory traffic per input value (reads+writes),
+	// feeding the §6.3 memory-bandwidth analysis.
+	MemBytesPerValue float64
+	// AccelSpeedup is the measured GPU:CPU throughput ratio from §7.2
+	// (e.g. 11.9 for SigridHash, 1.3 for Bucketize); 1 means no benefit.
+	AccelSpeedup float64
+}
+
+// Op is one transformation node. Apply mutates the batch in place,
+// producing the Output feature, and returns the number of input values
+// processed (the basis for cost accounting).
+type Op interface {
+	Name() string
+	Class() Class
+	Inputs() []schema.FeatureID
+	Output() schema.FeatureID
+	Cost() CostModel
+	Apply(b *dwrf.Batch) (values int64, err error)
+}
+
+// --- column helpers ------------------------------------------------------
+
+// denseInput fetches a dense column, treating a missing column as
+// all-absent (coverage < 1 means stripes may lack a feature entirely).
+func denseInput(b *dwrf.Batch, id schema.FeatureID) *dwrf.DenseColumn {
+	if c, ok := b.Dense[id]; ok {
+		return c
+	}
+	return &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
+}
+
+func sparseInput(b *dwrf.Batch, id schema.FeatureID) *dwrf.SparseColumn {
+	if c, ok := b.Sparse[id]; ok {
+		return c
+	}
+	return &dwrf.SparseColumn{Offsets: make([]int32, b.Rows+1)}
+}
+
+// buildSparse assembles a ragged column from per-row value slices.
+func buildSparse(rows int, perRow func(i int) []int64) *dwrf.SparseColumn {
+	col := &dwrf.SparseColumn{Offsets: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		col.Offsets[i] = int32(len(col.Values))
+		col.Values = append(col.Values, perRow(i)...)
+	}
+	col.Offsets[rows] = int32(len(col.Values))
+	return col
+}
+
+// hash64 hashes a byte-free pair of ints (used by Cartesian/NGram).
+func hash64(parts ...int64) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(p >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// --- dense normalization ops ---------------------------------------------
+
+// Logit applies the logit transform log(p/(1-p)) for normalization.
+type Logit struct {
+	In, Out schema.FeatureID
+	// Eps clamps inputs into (Eps, 1-Eps) before the transform.
+	Eps float32
+}
+
+// Name implements Op.
+func (o *Logit) Name() string { return "Logit" }
+
+// Class implements Op.
+func (o *Logit) Class() Class { return DenseNorm }
+
+// Inputs implements Op.
+func (o *Logit) Inputs() []schema.FeatureID { return []schema.FeatureID{o.In} }
+
+// Output implements Op.
+func (o *Logit) Output() schema.FeatureID { return o.Out }
+
+// Cost implements Op.
+func (o *Logit) Cost() CostModel {
+	return CostModel{CyclesPerValue: 24, MemBytesPerValue: 8, AccelSpeedup: 4}
+}
+
+// Apply implements Op.
+func (o *Logit) Apply(b *dwrf.Batch) (int64, error) {
+	in := denseInput(b, o.In)
+	eps := o.Eps
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	out := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
+	for i := 0; i < b.Rows; i++ {
+		if !in.Present[i] {
+			continue
+		}
+		p := in.Values[i]
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		out.Present[i] = true
+		out.Values[i] = float32(math.Log(float64(p) / float64(1-p)))
+	}
+	b.Dense[o.Out] = out
+	return int64(b.Rows), nil
+}
+
+// BoxCox applies the Box-Cox power transform for normalization.
+type BoxCox struct {
+	In, Out schema.FeatureID
+	Lambda  float64
+}
+
+// Name implements Op.
+func (o *BoxCox) Name() string { return "BoxCox" }
+
+// Class implements Op.
+func (o *BoxCox) Class() Class { return DenseNorm }
+
+// Inputs implements Op.
+func (o *BoxCox) Inputs() []schema.FeatureID { return []schema.FeatureID{o.In} }
+
+// Output implements Op.
+func (o *BoxCox) Output() schema.FeatureID { return o.Out }
+
+// Cost implements Op.
+func (o *BoxCox) Cost() CostModel {
+	return CostModel{CyclesPerValue: 40, MemBytesPerValue: 8, AccelSpeedup: 5}
+}
+
+// Apply implements Op.
+func (o *BoxCox) Apply(b *dwrf.Batch) (int64, error) {
+	in := denseInput(b, o.In)
+	out := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
+	for i := 0; i < b.Rows; i++ {
+		if !in.Present[i] {
+			continue
+		}
+		x := float64(in.Values[i])
+		if x <= 0 {
+			x = 1e-9
+		}
+		out.Present[i] = true
+		if o.Lambda == 0 {
+			out.Values[i] = float32(math.Log(x))
+		} else {
+			out.Values[i] = float32((math.Pow(x, o.Lambda) - 1) / o.Lambda)
+		}
+	}
+	b.Dense[o.Out] = out
+	return int64(b.Rows), nil
+}
+
+// Onehot encodes a dense feature into a categorical bucket index.
+type Onehot struct {
+	In, Out schema.FeatureID
+	Buckets int
+	Min     float32
+	Max     float32
+}
+
+// Name implements Op.
+func (o *Onehot) Name() string { return "Onehot" }
+
+// Class implements Op.
+func (o *Onehot) Class() Class { return DenseNorm }
+
+// Inputs implements Op.
+func (o *Onehot) Inputs() []schema.FeatureID { return []schema.FeatureID{o.In} }
+
+// Output implements Op.
+func (o *Onehot) Output() schema.FeatureID { return o.Out }
+
+// Cost implements Op.
+func (o *Onehot) Cost() CostModel {
+	return CostModel{CyclesPerValue: 16, MemBytesPerValue: 12, AccelSpeedup: 6}
+}
+
+// Apply implements Op.
+func (o *Onehot) Apply(b *dwrf.Batch) (int64, error) {
+	if o.Buckets <= 0 {
+		return 0, fmt.Errorf("transforms: Onehot needs positive bucket count")
+	}
+	in := denseInput(b, o.In)
+	span := o.Max - o.Min
+	if span <= 0 {
+		span = 1
+	}
+	col := buildSparse(b.Rows, func(i int) []int64 {
+		if !in.Present[i] {
+			return nil
+		}
+		f := (in.Values[i] - o.Min) / span
+		idx := int64(f * float32(o.Buckets))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= int64(o.Buckets) {
+			idx = int64(o.Buckets) - 1
+		}
+		return []int64{idx}
+	})
+	b.Sparse[o.Out] = col
+	return int64(b.Rows), nil
+}
+
+// Clamp bounds a dense feature into [Lo, Hi], as std::clamp.
+type Clamp struct {
+	In, Out schema.FeatureID
+	Lo, Hi  float32
+}
+
+// Name implements Op.
+func (o *Clamp) Name() string { return "Clamp" }
+
+// Class implements Op.
+func (o *Clamp) Class() Class { return DenseNorm }
+
+// Inputs implements Op.
+func (o *Clamp) Inputs() []schema.FeatureID { return []schema.FeatureID{o.In} }
+
+// Output implements Op.
+func (o *Clamp) Output() schema.FeatureID { return o.Out }
+
+// Cost implements Op.
+func (o *Clamp) Cost() CostModel {
+	return CostModel{CyclesPerValue: 6, MemBytesPerValue: 8, AccelSpeedup: 3}
+}
+
+// Apply implements Op.
+func (o *Clamp) Apply(b *dwrf.Batch) (int64, error) {
+	if o.Lo > o.Hi {
+		return 0, fmt.Errorf("transforms: Clamp lo %v > hi %v", o.Lo, o.Hi)
+	}
+	in := denseInput(b, o.In)
+	out := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
+	for i := 0; i < b.Rows; i++ {
+		if !in.Present[i] {
+			continue
+		}
+		v := in.Values[i]
+		if v < o.Lo {
+			v = o.Lo
+		}
+		if v > o.Hi {
+			v = o.Hi
+		}
+		out.Present[i] = true
+		out.Values[i] = v
+	}
+	b.Dense[o.Out] = out
+	return int64(b.Rows), nil
+}
+
+// GetLocalHour converts a unix-seconds dense feature into the local hour
+// of day given a fixed UTC offset.
+type GetLocalHour struct {
+	In, Out       schema.FeatureID
+	OffsetMinutes int
+}
+
+// Name implements Op.
+func (o *GetLocalHour) Name() string { return "GetLocalHour" }
+
+// Class implements Op.
+func (o *GetLocalHour) Class() Class { return FeatureGen }
+
+// Inputs implements Op.
+func (o *GetLocalHour) Inputs() []schema.FeatureID { return []schema.FeatureID{o.In} }
+
+// Output implements Op.
+func (o *GetLocalHour) Output() schema.FeatureID { return o.Out }
+
+// Cost implements Op.
+func (o *GetLocalHour) Cost() CostModel {
+	return CostModel{CyclesPerValue: 30, MemBytesPerValue: 8, AccelSpeedup: 2}
+}
+
+// Apply implements Op.
+func (o *GetLocalHour) Apply(b *dwrf.Batch) (int64, error) {
+	in := denseInput(b, o.In)
+	out := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
+	for i := 0; i < b.Rows; i++ {
+		if !in.Present[i] {
+			continue
+		}
+		secs := int64(in.Values[i]) + int64(o.OffsetMinutes)*60
+		hour := (secs / 3600) % 24
+		if hour < 0 {
+			hour += 24
+		}
+		out.Present[i] = true
+		out.Values[i] = float32(hour)
+	}
+	b.Dense[o.Out] = out
+	return int64(b.Rows), nil
+}

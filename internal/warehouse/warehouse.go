@@ -1,0 +1,316 @@
+// Package warehouse implements the Hive-style data warehouse of §3.1.2:
+// partitioned tables whose rows are stored as DWRF columnar files in a
+// Tectonic cluster.
+//
+// Training jobs address data exactly as in the paper: a table, a row
+// filter (the set of date partitions to read), and a column filter (the
+// feature projection). The warehouse also exposes the storage statistics
+// (partition sizes, per-feature bytes) behind Tables 3 and 5 and
+// Figure 7.
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+	"dsi/internal/tectonic"
+)
+
+// ErrNotFound is returned for unknown tables or partitions.
+var ErrNotFound = errors.New("warehouse: not found")
+
+// Warehouse is a catalog of partitioned tables over one Tectonic cluster.
+type Warehouse struct {
+	cluster *tectonic.Cluster
+
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// New returns an empty warehouse on cluster.
+func New(cluster *tectonic.Cluster) *Warehouse {
+	return &Warehouse{cluster: cluster, tables: make(map[string]*Table)}
+}
+
+// Cluster exposes the underlying storage (for experiments that inspect
+// I/O accounting).
+func (w *Warehouse) Cluster() *tectonic.Cluster { return w.cluster }
+
+// Table is one partitioned dataset.
+type Table struct {
+	Name   string
+	Schema *schema.TableSchema
+	// WriteOptions is the DWRF layout used for new partitions; changing
+	// it affects only subsequently written partitions, mirroring how the
+	// paper rolled out format optimizations.
+	WriteOptions dwrf.WriterOptions
+
+	wh *Warehouse
+
+	mu         sync.Mutex
+	partitions map[string]*Partition
+}
+
+// Partition is one date-keyed slice of a table, stored as a single DWRF
+// file.
+type Partition struct {
+	Key  string
+	Path string
+	Rows int
+	// Bytes is the compressed data size (streams only).
+	Bytes int64
+}
+
+// CreateTable registers a new table.
+func (w *Warehouse) CreateTable(name string, ts *schema.TableSchema, opts dwrf.WriterOptions) (*Table, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.tables[name]; ok {
+		return nil, fmt.Errorf("warehouse: table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: ts, WriteOptions: opts, wh: w, partitions: make(map[string]*Partition)}
+	w.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (w *Warehouse) Table(name string) (*Table, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t, ok := w.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %s", ErrNotFound, name)
+	}
+	return t, nil
+}
+
+// Tables lists table names, sorted.
+func (w *Warehouse) Tables() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.tables))
+	for n := range w.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// partitionPath names the backing file of a partition.
+func partitionPath(table, key string) string {
+	return fmt.Sprintf("warehouse/%s/%s.dwrf", table, key)
+}
+
+// PartitionWriter appends rows to a new partition.
+type PartitionWriter struct {
+	table *Table
+	key   string
+	w     *dwrf.Writer
+	rows  int
+}
+
+// NewPartition opens a writer for a new partition with the given key
+// (e.g. "2026-06-01"). The partition becomes visible on Close.
+func (t *Table) NewPartition(key string) (*PartitionWriter, error) {
+	t.mu.Lock()
+	_, exists := t.partitions[key]
+	t.mu.Unlock()
+	if exists {
+		return nil, fmt.Errorf("warehouse: partition %s/%s already exists", t.Name, key)
+	}
+	w, err := dwrf.NewWriter(t.wh.cluster, partitionPath(t.Name, key), t.Schema, t.WriteOptions)
+	if err != nil {
+		return nil, err
+	}
+	return &PartitionWriter{table: t, key: key, w: w}, nil
+}
+
+// WriteRow appends one sample.
+func (pw *PartitionWriter) WriteRow(s *schema.Sample) error {
+	if err := pw.w.WriteRow(s); err != nil {
+		return err
+	}
+	pw.rows++
+	return nil
+}
+
+// Close seals the partition and publishes it in the table.
+func (pw *PartitionWriter) Close() error {
+	if err := pw.w.Close(); err != nil {
+		return err
+	}
+	path := partitionPath(pw.table.Name, pw.key)
+	r, err := dwrf.OpenReader(pw.table.wh.cluster, path)
+	if err != nil {
+		return err
+	}
+	p := &Partition{Key: pw.key, Path: path, Rows: pw.rows, Bytes: r.DataBytes()}
+	pw.table.mu.Lock()
+	pw.table.partitions[pw.key] = p
+	pw.table.mu.Unlock()
+	return nil
+}
+
+// Partitions returns the table's partitions sorted by key.
+func (t *Table) Partitions() []*Partition {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Partition, 0, len(t.partitions))
+	for _, p := range t.partitions {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Partition looks up one partition.
+func (t *Table) Partition(key string) (*Partition, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.partitions[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: partition %s/%s", ErrNotFound, t.Name, key)
+	}
+	return p, nil
+}
+
+// TotalBytes reports the compressed size of all partitions (Table 3's
+// "All Partitions").
+func (t *Table) TotalBytes() int64 {
+	var total int64
+	for _, p := range t.Partitions() {
+		total += p.Bytes
+	}
+	return total
+}
+
+// BytesForKeys reports the cumulative size of the named partitions
+// (Table 3's "Used Partitions").
+func (t *Table) BytesForKeys(keys []string) (int64, error) {
+	var total int64
+	for _, k := range keys {
+		p, err := t.Partition(k)
+		if err != nil {
+			return 0, err
+		}
+		total += p.Bytes
+	}
+	return total, nil
+}
+
+// FeatureBytes aggregates stored bytes per feature across the named
+// partitions (Figure 7's byte-popularity basis). Pass nil for all
+// partitions.
+func (t *Table) FeatureBytes(keys []string) (map[schema.FeatureID]int64, error) {
+	if keys == nil {
+		for _, p := range t.Partitions() {
+			keys = append(keys, p.Key)
+		}
+	}
+	out := make(map[schema.FeatureID]int64)
+	for _, k := range keys {
+		p, err := t.Partition(k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := dwrf.OpenReader(t.wh.cluster, p.Path)
+		if err != nil {
+			return nil, err
+		}
+		for id, b := range r.FeatureBytes() {
+			out[id] += b
+		}
+	}
+	return out, nil
+}
+
+// ProjectedBytes reports the bytes a projection selects across the named
+// partitions (Table 5's "% bytes used" numerator).
+func (t *Table) ProjectedBytes(keys []string, proj *schema.Projection) (int64, error) {
+	var total int64
+	for _, k := range keys {
+		p, err := t.Partition(k)
+		if err != nil {
+			return 0, err
+		}
+		r, err := dwrf.OpenReader(t.wh.cluster, p.Path)
+		if err != nil {
+			return 0, err
+		}
+		total += r.ProjectedBytes(proj)
+	}
+	return total, nil
+}
+
+// Split is one self-contained unit of read work: a stripe of a partition
+// file. The DPP Master hands splits to Workers (§3.2.1).
+type Split struct {
+	Table     string
+	Partition string
+	Path      string
+	Stripe    int
+	Rows      int
+}
+
+// Splits enumerates the splits covering the named partitions in order.
+// Pass nil for all partitions.
+func (t *Table) Splits(keys []string) ([]Split, error) {
+	if keys == nil {
+		for _, p := range t.Partitions() {
+			keys = append(keys, p.Key)
+		}
+	}
+	var out []Split
+	for _, k := range keys {
+		p, err := t.Partition(k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := dwrf.OpenReader(t.wh.cluster, p.Path)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < r.Stripes(); i++ {
+			out = append(out, Split{
+				Table:     t.Name,
+				Partition: k,
+				Path:      p.Path,
+				Stripe:    i,
+				Rows:      r.StripeRows(i),
+			})
+		}
+	}
+	return out, nil
+}
+
+// ReadSplit reads one split under a projection, returning row samples.
+func (w *Warehouse) ReadSplit(sp Split, proj *schema.Projection, opts dwrf.ReadOptions) ([]*schema.Sample, dwrf.ReadStats, error) {
+	r, err := dwrf.OpenReader(w.cluster, sp.Path)
+	if err != nil {
+		return nil, dwrf.ReadStats{}, err
+	}
+	return r.ReadStripe(sp.Stripe, proj, opts)
+}
+
+// ReadSplitBatch reads one split into the columnar batch representation.
+// For unflattened files (the paper's regular-map baseline) it decodes the
+// whole row payload and converts to columns — the extra copy the flatmap
+// optimization removes.
+func (w *Warehouse) ReadSplitBatch(sp Split, proj *schema.Projection, opts dwrf.ReadOptions) (*dwrf.Batch, dwrf.ReadStats, error) {
+	r, err := dwrf.OpenReader(w.cluster, sp.Path)
+	if err != nil {
+		return nil, dwrf.ReadStats{}, err
+	}
+	if !r.Flattened() {
+		rows, stats, err := r.ReadStripe(sp.Stripe, proj, opts)
+		if err != nil {
+			return nil, stats, err
+		}
+		return dwrf.BatchFromSamples(rows), stats, nil
+	}
+	return r.ReadStripeBatch(sp.Stripe, proj, opts)
+}

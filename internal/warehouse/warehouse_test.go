@@ -1,0 +1,282 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+	"dsi/internal/tectonic"
+)
+
+func testSchema(t *testing.T) *schema.TableSchema {
+	t.Helper()
+	ts := schema.NewTableSchema("rm")
+	for i := 1; i <= 4; i++ {
+		if err := ts.AddColumn(schema.Column{ID: schema.FeatureID(i), Kind: schema.Dense, Name: fmt.Sprintf("d%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 5; i <= 8; i++ {
+		if err := ts.AddColumn(schema.Column{ID: schema.FeatureID(i), Kind: schema.Sparse, Name: fmt.Sprintf("s%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ts
+}
+
+func newWarehouse(t *testing.T) *Warehouse {
+	t.Helper()
+	c, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2, ChunkSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(c)
+}
+
+func fillPartition(t *testing.T, tbl *Table, key string, rows int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pw, err := tbl.NewPartition(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		s := schema.NewSample()
+		s.Label = float32(rng.Intn(2))
+		for id := schema.FeatureID(1); id <= 4; id++ {
+			s.DenseFeatures[id] = rng.Float32()
+		}
+		for id := schema.FeatureID(5); id <= 8; id++ {
+			vals := make([]int64, 1+rng.Intn(5))
+			for j := range vals {
+				vals[j] = rng.Int63n(1000)
+			}
+			s.SparseFeatures[id] = vals
+		}
+		if err := pw.WriteRow(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	w := newWarehouse(t)
+	ts := testSchema(t)
+	if _, err := w.CreateTable("rm1", ts, dwrf.WriterOptions{Flatten: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.CreateTable("rm1", ts, dwrf.WriterOptions{}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	tbl, err := w.Table("rm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "rm1" {
+		t.Fatalf("table name = %s", tbl.Name)
+	}
+	if _, err := w.Table("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing table error = %v", err)
+	}
+	if got := w.Tables(); len(got) != 1 || got[0] != "rm1" {
+		t.Fatalf("Tables = %v", got)
+	}
+}
+
+func TestPartitionLifecycle(t *testing.T) {
+	w := newWarehouse(t)
+	tbl, err := w.CreateTable("rm1", testSchema(t), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPartition(t, tbl, "2026-06-01", 40, 1)
+	fillPartition(t, tbl, "2026-06-02", 40, 2)
+
+	parts := tbl.Partitions()
+	if len(parts) != 2 || parts[0].Key != "2026-06-01" {
+		t.Fatalf("Partitions = %+v", parts)
+	}
+	if parts[0].Rows != 40 || parts[0].Bytes <= 0 {
+		t.Fatalf("partition stats = %+v", parts[0])
+	}
+	if _, err := tbl.NewPartition("2026-06-01"); err == nil {
+		t.Fatal("duplicate partition accepted")
+	}
+	if _, err := tbl.Partition("2026-09-09"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing partition error = %v", err)
+	}
+}
+
+func TestTotalAndUsedBytes(t *testing.T) {
+	w := newWarehouse(t)
+	tbl, err := w.CreateTable("rm1", testSchema(t), dwrf.WriterOptions{Flatten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= 3; d++ {
+		fillPartition(t, tbl, fmt.Sprintf("2026-06-0%d", d), 30, int64(d))
+	}
+	total := tbl.TotalBytes()
+	used, err := tbl.BytesForKeys([]string{"2026-06-01", "2026-06-02"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 || used <= 0 || used >= total {
+		t.Fatalf("total=%d used=%d", total, used)
+	}
+	if _, err := tbl.BytesForKeys([]string{"bad"}); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestSplitsEnumerateStripes(t *testing.T) {
+	w := newWarehouse(t)
+	tbl, err := w.CreateTable("rm1", testSchema(t), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPartition(t, tbl, "p1", 40, 1) // 3 stripes: 16+16+8
+	fillPartition(t, tbl, "p2", 16, 2) // 1 stripe
+
+	splits, err := tbl.Splits(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 4 {
+		t.Fatalf("Splits = %d, want 4", len(splits))
+	}
+	var rows int
+	for _, sp := range splits {
+		rows += sp.Rows
+	}
+	if rows != 56 {
+		t.Fatalf("split rows = %d, want 56", rows)
+	}
+	one, err := tbl.Splits([]string{"p2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Partition != "p2" {
+		t.Fatalf("Splits(p2) = %+v", one)
+	}
+}
+
+func TestReadSplitRoundTrip(t *testing.T) {
+	w := newWarehouse(t)
+	tbl, err := w.CreateTable("rm1", testSchema(t), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPartition(t, tbl, "p1", 32, 7)
+	splits, err := tbl.Splits(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := schema.NewProjection(1, 5)
+	var total int
+	for _, sp := range splits {
+		rows, stats, err := w.ReadSplit(sp, proj, dwrf.ReadOptions{CoalesceBytes: dwrf.DefaultCoalesceBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.BytesRead <= 0 {
+			t.Fatal("no bytes accounted")
+		}
+		for _, r := range rows {
+			if len(r.DenseFeatures) != 1 || len(r.SparseFeatures) != 1 {
+				t.Fatalf("projection leak: %+v", r)
+			}
+		}
+		total += len(rows)
+	}
+	if total != 32 {
+		t.Fatalf("read %d rows, want 32", total)
+	}
+	// Batch path over the same split.
+	b, _, err := w.ReadSplitBatch(splits[0], proj, dwrf.ReadOptions{Flatmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != 16 || len(b.Dense) != 1 || len(b.Sparse) != 1 {
+		t.Fatalf("batch = rows %d dense %d sparse %d", b.Rows, len(b.Dense), len(b.Sparse))
+	}
+}
+
+func TestFeatureBytesAndProjectedBytes(t *testing.T) {
+	w := newWarehouse(t)
+	tbl, err := w.CreateTable("rm1", testSchema(t), dwrf.WriterOptions{Flatten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPartition(t, tbl, "p1", 64, 3)
+
+	fb, err := tbl.FeatureBytes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 features + label pseudo-feature 0.
+	if len(fb) != 9 {
+		t.Fatalf("FeatureBytes has %d entries, want 9", len(fb))
+	}
+	// Sparse features must be bigger than dense ones on average.
+	var denseB, sparseB int64
+	for id := schema.FeatureID(1); id <= 4; id++ {
+		denseB += fb[id]
+	}
+	for id := schema.FeatureID(5); id <= 8; id++ {
+		sparseB += fb[id]
+	}
+	if sparseB <= denseB {
+		t.Fatalf("sparse bytes %d should exceed dense bytes %d", sparseB, denseB)
+	}
+
+	proj := schema.NewProjection(1, 2)
+	pb, err := tbl.ProjectedBytes([]string{"p1"}, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := tbl.TotalBytes()
+	if pb <= 0 || pb >= total/2 {
+		t.Fatalf("projected bytes %d should be a small share of %d", pb, total)
+	}
+}
+
+func TestWriteOptionsAffectNewPartitionsOnly(t *testing.T) {
+	w := newWarehouse(t)
+	tbl, err := w.CreateTable("rm1", testSchema(t), dwrf.WriterOptions{Flatten: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPartition(t, tbl, "old", 16, 1)
+	tbl.WriteOptions = dwrf.WriterOptions{Flatten: true}
+	fillPartition(t, tbl, "new", 16, 2)
+
+	oldSplits, err := tbl.Splits([]string{"old"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := dwrf.OpenReader(w.Cluster(), oldSplits[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flattened() {
+		t.Fatal("old partition should be unflattened")
+	}
+	newSplits, err := tbl.Splits([]string{"new"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := dwrf.OpenReader(w.Cluster(), newSplits[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Flattened() {
+		t.Fatal("new partition should be flattened")
+	}
+}
