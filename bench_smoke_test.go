@@ -1,0 +1,32 @@
+package dsi_test
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestBenchmarksCompileAndRun smoke-runs every benchmark in this file's
+// package exactly once (`go test -run=^$ -bench=. -benchtime=1x`), so a
+// benchmark that no longer compiles or crashes on its first iteration
+// fails the test suite instead of rotting silently. Skipped in -short:
+// the single pass regenerates every experiment (~20s).
+func TestBenchmarksCompileAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke regenerates every experiment; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	// -run=^$ selects no tests (in particular not this one), so the
+	// child process runs benchmarks only.
+	cmd := exec.CommandContext(ctx, goBin, "test", "-run=^$", "-bench=.", "-benchtime=1x", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchmark smoke failed: %v\n%s", err, out)
+	}
+}

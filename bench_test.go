@@ -238,9 +238,10 @@ func BenchmarkStandardGraphRM1Style(b *testing.B) {
 	}
 }
 
-func BenchmarkDPPWorkerSession(b *testing.B) {
-	wh, _, _ := benchDataset(b, true)
-	spec := dpp.SessionSpec{
+// benchSessionSpec is the shared workload for the sequential-vs-
+// pipelined DPP worker benchmarks.
+func benchSessionSpec(pipeline dpp.PipelineOptions) dpp.SessionSpec {
+	return dpp.SessionSpec{
 		Table:    "bench",
 		Features: []schema.FeatureID{1, 2, 17, 18},
 		Ops: []transforms.Op{
@@ -251,7 +252,14 @@ func BenchmarkDPPWorkerSession(b *testing.B) {
 		SparseOut: []schema.FeatureID{100, 18},
 		BatchSize: 128,
 		Read:      dwrf.ReadOptions{CoalesceBytes: 128 << 10, Flatmap: true},
+		Pipeline:  pipeline,
 	}
+}
+
+// benchSession drives one full session and reports batches/sec.
+func benchSession(b *testing.B, wh *warehouse.Warehouse, spec dpp.SessionSpec) {
+	b.Helper()
+	var batches int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := dpp.NewMaster(wh, spec)
@@ -262,17 +270,32 @@ func BenchmarkDPPWorkerSession(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		w.Sink = func(*tensor.Batch) {}
-		for {
-			ok, err := w.ProcessOneSplit()
-			if err != nil {
-				b.Fatal(err)
-			}
-			if !ok {
-				break
-			}
+		w.Sink = func(*tensor.Batch) { batches++ }
+		if err := w.Run(nil); err != nil {
+			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	if batches == 0 {
+		b.Fatal("no batches produced")
+	}
+	b.ReportMetric(float64(batches)/b.Elapsed().Seconds(), "batches/sec")
+}
+
+// BenchmarkDPPWorkerSession is the sequential baseline: one split is
+// fetched, decoded, transformed, and delivered before the next begins.
+func BenchmarkDPPWorkerSession(b *testing.B) {
+	wh, _, _ := benchDataset(b, true)
+	benchSession(b, wh, benchSessionSpec(dpp.PipelineOptions{Sequential: true}))
+}
+
+// BenchmarkDPPPipelinedSession is the same workload through the
+// pipelined data plane (parallel stripe prefetch through the shared
+// reader cache, concurrent transform, bounded delivery). Compare with
+// BenchmarkDPPWorkerSession; BENCH_dpp.json records a reference run.
+func BenchmarkDPPPipelinedSession(b *testing.B) {
+	wh, _, _ := benchDataset(b, true)
+	benchSession(b, wh, benchSessionSpec(dpp.PipelineOptions{Prefetchers: 2, TransformParallelism: 2}))
 }
 
 func BenchmarkTensorMaterialize(b *testing.B) {

@@ -36,17 +36,35 @@ func main() {
 	model := flag.String("model", "RM1", "workload profile: RM1, RM2, or RM3")
 	seed := flag.Int64("seed", 1, "dataset seed (must match across roles)")
 	id := flag.String("id", fmt.Sprintf("worker-%d", os.Getpid()), "worker ID")
+
+	// Pipeline knobs. Master and demo roles only: workers pull the
+	// session spec, pipeline sizing included, from the master at
+	// registration, so setting these on -role worker has no effect.
+	prefetchers := flag.Int("prefetchers", 0, "master/demo: split fetch+decode goroutines per worker (0 = default)")
+	prefetchDepth := flag.Int("prefetch-depth", 0, "master/demo: decoded splits buffered ahead of the transform stage (0 = default)")
+	xformParallel := flag.Int("transform-parallelism", 0, "master/demo: concurrent transform-graph goroutines per worker (0 = default)")
+	bufferDepth := flag.Int("buffer", 0, "master/demo: delivered-tensor buffer capacity in batches (0 = default)")
+	bufferBytes := flag.Int64("buffer-bytes", 0, "master/demo: byte bound on the delivered-tensor buffer (0 = unbounded)")
+	sequential := flag.Bool("sequential", false, "master/demo: disable the pipelined data plane (serial baseline)")
 	flag.Parse()
+
+	pipeline := dpp.PipelineOptions{
+		Prefetchers:          *prefetchers,
+		PrefetchDepth:        *prefetchDepth,
+		TransformParallelism: *xformParallel,
+		MaxBufferedBytes:     *bufferBytes,
+		Sequential:           *sequential,
+	}
 
 	switch *role {
 	case "master":
-		runMaster(*model, *seed, *addr)
+		runMaster(*model, *seed, *addr, pipeline, *bufferDepth)
 	case "worker":
 		runWorker(*model, *seed, *masterAddr, *addr, *id)
 	case "client":
 		runClient(strings.Split(*workerList, ","))
 	case "demo":
-		runDemo(*model, *seed)
+		runDemo(*model, *seed, pipeline, *bufferDepth)
 	default:
 		log.Fatalf("dppd: unknown role %q", *role)
 	}
@@ -66,8 +84,12 @@ func buildWorkload(model string, seed int64) (*warehouse.Warehouse, dpp.SessionS
 	return d, spec
 }
 
-func runMaster(model string, seed int64, addr string) {
+func runMaster(model string, seed int64, addr string, pipeline dpp.PipelineOptions, bufferDepth int) {
 	wh, spec := buildWorkload(model, seed)
+	spec.Pipeline = pipeline
+	if bufferDepth > 0 {
+		spec.BufferDepth = bufferDepth
+	}
 	m, err := dpp.NewMaster(wh, spec)
 	if err != nil {
 		log.Fatal(err)
@@ -112,8 +134,11 @@ func runWorker(model string, seed int64, masterAddr, addr, id string) {
 		log.Fatal(err)
 	}
 	rep := w.Report()
+	stage := w.Stats().Stage
 	log.Printf("dppd worker %s: done, %d splits, %d rows, %d batches",
 		id, rep.SplitsDone, rep.RowsOut, rep.BatchesOut)
+	log.Printf("dppd worker %s: stage busy fetch %.3fs decode %.3fs transform %.3fs deliver %.3fs",
+		id, stage.FetchSeconds, stage.DecodeSeconds, stage.TransformSeconds, stage.DeliverSeconds)
 	// Keep serving until the buffer drains.
 	for w.Buffered() > 0 {
 		time.Sleep(100 * time.Millisecond)
@@ -155,8 +180,12 @@ func runClient(addrs []string) {
 
 // runDemo hosts master, two workers, and a client in one process, all
 // over real TCP loopback connections.
-func runDemo(model string, seed int64) {
+func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth int) {
 	wh, spec := buildWorkload(model, seed)
+	spec.Pipeline = pipeline
+	if bufferDepth > 0 {
+		spec.BufferDepth = bufferDepth
+	}
 	m, err := dpp.NewMaster(wh, spec)
 	if err != nil {
 		log.Fatal(err)
@@ -215,4 +244,18 @@ func runDemo(model string, seed int64) {
 	}
 	log.Printf("dppd demo: trained on %d rows in %d batches over TCP in %v",
 		rows, client.BatchesFetched, time.Since(start).Round(time.Millisecond))
+	for i, api := range apis {
+		rw, ok := api.(*dpp.RemoteWorker)
+		if !ok {
+			continue
+		}
+		stats, err := rw.Stats()
+		if err != nil {
+			log.Printf("dppd demo: worker %d stats: %v", i, err)
+			continue
+		}
+		s := stats.Stage
+		log.Printf("dppd demo: worker %d stage busy fetch %.3fs decode %.3fs transform %.3fs deliver %.3fs",
+			i, s.FetchSeconds, s.DecodeSeconds, s.TransformSeconds, s.DeliverSeconds)
+	}
 }

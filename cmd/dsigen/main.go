@@ -28,6 +28,7 @@ func main() {
 	partitions := flag.Int("partitions", 2, "daily partitions to generate")
 	scale := flag.Float64("scale", 0.01, "feature-count scale")
 	seed := flag.Int64("seed", 1, "generator seed")
+	validate := flag.Bool("validate", true, "re-read every partition through the prefetching reader after writing (a second full read pass; disable for fast bulk generation)")
 	flag.Parse()
 
 	p, err := datagen.ProfileByName(*model)
@@ -79,4 +80,25 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("distinct feature streams: %d (features are stored as separate logical columns)\n", len(fb))
+
+	if !*validate {
+		return
+	}
+	// Validate what was written: stream every partition back through the
+	// prefetching reader and confirm the row counts survive a round trip.
+	fmt.Println("\nvalidation scan (prefetched stripe stream):")
+	for _, part := range tbl.Partitions() {
+		rows, rs, err := tbl.ScanPartition(part.Key, nil,
+			dwrf.ReadOptions{Flatmap: true, CoalesceBytes: dwrf.DefaultCoalesceBytes},
+			dwrf.PrefetchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rows != part.Rows {
+			log.Fatalf("dsigen: partition %s scan returned %d rows, wrote %d", part.Key, rows, part.Rows)
+		}
+		fmt.Printf("  %s: %d rows ok, %d IOs, %d B read, fetch %.2fms decode %.2fms\n",
+			part.Key, rows, rs.IOs, rs.BytesRead,
+			rs.FetchWall.Seconds()*1e3, rs.DecodeWall.Seconds()*1e3)
+	}
 }

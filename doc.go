@@ -6,6 +6,20 @@
 // the disaggregated Data PreProcessing Service (DPP) feeding GPU
 // trainers.
 //
+// The DPP worker data plane is pipelined: a prefetcher pool fetches and
+// decodes upcoming DWRF stripes (through a per-warehouse reader cache
+// and pooled decode buffers), a configurable number of transform
+// goroutines run the preprocessing graph concurrently, and a delivery
+// stage with bounded buffering applies backpressure so per-session
+// memory stays finite. The knobs live in dpp.SessionSpec.Pipeline
+// (prefetchers, prefetch depth, transform parallelism, buffered-byte
+// bound) and surface as cmd/dppd flags; per-stage busy time (fetch /
+// decode / transform / deliver, the paper's Figure 9 breakdown) is
+// reported through WorkerStats and ResourceReport. The sequential
+// baseline survives behind Pipeline.Sequential, and
+// BenchmarkDPPWorkerSession vs BenchmarkDPPPipelinedSession measures
+// the delta (reference run: BENCH_dpp.json).
+//
 // The implementation lives under internal/; see README.md for the
 // architecture overview, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

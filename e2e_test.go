@@ -1,0 +1,205 @@
+package dsi_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dsi/internal/datagen"
+	"dsi/internal/dpp"
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+	"dsi/internal/tectonic"
+	"dsi/internal/tensor"
+	"dsi/internal/trainer"
+	"dsi/internal/transforms"
+	"dsi/internal/warehouse"
+)
+
+// TestEndToEndPipelinedSessionChecksums drives the full DSI flow —
+// datagen synthesizes samples, dwrf writes them through the warehouse,
+// a DPP master plans the session, pipelined workers extract/transform/
+// load, and the trainer-side client consumes every batch — and asserts
+// the delivered tensors carry exactly the written rows: row counts and
+// order-independent feature checksums must match the generated data.
+func TestEndToEndPipelinedSessionChecksums(t *testing.T) {
+	const (
+		partitions  = 2
+		rowsPerPart = 384
+	)
+	p, err := datagen.ProfileByName("RM1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := p.Scale(0.01, partitions, rowsPerPart)
+	gen := datagen.NewGenerator(spec, 7)
+
+	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := warehouse.New(cluster)
+	tbl, err := wh.CreateTable("e2e", spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The session materializes two raw dense and two raw sparse features
+	// untouched (checksummable against the generated samples) plus two
+	// transformed outputs.
+	denseA, denseB := schema.FeatureID(1), schema.FeatureID(2)
+	sparseA := schema.FeatureID(spec.DenseFeats + 1)
+	sparseB := schema.FeatureID(spec.DenseFeats + 2)
+	const (
+		hashedOut = schema.FeatureID(1 << 20)
+		logitOut  = schema.FeatureID(1<<20 + 1)
+		hashMax   = int64(1) << 16
+	)
+
+	// Generate, write, and digest the ground truth in one pass.
+	want := tensor.NewContentSum()
+	for part := 0; part < partitions; part++ {
+		pw, err := tbl.NewPartition(fmt.Sprintf("2026-07-%02d", part+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rowsPerPart; i++ {
+			s := gen.Sample()
+			if err := pw.WriteRow(s); err != nil {
+				t.Fatal(err)
+			}
+			want.Rows++
+			want.AddLabel(s.Label)
+			want.AddDense(denseA, s.DenseFeatures[denseA]) // absent → 0, matching materialization
+			want.AddDense(denseB, s.DenseFeatures[denseB])
+			want.AddSparse(sparseA, s.SparseFeatures[sparseA])
+			want.AddSparse(sparseB, s.SparseFeatures[sparseB])
+		}
+		if err := pw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	session := dpp.SessionSpec{
+		Table:    "e2e",
+		Features: []schema.FeatureID{denseA, denseB, sparseA, sparseB},
+		Ops: []transforms.Op{
+			&transforms.SigridHash{In: sparseA, Out: hashedOut, Salt: 3, MaxValue: hashMax},
+			&transforms.Logit{In: denseA, Out: logitOut},
+		},
+		DenseOut:  []schema.FeatureID{denseA, denseB, logitOut},
+		SparseOut: []schema.FeatureID{sparseA, sparseB, hashedOut},
+		BatchSize: 32,
+		Read:      dwrf.ReadOptions{CoalesceBytes: dwrf.DefaultCoalesceBytes, Flatmap: true},
+		Pipeline:  dpp.PipelineOptions{Prefetchers: 3, TransformParallelism: 3},
+	}
+	m, err := dpp.NewMaster(wh, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var workers []*dpp.Worker
+	var apis []dpp.WorkerAPI
+	for i := 0; i < 2; i++ {
+		w, err := dpp.NewWorker(fmt.Sprintf("e2e-w%d", i), m, wh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+		apis = append(apis, dpp.LocalWorkerAPI(w))
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *dpp.Worker) {
+			defer wg.Done()
+			if err := w.Run(nil); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+
+	// The trainer-side consumption loop: every delivered batch is
+	// digested exactly as the training loop would load it.
+	client, err := dpp.NewClient(apis, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.NewContentSum()
+	batches := 0
+	for {
+		b, ok, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		batches++
+		if b.Rows > session.BatchSize {
+			t.Fatalf("batch of %d rows exceeds batch size %d", b.Rows, session.BatchSize)
+		}
+		got.AddBatch(b)
+		for _, s := range b.Sparse {
+			if s.Feature != hashedOut {
+				continue
+			}
+			for _, idx := range s.Indices {
+				if idx < 0 || idx >= hashMax {
+					t.Fatalf("unhashed index %d in transformed feature", idx)
+				}
+			}
+		}
+	}
+	wg.Wait()
+
+	if got.Rows != int64(partitions*rowsPerPart) {
+		t.Fatalf("trainer consumed %d rows, want %d", got.Rows, partitions*rowsPerPart)
+	}
+	// Drop the transformed outputs from the delivered digest: the
+	// ground-truth digest covers the raw passthrough features.
+	delete(got.Dense, logitOut)
+	delete(got.Sparse, hashedOut)
+	delete(got.Counts, hashedOut)
+	if !got.Equal(want) {
+		t.Fatalf("content checksums diverge:\n got %+v\nwant %+v", got, want)
+	}
+	if batches == 0 {
+		t.Fatal("no batches delivered")
+	}
+
+	// The workers' per-stage accounting must cover the whole flow.
+	for _, w := range workers {
+		stage := w.Stats().Stage
+		if stage.Total() <= 0 {
+			t.Fatalf("worker %s reported no stage busy time: %+v", w.ID, stage)
+		}
+	}
+
+	// A trainer over a fresh identical session observes the same row
+	// count through its own consumption loop.
+	m2, err := dpp.NewMaster(wh, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := dpp.NewWorker("e2e-trainer-w", m2, wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := w2.Run(nil); err != nil {
+			t.Error(err)
+		}
+	}()
+	client2, err := dpp.NewClient([]dpp.WorkerAPI{dpp.LocalWorkerAPI(w2)}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trainer.NewTrainer(client2)
+	if _, err := tr.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.RowsConsumed != int64(partitions*rowsPerPart) {
+		t.Fatalf("trainer consumed %d rows, want %d", tr.RowsConsumed, partitions*rowsPerPart)
+	}
+}

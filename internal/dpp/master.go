@@ -21,6 +21,28 @@ type WorkerStats struct {
 	NICUtil         float64
 	BufferedBatches int
 	RowsPerSec      float64
+	// Stage is the cumulative per-stage busy-time breakdown of the
+	// worker's pipelined data plane (the Figure 9 measurement: where do
+	// worker cycles actually go?).
+	Stage StageBusy
+}
+
+// StageBusy is the cumulative wall time each data-plane stage has spent
+// busy, in seconds. Fetch is time waiting on storage, Decode is
+// decrypt+decompress+decode into columnar batches, Transform is the
+// preprocessing graph plus tensor materialization, and Deliver is
+// handing tensors to the buffer — including time blocked on the
+// bounded buffer, i.e. backpressure from slow trainers.
+type StageBusy struct {
+	FetchSeconds     float64
+	DecodeSeconds    float64
+	TransformSeconds float64
+	DeliverSeconds   float64
+}
+
+// Total sums the per-stage busy seconds.
+func (s StageBusy) Total() float64 {
+	return s.FetchSeconds + s.DecodeSeconds + s.TransformSeconds + s.DeliverSeconds
 }
 
 // MasterAPI is the control-plane surface Workers depend on. The Master
@@ -56,13 +78,22 @@ type Master struct {
 	now func() time.Time
 
 	// LeaseTimeout is how long a split may stay leased to a silent
-	// worker before ReapDead reassigns it.
+	// worker before ReapDead reassigns it. Heartbeats renew leases, so
+	// the timeout measures liveness, not progress.
 	LeaseTimeout time.Duration
+	// MaxLeaseAge caps how long a split may stay leased regardless of
+	// heartbeats, so a live-but-wedged worker (e.g. a fetch hung on a
+	// bad storage node) cannot hold a split forever. Zero defaults to
+	// 10x LeaseTimeout; the requeued split may be processed twice if
+	// the wedged worker eventually recovers, which split idempotence
+	// makes safe.
+	MaxLeaseAge time.Duration
 }
 
 type lease struct {
-	worker string
-	since  time.Time
+	worker  string
+	since   time.Time // renewed by heartbeats
+	granted time.Time // fixed at lease time
 }
 
 type workerInfo struct {
@@ -89,6 +120,9 @@ func NewMaster(wh *warehouse.Warehouse, spec SessionSpec) (*Master, error) {
 	if len(splits) == 0 {
 		return nil, fmt.Errorf("dpp: session over %s selects no splits", spec.Table)
 	}
+	// Session planning sizes each worker's pipeline to the actual work:
+	// the planned knobs reach workers through RegisterWorker.
+	spec.Pipeline = spec.Pipeline.planFor(len(splits))
 	m := &Master{
 		spec:         spec,
 		splits:       splits,
@@ -132,7 +166,8 @@ func (m *Master) NextSplit(workerID string) (warehouse.Split, int, bool, error) 
 	}
 	id := m.pending[0]
 	m.pending = m.pending[1:]
-	m.inflight[id] = &lease{worker: workerID, since: m.now()}
+	now := m.now()
+	m.inflight[id] = &lease{worker: workerID, since: now, granted: now}
 	return m.splits[id], id, true, nil
 }
 
@@ -160,7 +195,12 @@ func (m *Master) CompleteSplit(workerID string, splitID int) error {
 	return nil
 }
 
-// Heartbeat implements MasterAPI.
+// Heartbeat implements MasterAPI. A heartbeat also renews the worker's
+// in-flight leases: a pipelined worker holds several splits at once
+// (prefetched, transforming, or buffered behind a stalled trainer), and
+// without renewal a trainer stall longer than the lease timeout would
+// make ReapDead requeue splits that are still alive inside the worker —
+// delivering their rows twice.
 func (m *Master) Heartbeat(workerID string, stats WorkerStats) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -168,8 +208,14 @@ func (m *Master) Heartbeat(workerID string, stats WorkerStats) error {
 	if !ok {
 		return fmt.Errorf("dpp: unregistered worker %q", workerID)
 	}
-	w.lastSeen = m.now()
+	now := m.now()
+	w.lastSeen = now
 	w.stats = stats
+	for _, l := range m.inflight {
+		if l.worker == workerID {
+			l.since = now
+		}
+	}
 	return nil
 }
 
@@ -188,13 +234,19 @@ func (m *Master) Progress() (completed, total int) {
 }
 
 // ReapDead re-queues splits leased to workers that have not been seen
-// within the lease timeout, and forgets those workers. Workers are
-// stateless, so reassignment needs no checkpoint restore (§3.2.1).
-// It returns the number of splits reassigned.
+// within the lease timeout, and forgets those workers; it also requeues
+// leases older than MaxLeaseAge even when the holder still heartbeats
+// (a wedged-but-live worker). Workers are stateless, so reassignment
+// needs no checkpoint restore (§3.2.1). It returns the number of splits
+// reassigned.
 func (m *Master) ReapDead() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.now()
+	maxAge := m.MaxLeaseAge
+	if maxAge == 0 {
+		maxAge = 10 * m.LeaseTimeout
+	}
 	dead := make(map[string]bool)
 	for id, w := range m.workers {
 		if now.Sub(w.lastSeen) > m.LeaseTimeout {
@@ -203,7 +255,7 @@ func (m *Master) ReapDead() int {
 	}
 	reassigned := 0
 	for splitID, l := range m.inflight {
-		if dead[l.worker] || now.Sub(l.since) > m.LeaseTimeout {
+		if dead[l.worker] || now.Sub(l.since) > m.LeaseTimeout || now.Sub(l.granted) > maxAge {
 			delete(m.inflight, splitID)
 			m.pending = append(m.pending, splitID)
 			reassigned++

@@ -1,0 +1,241 @@
+package dpp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dsi/internal/dwrf"
+)
+
+// This file implements the worker's pipelined data plane: the strictly
+// serial fetch → decode → transform → deliver loop of the baseline is
+// rebuilt as three overlapped stages joined by bounded channels, so the
+// NIC keeps fetching stripes while the CPU transforms earlier ones and
+// finished tensors drain to trainers concurrently (the paper's central
+// DPP requirement: online preprocessing must overlap extract, transform,
+// and load to keep trainers fed).
+//
+//	fetch pool (Prefetchers goroutines)
+//	    master.NextSplit → warehouse read (cached reader, pooled
+//	    buffers) → decoded columnar batch
+//	        │  bounded by PrefetchDepth
+//	transform pool (TransformParallelism goroutines)
+//	    preprocessing graph → tensor materialization → batch slicing
+//	        │  bounded by PrefetchDepth
+//	deliver stage (one goroutine: the Run caller)
+//	    resource accounting → bounded output buffer (BufferDepth
+//	    batches / MaxBufferedBytes) → CompleteSplit → heartbeat
+//
+// Every inter-stage channel is bounded, so a slow trainer stalls the
+// whole pipeline backwards instead of growing buffers without limit.
+
+// fetchedSplit is one decoded split flowing from fetch to transform.
+type fetchedSplit struct {
+	splitID int
+	batch   *dwrf.Batch
+	stats   dwrf.ReadStats
+}
+
+// transformedSplit is one transformed split flowing to the deliver stage.
+type transformedSplit struct {
+	splitID int
+	stats   dwrf.ReadStats
+	tr      transformed
+}
+
+// pipelineAbort coordinates shutdown across stage goroutines: the first
+// failure (or an external stop) closes the abort channel, and every
+// stage unblocks and drains.
+type pipelineAbort struct {
+	ch   chan struct{}
+	once sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+func newPipelineAbort() *pipelineAbort {
+	return &pipelineAbort{ch: make(chan struct{})}
+}
+
+// fail records the first error and releases every stage. A nil err is an
+// orderly stop (external cancellation), not a failure.
+func (a *pipelineAbort) fail(err error) {
+	a.once.Do(func() {
+		a.mu.Lock()
+		a.err = err
+		a.mu.Unlock()
+		close(a.ch)
+	})
+}
+
+// firstErr returns the recorded error, if any.
+func (a *pipelineAbort) firstErr() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// runPipelined drives the session through the overlapped data plane
+// until the master reports it done, stop is closed, or a stage fails.
+func (w *Worker) runPipelined(stop <-chan struct{}) error {
+	pl := w.spec.Pipeline
+	abort := newPipelineAbort()
+
+	// Translate the external stop signal into an orderly abort.
+	if stop != nil {
+		stopDone := make(chan struct{})
+		defer close(stopDone)
+		go func() {
+			select {
+			case <-stop:
+				abort.fail(nil)
+			case <-abort.ch:
+			case <-stopDone:
+			}
+		}()
+	}
+
+	fetched := make(chan fetchedSplit, pl.PrefetchDepth)
+	xformed := make(chan transformedSplit, pl.PrefetchDepth)
+
+	// Fetch pool: lease splits and decode them ahead of the transform
+	// stage.
+	var fetchWG sync.WaitGroup
+	for i := 0; i < pl.Prefetchers; i++ {
+		fetchWG.Add(1)
+		go func() {
+			defer fetchWG.Done()
+			w.fetchLoop(fetched, abort)
+		}()
+	}
+	go func() {
+		fetchWG.Wait()
+		close(fetched)
+	}()
+
+	// Transform pool: run the preprocessing graph concurrently. The
+	// graph is compiled once and its ops are stateless, so sharing it
+	// across goroutines is safe; each split's batch is private to one
+	// goroutine at a time.
+	var xformWG sync.WaitGroup
+	for i := 0; i < pl.TransformParallelism; i++ {
+		xformWG.Add(1)
+		go func() {
+			defer xformWG.Done()
+			for f := range fetched {
+				tr, err := w.transformBatch(f.batch)
+				if err != nil {
+					abort.fail(err)
+					return
+				}
+				select {
+				case xformed <- transformedSplit{splitID: f.splitID, stats: f.stats, tr: tr}:
+				case <-abort.ch:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		xformWG.Wait()
+		close(xformed)
+	}()
+
+	// Deliver stage, on the caller's goroutine: account, buffer with
+	// backpressure, acknowledge the split, heartbeat.
+	for t := range xformed {
+		w.accountSplit(t.stats, t.tr)
+		if err := w.deliverAll(t.tr.batches, abort.ch); err != nil {
+			// Delivery is canceled only by an abort already in flight
+			// (external stop or a stage failure); fold into it.
+			abort.fail(nil)
+			break
+		}
+		if err := w.master.CompleteSplit(w.ID, t.splitID); err != nil {
+			abort.fail(err)
+			break
+		}
+		w.mu.Lock()
+		w.report.SplitsDone++
+		close(w.splitDone) // wake fetchers waiting to re-check Done
+		w.splitDone = make(chan struct{})
+		w.mu.Unlock()
+		if err := w.master.Heartbeat(w.ID, w.Stats()); err != nil {
+			abort.fail(err)
+			break
+		}
+	}
+
+	// Unblock and drain any stage still running, then wait for all
+	// goroutines so the worker owns no concurrency after Run returns.
+	abort.fail(nil) // no-op if a real error or stop already aborted
+	for range xformed {
+	}
+	fetchWG.Wait()
+	xformWG.Wait()
+
+	return abort.firstErr()
+}
+
+// fetchLoop is one fetch-pool goroutine: it leases splits until the
+// session is done, decoding each through the cached-reader path.
+func (w *Worker) fetchLoop(out chan<- fetchedSplit, abort *pipelineAbort) {
+	// Idle polling backs off exponentially so a worker waiting on
+	// splits leased elsewhere doesn't hammer a remote master with RPCs
+	// during the session tail; the local splitDone signal still ends
+	// the wait immediately when this worker completes a split.
+	const maxBackoff = 50 * time.Millisecond
+	backoff := time.Millisecond
+	for {
+		select {
+		case <-abort.ch:
+			return
+		default:
+		}
+		split, splitID, ok, err := w.master.NextSplit(w.ID)
+		if err != nil {
+			abort.fail(err)
+			return
+		}
+		if !ok {
+			done, err := w.master.Done()
+			if err != nil {
+				abort.fail(err)
+				return
+			}
+			if done {
+				return
+			}
+			// The remaining splits are leased (to this worker's deliver
+			// stage or to other workers); wait for a completion signal
+			// before re-checking, with a backed-off timeout covering
+			// completions on other workers.
+			w.mu.Lock()
+			wait := w.splitDone
+			w.mu.Unlock()
+			select {
+			case <-abort.ch:
+				return
+			case <-wait:
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = time.Millisecond
+		batch, stats, err := w.fetchSplit(split, true)
+		if err != nil {
+			abort.fail(fmt.Errorf("dpp: worker %s split %d: %w", w.ID, splitID, err))
+			return
+		}
+		select {
+		case out <- fetchedSplit{splitID: splitID, batch: batch, stats: stats}:
+		case <-abort.ch:
+			return
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package dpp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPipelinedWorkerMatchesSequential verifies the pipelined data plane
+// produces exactly the rows the sequential baseline does.
+func TestPipelinedWorkerMatchesSequential(t *testing.T) {
+	run := func(sequential bool) (rows int, batches int) {
+		wh, spec := buildFixture(t, 64, 16)
+		spec.Pipeline = PipelineOptions{Sequential: sequential, Prefetchers: 3, TransformParallelism: 3}
+		m, err := NewMaster(wh, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorker("w", m, wh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		w.Sink = func(b *blob) {
+			mu.Lock()
+			rows += b.Rows
+			batches++
+			mu.Unlock()
+		}
+		if err := w.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		done, _ := m.Done()
+		if !done {
+			t.Fatal("session not done")
+		}
+		return rows, batches
+	}
+	seqRows, seqBatches := run(true)
+	pipRows, pipBatches := run(false)
+	if seqRows != 128 || pipRows != 128 {
+		t.Fatalf("rows: sequential %d, pipelined %d, want 128", seqRows, pipRows)
+	}
+	if seqBatches != pipBatches {
+		t.Fatalf("batches: sequential %d, pipelined %d", seqBatches, pipBatches)
+	}
+}
+
+// TestPipelinedSessionConcurrentStats runs a parallel pipeline while
+// hammering Stats/Report/Buffered from other goroutines; run under
+// -race this is the pipeline's data-race check.
+func TestPipelinedSessionConcurrentStats(t *testing.T) {
+	wh, spec := buildFixture(t, 96, 8) // 24 splits
+	spec.Pipeline = PipelineOptions{Prefetchers: 4, TransformParallelism: 4, PrefetchDepth: 6}
+	spec.BufferDepth = 4
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker("w", m, wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stopPoll := make(chan struct{})
+	var pollWG sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			for {
+				select {
+				case <-stopPoll:
+					return
+				default:
+				}
+				_ = w.Stats()
+				_ = w.Report()
+				_ = w.Buffered()
+			}
+		}()
+	}
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run(nil) }()
+
+	rows := 0
+	for {
+		b, ok := w.GetBatch()
+		if !ok {
+			break
+		}
+		rows += b.Rows
+	}
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	close(stopPoll)
+	pollWG.Wait()
+
+	if rows != 192 {
+		t.Fatalf("consumed %d rows, want 192", rows)
+	}
+	rep := w.Report()
+	if rep.SplitsDone != 24 {
+		t.Fatalf("SplitsDone = %d, want 24", rep.SplitsDone)
+	}
+	stage := w.Stats().Stage
+	if stage.FetchSeconds <= 0 || stage.DecodeSeconds <= 0 || stage.TransformSeconds <= 0 || stage.DeliverSeconds <= 0 {
+		t.Fatalf("per-stage busy breakdown not populated: %+v", stage)
+	}
+	if rep.FetchBusy <= 0 || rep.DecodeBusy <= 0 || rep.TransformBusy <= 0 || rep.DeliverBusy <= 0 {
+		t.Fatalf("report stage busy not populated: %+v", rep)
+	}
+}
+
+// TestPipelinedCancellationLeaksNoGoroutines stops a pipelined session
+// mid-flight and asserts every stage goroutine exits.
+func TestPipelinedCancellationLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 3; iter++ {
+		wh, spec := buildFixture(t, 128, 8) // 32 splits
+		spec.Pipeline = PipelineOptions{Prefetchers: 4, TransformParallelism: 4}
+		spec.BufferDepth = 2 // force backpressure so stages are mid-flight
+		m, err := NewMaster(wh, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorker(fmt.Sprintf("w%d", iter), m, wh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		runErr := make(chan error, 1)
+		go func() { runErr <- w.Run(stop) }()
+
+		// Take a couple of batches so the pipeline is demonstrably
+		// running, then cancel with the buffer full and stages blocked.
+		for i := 0; i < 2; i++ {
+			if _, ok := w.GetBatch(); !ok {
+				t.Fatal("worker finished before cancellation")
+			}
+		}
+		close(stop)
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("stopped run returned error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Run did not return after stop")
+		}
+	}
+	// Goroutine counts settle asynchronously; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
+}
+
+// TestPipelineBackpressureBoundsBufferedBytes checks MaxBufferedBytes
+// actually bounds resident tensor memory (paper: bounded buffering
+// avoids OOM).
+func TestPipelineBackpressureBoundsBufferedBytes(t *testing.T) {
+	wh, spec := buildFixture(t, 128, 8)
+	spec.BatchSize = 4
+	spec.BufferDepth = 1 << 20 // count bound effectively off
+	spec.Pipeline = PipelineOptions{Prefetchers: 4, TransformParallelism: 4, MaxBufferedBytes: 8 << 10}
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker("w", m, wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run(nil) }()
+
+	var maxBatch int64
+	rows := 0
+	for {
+		b, ok := w.GetBatch()
+		if !ok {
+			break
+		}
+		if s := b.SizeBytes(); s > maxBatch {
+			maxBatch = s
+		}
+		rows += b.Rows
+		// A slow trainer: give the pipeline time to overfill if it can.
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	if rows != 256 {
+		t.Fatalf("rows = %d, want 256", rows)
+	}
+	peak := w.Report().ResidentPeak
+	// The bound may be exceeded by at most one batch (an empty buffer
+	// always admits a batch so delivery cannot deadlock).
+	if limit := spec.Pipeline.MaxBufferedBytes + maxBatch; peak > limit {
+		t.Fatalf("ResidentPeak %d exceeds bound %d (max batch %d)", peak, limit, maxBatch)
+	}
+}
+
+// TestPipelinedWorkersShareSession runs several pipelined workers
+// against one master with concurrent autoscaler-style stat polling.
+func TestPipelinedWorkersShareSession(t *testing.T) {
+	wh, spec := buildFixture(t, 96, 8)
+	spec.Pipeline = PipelineOptions{Prefetchers: 2, TransformParallelism: 2}
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workers []*Worker
+	var apis []WorkerAPI
+	for i := 0; i < 3; i++ {
+		w, err := NewWorker(fmt.Sprintf("pw%d", i), m, wh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+		apis = append(apis, LocalWorkerAPI(w))
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			if err := w.Run(nil); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	var polls atomic.Int64
+	pollStop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-pollStop:
+				return
+			default:
+				_ = m.WorkerStatsSnapshot()
+				polls.Add(1)
+			}
+		}
+	}()
+
+	client, err := NewClient(apis, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for {
+		b, ok, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += b.Rows
+	}
+	wg.Wait()
+	close(pollStop)
+	if rows != 192 {
+		t.Fatalf("rows = %d, want 192", rows)
+	}
+	if polls.Load() == 0 {
+		t.Fatal("stat poller never ran")
+	}
+}
+
+// TestHeartbeatRenewsInflightLeases covers the stalled-trainer case: a
+// pipelined worker holds several leases for longer than the lease
+// timeout while delivery is blocked, but as long as it heartbeats the
+// master must not requeue its splits (which would deliver rows twice).
+func TestHeartbeatRenewsInflightLeases(t *testing.T) {
+	wh, spec := buildFixture(t, 64, 16)
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	m.now = func() time.Time { return now }
+	m.LeaseTimeout = 10 * time.Second
+
+	if _, err := m.RegisterWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, ok, err := m.NextSplit("w1"); err != nil || !ok {
+			t.Fatal("lease failed")
+		}
+	}
+	// Leases age past the timeout, but heartbeats keep arriving.
+	for i := 0; i < 4; i++ {
+		now = now.Add(6 * time.Second)
+		if err := m.Heartbeat("w1", WorkerStats{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.ReapDead(); got != 0 {
+		t.Fatalf("ReapDead requeued %d leases of a live, heartbeating worker", got)
+	}
+	// A live-but-wedged worker cannot hold a lease past MaxLeaseAge:
+	// keep heartbeating without completing anything until the absolute
+	// cap (10x timeout from grant) is exceeded.
+	for i := 0; i < 16; i++ {
+		now = now.Add(6 * time.Second)
+		if err := m.Heartbeat("w1", WorkerStats{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.ReapDead(); got != 3 {
+		t.Fatalf("ReapDead = %d for wedged worker past MaxLeaseAge, want 3", got)
+	}
+	// Once heartbeats stop, remaining leases are reclaimed too.
+	if _, _, ok, err := m.NextSplit("w1"); err != nil || !ok {
+		t.Fatal("re-lease failed")
+	}
+	now = now.Add(11 * time.Second)
+	if got := m.ReapDead(); got != 1 {
+		t.Fatalf("ReapDead = %d after silence, want 1", got)
+	}
+}

@@ -203,6 +203,18 @@ func (s *WorkerService) Fetch(args *struct{}, reply *FetchReply) error {
 	return nil
 }
 
+// StatsReply carries a worker utilization snapshot, including the
+// pipelined data plane's per-stage busy breakdown.
+type StatsReply struct {
+	Stats WorkerStats
+}
+
+// Stats reports the worker's live utilization snapshot.
+func (s *WorkerService) Stats(args *struct{}, reply *StatsReply) error {
+	reply.Stats = s.worker.Stats()
+	return nil
+}
+
 // ServeWorker exposes a worker's buffer over net/rpc.
 func ServeWorker(worker *Worker, addr string) (net.Listener, func(), error) {
 	srv := rpc.NewServer()
@@ -262,6 +274,16 @@ func (r *RemoteWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
 		return nil, false, false, err
 	}
 	return reply.Batch, reply.OK, reply.Done, nil
+}
+
+// Stats fetches the worker's live utilization snapshot, including the
+// per-stage pipeline breakdown.
+func (r *RemoteWorker) Stats() (WorkerStats, error) {
+	var reply StatsReply
+	if err := r.client.Call("Worker.Stats", &struct{}{}, &reply); err != nil {
+		return WorkerStats{}, err
+	}
+	return reply.Stats, nil
 }
 
 var _ WorkerAPI = (*RemoteWorker)(nil)

@@ -10,8 +10,11 @@
 //     checkpoints reader state, restarts failed Workers, and auto-scales
 //     the Worker pool to eliminate data stalls.
 //   - Workers (data plane) are stateless: they pull the transformation
-//     spec at startup, then loop fetching splits, extracting and
-//     transforming rows, and buffering materialized tensors.
+//     spec at startup, then run splits through a bounded multi-stage
+//     pipeline — a prefetcher pool fetching and decoding stripes ahead
+//     of consumption, a concurrent transform stage, and a delivery
+//     stage whose bounded buffer applies backpressure — sized by
+//     SessionSpec.Pipeline and observable per stage via WorkerStats.
 //   - Clients run on trainer nodes and fetch tensors from Workers with
 //     partitioned round-robin routing.
 //
@@ -52,8 +55,77 @@ type SessionSpec struct {
 	Read dwrf.ReadOptions
 	// BufferDepth is the per-worker tensor buffer capacity in batches.
 	BufferDepth int
+	// Pipeline sizes the worker's pipelined data plane; the zero value
+	// enables it with default parallelism.
+	Pipeline PipelineOptions
 	// Costs tunes the worker resource model; zero value means defaults.
 	Costs CostParams
+}
+
+// PipelineOptions sizes the worker's pipelined data plane: extract,
+// transform, and load run as overlapped stages instead of a strictly
+// serial loop, so the NIC keeps fetching while the CPU transforms and
+// the CPU keeps transforming while tensors drain to trainers — the
+// overlap the paper's DPP workers need to avoid the Table 7 data stalls.
+// Every buffer between stages is bounded, keeping per-session memory
+// finite (§DPP: avoid OOM from unbounded buffering).
+type PipelineOptions struct {
+	// Prefetchers is the number of goroutines leasing splits and
+	// fetching+decoding stripes ahead of the transform stage. Default 2.
+	Prefetchers int
+	// PrefetchDepth is the maximum number of decoded splits buffered
+	// between the fetch and transform stages. Default
+	// max(2, Prefetchers).
+	PrefetchDepth int
+	// TransformParallelism is the number of goroutines running the
+	// transformation graph concurrently. Default 2.
+	TransformParallelism int
+	// MaxBufferedBytes bounds the delivered-tensor buffer by bytes on
+	// top of BufferDepth's batch-count bound (0 = count bound only). A
+	// single batch larger than the bound is still admitted when the
+	// buffer is empty, so delivery always makes progress.
+	MaxBufferedBytes int64
+	// Sequential disables the pipeline, restoring the strictly serial
+	// fetch → decode → transform → deliver loop (the stall baseline the
+	// paper measures against).
+	Sequential bool
+}
+
+// withDefaults fills zero fields.
+func (o PipelineOptions) withDefaults() PipelineOptions {
+	if o.Sequential {
+		return o
+	}
+	if o.Prefetchers <= 0 {
+		o.Prefetchers = 2
+	}
+	if o.TransformParallelism <= 0 {
+		o.TransformParallelism = 2
+	}
+	if o.PrefetchDepth < o.Prefetchers {
+		o.PrefetchDepth = o.Prefetchers
+	}
+	return o
+}
+
+// planFor clamps the stage parallelism to the session's actual split
+// count; the Master applies this during session planning so a tiny
+// session doesn't spin up idle stage goroutines on every worker.
+func (o PipelineOptions) planFor(splits int) PipelineOptions {
+	o = o.withDefaults()
+	if o.Sequential || splits <= 0 {
+		return o
+	}
+	if o.Prefetchers > splits {
+		o.Prefetchers = splits
+	}
+	if o.PrefetchDepth > splits {
+		o.PrefetchDepth = splits
+	}
+	if o.TransformParallelism > splits {
+		o.TransformParallelism = splits
+	}
+	return o
 }
 
 // Validate checks the spec for obvious misconfiguration.
@@ -75,6 +147,7 @@ func (s SessionSpec) withDefaults() SessionSpec {
 	if s.BufferDepth == 0 {
 		s.BufferDepth = 8
 	}
+	s.Pipeline = s.Pipeline.withDefaults()
 	s.Costs = s.Costs.withDefaults()
 	return s
 }

@@ -1,11 +1,14 @@
 package dpp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"dsi/internal/dwrf"
 	"dsi/internal/hw"
+	"dsi/internal/metrics"
 	"dsi/internal/schema"
 	"dsi/internal/tensor"
 	"dsi/internal/transforms"
@@ -44,6 +47,16 @@ type ResourceReport struct {
 	BatchesOut   int64
 	SplitsDone   int64
 	ResidentPeak int64 // peak buffered tensor bytes
+
+	// Per-stage busy wall time of the data plane (fetch vs decode vs
+	// transform vs deliver), cumulative across all stage goroutines —
+	// the repository-side analogue of Figure 9's cycle breakdown.
+	// DeliverBusy includes time blocked on the bounded output buffer
+	// (backpressure from slow trainers).
+	FetchBusy     time.Duration
+	DecodeBusy    time.Duration
+	TransformBusy time.Duration
+	DeliverBusy   time.Duration
 
 	// ThreadLimit caps how many cores the workload can actually use
 	// (0 = all). Memory-capacity-bound models (RM3, §6.3) run with a
@@ -155,15 +168,25 @@ type Worker struct {
 	graph  *transforms.Graph
 	proj   *schema.Projection
 
-	mu       sync.Mutex
-	buffer   []*tensor.Batch
-	bufBytes int64
-	finished bool
-	report   ResourceReport
-	notEmpty chan struct{} // closed-and-replaced signal for waiters
+	mu        sync.Mutex
+	buffer    []*tensor.Batch
+	bufBytes  int64
+	finished  bool
+	report    ResourceReport
+	notEmpty  chan struct{} // closed-and-replaced signal for consumers
+	notFull   chan struct{} // closed-and-replaced signal for producers
+	splitDone chan struct{} // closed-and-replaced after each CompleteSplit
+
+	// Stage stopwatches accumulate busy time across all pipeline
+	// goroutines; Report folds them into the resource report.
+	stageFetch     metrics.Stopwatch
+	stageDecode    metrics.Stopwatch
+	stageTransform metrics.Stopwatch
+	stageDeliver   metrics.Stopwatch
 
 	// Sink, when set, receives batches directly instead of the buffer
-	// (offline measurement mode).
+	// (offline measurement mode). It is always invoked from a single
+	// goroutine at a time, pipelined or not.
 	Sink func(*tensor.Batch)
 
 	// Node is the hardware this worker is modelled on (default C-v1, the
@@ -186,15 +209,17 @@ func NewWorker(id string, master MasterAPI, wh *warehouse.Warehouse) (*Worker, e
 		return nil, fmt.Errorf("dpp: worker %s graph: %w", id, err)
 	}
 	return &Worker{
-		ID:       id,
-		master:   master,
-		wh:       wh,
-		spec:     spec,
-		graph:    graph,
-		proj:     spec.Projection(),
-		notEmpty: make(chan struct{}),
-		Node:     hw.CV1,
-		ClockGHz: 2.5,
+		ID:        id,
+		master:    master,
+		wh:        wh,
+		spec:      spec,
+		graph:     graph,
+		proj:      spec.Projection(),
+		notEmpty:  make(chan struct{}),
+		notFull:   make(chan struct{}),
+		splitDone: make(chan struct{}),
+		Node:      hw.CV1,
+		ClockGHz:  2.5,
 	}, nil
 }
 
@@ -223,83 +248,148 @@ func (w *Worker) ProcessOneSplit() (bool, error) {
 	return true, nil
 }
 
-// processSplit runs the extract → transform → batch pipeline for one
-// split and accounts resources.
+// processSplit runs the extract → transform → load stages for one split
+// serially (the baseline data plane) and accounts resources.
 func (w *Worker) processSplit(split warehouse.Split) error {
-	costs := w.spec.Costs
-
-	// Extract: read the stripe from storage into the columnar batch.
-	batch, readStats, err := w.wh.ReadSplitBatch(split, w.proj, w.spec.Read)
+	batch, readStats, err := w.fetchSplit(split, false)
 	if err != nil {
 		return err
 	}
+	tr, err := w.transformBatch(batch)
+	if err != nil {
+		return err
+	}
+	w.accountSplit(readStats, tr)
+	return w.deliverAll(tr.batches, nil)
+}
 
-	// Transform: run the DAG.
+// fetchSplit reads and decodes one split, crediting the fetch and
+// decode stage stopwatches. The pipelined data plane reads through the
+// warehouse reader cache (one footer decode per file); the sequential
+// baseline keeps the seed behaviour of opening the file per split, so
+// the paper's baseline measurements are unchanged.
+func (w *Worker) fetchSplit(split warehouse.Split, cached bool) (*dwrf.Batch, dwrf.ReadStats, error) {
+	read := w.wh.ReadSplitBatch
+	if cached {
+		read = w.wh.ReadSplitBatchCached
+	}
+	start := time.Now()
+	batch, readStats, err := read(split, w.proj, w.spec.Read)
+	wall := time.Since(start)
+	// The read's own instrumentation splits storage wait from decode
+	// work; everything else (footer cache hits, planning) counts as
+	// fetch.
+	w.stageDecode.Add(readStats.DecodeWall)
+	w.stageFetch.Add(wall - readStats.DecodeWall)
+	return batch, readStats, err
+}
+
+// transformed bundles one split's transform-stage output.
+type transformed struct {
+	batches []*tensor.Batch
+	xform   transforms.Stats
+	rowsOut int64
+	txBytes int64
+}
+
+// transformBatch runs the preprocessing graph and materializes tensors,
+// crediting the transform stage stopwatch.
+func (w *Worker) transformBatch(batch *dwrf.Batch) (transformed, error) {
+	start := time.Now()
+	defer func() { w.stageTransform.Add(time.Since(start)) }()
+
 	xformStats, err := w.graph.Run(batch)
 	if err != nil {
-		return err
+		return transformed{}, err
 	}
-
-	// Load (partial): materialize tensors.
 	full, err := tensor.Materialize(batch, w.spec.DenseOut, w.spec.SparseOut)
 	if err != nil {
-		return err
+		return transformed{}, err
 	}
 	batches := sliceBatches(full, w.spec.BatchSize)
-
 	var txBytes int64
 	for _, b := range batches {
 		txBytes += b.SizeBytes()
 	}
+	return transformed{batches: batches, xform: xformStats, rowsOut: int64(full.Rows), txBytes: txBytes}, nil
+}
 
-	// Resource accounting.
+// accountSplit folds one split's read and transform statistics into the
+// worker's cumulative resource report.
+func (w *Worker) accountSplit(readStats dwrf.ReadStats, tr transformed) {
+	costs := w.spec.Costs
 	w.mu.Lock()
 	r := &w.report
 	cpuDiv := costs.cpuDivisor()
 	r.ExtractCycles += float64(readStats.BytesDecoded) * costs.ExtractCyclesPerByte * costs.extractMultiplier() / cpuDiv
-	r.TransformCycles += xformStats.TotalCycles() * costs.XformCycleScale / cpuDiv
-	r.TaxCycles += float64(readStats.BytesRead+txBytes) * costs.TaxCyclesPerByte
+	r.TransformCycles += tr.xform.TotalCycles() * costs.XformCycleScale / cpuDiv
+	r.TaxCycles += float64(readStats.BytesRead+tr.txBytes) * costs.TaxCyclesPerByte
 	r.MemExtract += float64(readStats.BytesDecoded) * costs.ExtractMemBytesPerByte * costs.extractMultiplier()
-	r.MemTransform += xformStats.MemBytes * costs.XformCycleScale
+	r.MemTransform += tr.xform.MemBytes * costs.XformCycleScale
 	r.MemNetRX += float64(readStats.BytesRead) * costs.TLSMemAmplification
-	r.MemNetTX += float64(txBytes) * costs.TLSMemAmplification / 2
+	r.MemNetTX += float64(tr.txBytes) * costs.TLSMemAmplification / 2
 	r.NICRxBytes += readStats.BytesRead
-	r.NICTxBytes += txBytes
+	r.NICTxBytes += tr.txBytes
 	r.StorageWantedBytes += readStats.BytesWanted
 	r.DecodedBytes += readStats.BytesDecoded
-	r.RowsIn += int64(xformStats.RowsIn)
-	r.RowsOut += int64(full.Rows)
-	r.BatchesOut += int64(len(batches))
+	r.RowsIn += int64(tr.xform.RowsIn)
+	r.RowsOut += tr.rowsOut
+	r.BatchesOut += int64(len(tr.batches))
 	w.mu.Unlock()
+}
 
+// deliverAll delivers a split's batches in order, crediting the deliver
+// stage stopwatch (including time blocked on backpressure).
+func (w *Worker) deliverAll(batches []*tensor.Batch, cancel <-chan struct{}) error {
+	start := time.Now()
+	defer func() { w.stageDeliver.Add(time.Since(start)) }()
 	for _, b := range batches {
-		w.deliver(b)
+		if err := w.deliver(b, cancel); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
+// errCanceled aborts delivery when the session is stopped mid-flight.
+var errCanceled = errors.New("dpp: delivery canceled")
+
 // deliver hands a batch to the sink or buffers it, blocking while the
-// buffer is at capacity (backpressure from slow trainers).
-func (w *Worker) deliver(b *tensor.Batch) {
+// buffer is at capacity (backpressure from slow trainers). The buffer
+// admits a batch when it is below BufferDepth batches and below the
+// pipeline's byte bound; an empty buffer always admits one batch so
+// delivery cannot deadlock on an oversized batch.
+func (w *Worker) deliver(b *tensor.Batch, cancel <-chan struct{}) error {
 	if w.Sink != nil {
 		w.Sink(b)
-		return
+		return nil
 	}
+	size := b.SizeBytes()
+	maxBytes := w.spec.Pipeline.MaxBufferedBytes
 	for {
 		w.mu.Lock()
-		if len(w.buffer) < w.spec.BufferDepth {
+		fits := len(w.buffer) < w.spec.BufferDepth &&
+			(maxBytes <= 0 || w.bufBytes+size <= maxBytes)
+		if fits || len(w.buffer) == 0 {
 			w.buffer = append(w.buffer, b)
-			w.bufBytes += b.SizeBytes()
+			w.bufBytes += size
 			if w.bufBytes > w.report.ResidentPeak {
 				w.report.ResidentPeak = w.bufBytes
 			}
 			close(w.notEmpty)
 			w.notEmpty = make(chan struct{})
 			w.mu.Unlock()
-			return
+			return nil
 		}
+		wait := w.notFull
 		w.mu.Unlock()
-		time.Sleep(200 * time.Microsecond)
+		select {
+		case <-wait:
+		case <-cancel:
+			return errCanceled
+		case <-time.After(2 * time.Millisecond):
+			// Fallback poll so a missed signal can never wedge delivery.
+		}
 	}
 }
 
@@ -312,6 +402,8 @@ func (w *Worker) GetBatch() (*tensor.Batch, bool) {
 			b := w.buffer[0]
 			w.buffer = w.buffer[1:]
 			w.bufBytes -= b.SizeBytes()
+			close(w.notFull)
+			w.notFull = make(chan struct{})
 			w.mu.Unlock()
 			return b, true
 		}
@@ -337,6 +429,8 @@ func (w *Worker) TryGetBatch() (b *tensor.Batch, ok, done bool) {
 		b = w.buffer[0]
 		w.buffer = w.buffer[1:]
 		w.bufBytes -= b.SizeBytes()
+		close(w.notFull)
+		w.notFull = make(chan struct{})
 		return b, true, false
 	}
 	return nil, false, w.finished
@@ -362,6 +456,10 @@ func (w *Worker) Report() ResourceReport {
 	w.mu.Lock()
 	rep := w.report
 	w.mu.Unlock()
+	rep.FetchBusy = w.stageFetch.Busy()
+	rep.DecodeBusy = w.stageDecode.Busy()
+	rep.TransformBusy = w.stageTransform.Busy()
+	rep.DeliverBusy = w.stageDeliver.Busy()
 	if gb := w.spec.Costs.ThreadResidentGB; gb > 0 {
 		rep.ThreadResidentBytes = int64(gb * 1e9)
 		limit := int(w.Node.MemoryGB * 0.9 / gb)
@@ -389,19 +487,65 @@ func (w *Worker) Stats() WorkerStats {
 		MemCapacityUtil: resident / (w.Node.MemoryGB * 1e9),
 		BufferedBatches: buffered,
 		RowsPerSec:      rep.SaturatedThroughput(w.Node, w.ClockGHz),
+		Stage: StageBusy{
+			FetchSeconds:     w.stageFetch.Seconds(),
+			DecodeSeconds:    w.stageDecode.Seconds(),
+			TransformSeconds: w.stageTransform.Seconds(),
+			DeliverSeconds:   w.stageDeliver.Seconds(),
+		},
 	}
 }
 
+// finish marks the worker drained-when-empty and wakes all waiters.
+func (w *Worker) finish() {
+	w.mu.Lock()
+	w.finished = true
+	close(w.notEmpty)
+	w.notEmpty = make(chan struct{})
+	close(w.notFull)
+	w.notFull = make(chan struct{})
+	w.mu.Unlock()
+}
+
 // Run processes splits until the master reports the session done or stop
-// is closed. Heartbeats are sent after every split.
+// is closed. By default the data plane runs pipelined (fetch, transform,
+// and deliver overlap); SessionSpec.Pipeline.Sequential restores the
+// serial baseline loop. Heartbeats are sent after every split, plus a
+// background liveness tick so a worker stalled on a slow trainer is
+// neither reaped nor has its in-flight leases requeued.
 func (w *Worker) Run(stop <-chan struct{}) error {
-	defer func() {
-		w.mu.Lock()
-		w.finished = true
-		close(w.notEmpty)
-		w.notEmpty = make(chan struct{})
-		w.mu.Unlock()
-	}()
+	defer w.finish()
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go w.heartbeatLoop(hbStop)
+	if w.spec.Pipeline.Sequential {
+		return w.runSequential(stop)
+	}
+	return w.runPipelined(stop)
+}
+
+// heartbeatLoop renews liveness — and, at the master, the worker's
+// in-flight leases — during stretches where no split completes, e.g.
+// delivery blocked on a stalled trainer for longer than the lease
+// timeout. Errors are ignored: a reaped worker finds out on its next
+// data-plane call to the master.
+func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			_ = w.master.Heartbeat(w.ID, w.Stats())
+		}
+	}
+}
+
+// runSequential is the strictly serial data plane: one split is fetched,
+// decoded, transformed, and delivered before the next begins — the stall
+// pattern the pipeline removes.
+func (w *Worker) runSequential(stop <-chan struct{}) error {
 	for {
 		select {
 		case <-stop:

@@ -1,0 +1,154 @@
+package dwrf
+
+import (
+	"fmt"
+	"sync"
+
+	"dsi/internal/schema"
+)
+
+// PrefetchOptions sizes a stripe prefetcher: how many goroutines fetch
+// and decode concurrently, and how many decoded stripes may sit buffered
+// ahead of the consumer. The depth bound is what keeps decoded-batch
+// memory finite when the consumer is slower than storage (the paper's
+// DPP workers bound buffered tensors for the same reason).
+type PrefetchOptions struct {
+	// Depth is the maximum number of decoded stripes buffered ahead of
+	// the consumer (in-flight included). Default 4.
+	Depth int
+	// Parallelism is the number of concurrent fetch+decode goroutines.
+	// Default 2.
+	Parallelism int
+}
+
+// withDefaults fills zero fields.
+func (o PrefetchOptions) withDefaults() PrefetchOptions {
+	if o.Depth <= 0 {
+		o.Depth = 4
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 2
+	}
+	if o.Parallelism > o.Depth {
+		o.Parallelism = o.Depth
+	}
+	return o
+}
+
+// stripeResult is one prefetched stripe.
+type stripeResult struct {
+	batch *Batch
+	stats ReadStats
+	err   error
+}
+
+// BatchStream delivers decoded stripe batches in stripe order while a
+// goroutine pool fetches and decodes upcoming stripes ahead of the
+// consumer. Create one with Reader.StreamBatches; always Close it (Close
+// is idempotent and safe after exhaustion).
+type BatchStream struct {
+	// order carries one slot per stripe in consumption order; each slot
+	// is filled by whichever pool goroutine decoded that stripe. Its
+	// capacity (Depth) is the backpressure bound: the dispatcher cannot
+	// enqueue stripe i+Depth until the consumer has taken stripe i.
+	order  chan chan stripeResult
+	cancel chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// StreamBatches starts a prefetching scan over the given stripes (nil
+// means every stripe in order), decoding under the projection into
+// columnar batches. Only flattened files support batch decoding.
+func (r *Reader) StreamBatches(stripes []int, proj *schema.Projection, opts ReadOptions, pf PrefetchOptions) (*BatchStream, error) {
+	if !r.footer.Flattened {
+		return nil, fmt.Errorf("dwrf: stripe prefetch requires a flattened file")
+	}
+	if stripes == nil {
+		stripes = make([]int, len(r.footer.Stripes))
+		for i := range stripes {
+			stripes[i] = i
+		}
+	}
+	for _, i := range stripes {
+		if i < 0 || i >= len(r.footer.Stripes) {
+			return nil, fmt.Errorf("dwrf: stripe %d out of range [0,%d)", i, len(r.footer.Stripes))
+		}
+	}
+	pf = pf.withDefaults()
+
+	s := &BatchStream{
+		order:  make(chan chan stripeResult, pf.Depth),
+		cancel: make(chan struct{}),
+	}
+	type job struct {
+		stripe int
+		slot   chan stripeResult
+	}
+	// The work channel is unbuffered: admission is controlled solely by
+	// the order queue's capacity.
+	work := make(chan job)
+
+	s.wg.Add(1)
+	go func() { // dispatcher
+		defer s.wg.Done()
+		defer close(work)
+		defer close(s.order)
+		for _, idx := range stripes {
+			slot := make(chan stripeResult, 1)
+			select {
+			case s.order <- slot:
+			case <-s.cancel:
+				return
+			}
+			select {
+			case work <- job{stripe: idx, slot: slot}:
+			case <-s.cancel:
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < pf.Parallelism; i++ {
+		s.wg.Add(1)
+		go func() { // fetch+decode pool
+			defer s.wg.Done()
+			for j := range work {
+				b, stats, err := r.ReadStripeBatch(j.stripe, proj, opts)
+				j.slot <- stripeResult{batch: b, stats: stats, err: err}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Next returns the next decoded stripe batch. ok=false means the stream
+// is exhausted or closed; a non-nil error ends the stream.
+func (s *BatchStream) Next() (*Batch, ReadStats, bool, error) {
+	select {
+	case slot, open := <-s.order:
+		if !open {
+			return nil, ReadStats{}, false, nil
+		}
+		res := <-slot
+		if res.err != nil {
+			return nil, res.stats, false, res.err
+		}
+		return res.batch, res.stats, true, nil
+	case <-s.cancel:
+		return nil, ReadStats{}, false, nil
+	}
+}
+
+// Close stops the prefetcher and waits for its goroutines to exit. It is
+// safe to call multiple times and concurrently with Next.
+func (s *BatchStream) Close() {
+	s.once.Do(func() { close(s.cancel) })
+	// Drain any filled slots so pool goroutines blocked on an unread
+	// slot (capacity 1, already consumed by no one) can finish. Slots
+	// have capacity 1, so workers never block sending; only the
+	// dispatcher and consumers block on order, and cancel unblocks both.
+	for range s.order {
+	}
+	s.wg.Wait()
+}

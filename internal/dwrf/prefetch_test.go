@@ -1,0 +1,158 @@
+package dwrf
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"dsi/internal/schema"
+	"dsi/internal/tectonic"
+)
+
+// writePrefetchFixture writes one flattened file with the given stripe
+// layout and returns a reader plus the written per-stripe label sums.
+func writePrefetchFixture(t *testing.T, rows, rowsPerStripe int) (*Reader, []float64) {
+	t.Helper()
+	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 3, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := schema.NewTableSchema("pf")
+	if err := ts.AddColumn(schema.Column{ID: 1, Kind: schema.Dense, Name: "d1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AddColumn(schema.Column{ID: 2, Kind: schema.Sparse, Name: "s2"}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(cluster, "pf.dwrf", ts, WriterOptions{Flatten: true, RowsPerStripe: rowsPerStripe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var sums []float64
+	var cur float64
+	for i := 0; i < rows; i++ {
+		s := schema.NewSample()
+		s.Label = float32(i % 7)
+		cur += float64(s.Label)
+		s.DenseFeatures[1] = rng.Float32()
+		s.SparseFeatures[2] = []int64{rng.Int63n(1 << 16), rng.Int63n(1 << 16)}
+		if err := w.WriteRow(s); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%rowsPerStripe == 0 {
+			sums = append(sums, cur)
+			cur = 0
+		}
+	}
+	if rows%rowsPerStripe != 0 {
+		sums = append(sums, cur)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(cluster, "pf.dwrf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, sums
+}
+
+func TestStreamBatchesDeliversAllStripesInOrder(t *testing.T) {
+	r, sums := writePrefetchFixture(t, 96, 16)
+	proj := schema.NewProjection(1, 2)
+	stream, err := r.StreamBatches(nil, proj, ReadOptions{Flatmap: true}, PrefetchOptions{Depth: 3, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	var got []float64
+	rows := 0
+	for {
+		b, stats, ok, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += b.Rows
+		var sum float64
+		for _, l := range b.Labels {
+			sum += float64(l)
+		}
+		got = append(got, sum)
+		if stats.BytesDecoded <= 0 {
+			t.Fatalf("stripe decoded no bytes: %+v", stats)
+		}
+		if stats.FetchWall < 0 || stats.DecodeWall <= 0 {
+			t.Fatalf("wall-time split not populated: %+v", stats)
+		}
+	}
+	if rows != 96 {
+		t.Fatalf("streamed %d rows, want 96", rows)
+	}
+	if len(got) != len(sums) {
+		t.Fatalf("streamed %d stripes, want %d", len(got), len(sums))
+	}
+	for i := range sums {
+		// Stripes must arrive in stripe order despite parallel decode.
+		if got[i] != sums[i] {
+			t.Fatalf("stripe %d label sum %v, want %v (out of order?)", i, got[i], sums[i])
+		}
+	}
+}
+
+func TestStreamBatchesSubsetAndValidation(t *testing.T) {
+	r, _ := writePrefetchFixture(t, 64, 16)
+	stream, err := r.StreamBatches([]int{2, 0}, nil, ReadOptions{}, PrefetchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	var rows []int
+	for {
+		b, _, ok, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, b.Rows)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("streamed %d stripes, want 2", len(rows))
+	}
+	if _, err := r.StreamBatches([]int{99}, nil, ReadOptions{}, PrefetchOptions{}); err == nil {
+		t.Fatal("out-of-range stripe accepted")
+	}
+}
+
+func TestStreamBatchesCloseMidStreamLeaksNoGoroutines(t *testing.T) {
+	r, _ := writePrefetchFixture(t, 256, 8) // 32 stripes
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 4; iter++ {
+		stream, err := r.StreamBatches(nil, nil, ReadOptions{Flatmap: true}, PrefetchOptions{Depth: 4, Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Consume only a couple of stripes, then abandon the stream.
+		for i := 0; i < 2; i++ {
+			if _, _, ok, err := stream.Next(); err != nil || !ok {
+				t.Fatalf("Next = %v, %v", ok, err)
+			}
+		}
+		stream.Close()
+	}
+	// Goroutine counts settle asynchronously; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"time"
 
 	"dsi/internal/schema"
@@ -36,7 +37,16 @@ type ReadStats struct {
 	BytesDecoded   int64 // raw payload bytes decoded (post-decompress)
 	StorageTime    time.Duration
 	StreamsDecoded int
+	// FetchWall and DecodeWall split the real (wall-clock) time of the
+	// read between waiting on storage and decrypt/decompress/decode work,
+	// feeding the worker pipeline's per-stage busy breakdown.
+	FetchWall  time.Duration
+	DecodeWall time.Duration
 }
+
+// Merge accumulates other into s; callers aggregating per-stripe stats
+// across a scan (e.g. warehouse partition scans) use it.
+func (s *ReadStats) Merge(other ReadStats) { s.add(other) }
 
 // add merges other into s.
 func (s *ReadStats) add(other ReadStats) {
@@ -49,6 +59,8 @@ func (s *ReadStats) add(other ReadStats) {
 		s.StorageTime = other.StorageTime
 	}
 	s.StreamsDecoded += other.StreamsDecoded
+	s.FetchWall += other.FetchWall
+	s.DecodeWall += other.DecodeWall
 }
 
 // Batch is the in-memory flatmap representation (FM): per-feature
@@ -252,6 +264,22 @@ func planIO(selected []StreamMeta, coalesce int64) []ioPlan {
 	return append(plans, cur)
 }
 
+// encPool recycles the staging buffers holding each stream's encrypted,
+// compressed bytes between fetch and decompression, so a stripe read
+// costs no per-stream staging allocation. Pooled as *[]byte to keep the
+// slice header off the heap on Put.
+var encPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getEncBuf returns a pooled buffer of length n.
+func getEncBuf(n int64) *[]byte {
+	bp := encPool.Get().(*[]byte)
+	if int64(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
 // fetchStripe executes the I/O plan and returns each selected stream's
 // decrypted, decompressed payload keyed by file offset.
 func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts ReadOptions) (map[int64][]byte, []StreamMeta, ReadStats, error) {
@@ -260,7 +288,9 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 	var stats ReadStats
 	payloads := make(map[int64][]byte, len(selected))
 	for _, p := range plans {
+		fetchStart := time.Now()
 		raw, t, err := r.cluster.ReadAt(r.path, p.offset, p.length)
+		stats.FetchWall += time.Since(fetchStart)
 		if err != nil {
 			return nil, nil, stats, err
 		}
@@ -269,14 +299,18 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 		if t > stats.StorageTime {
 			stats.StorageTime = t
 		}
+		decodeStart := time.Now()
 		for _, s := range p.streams {
 			stats.BytesWanted += s.Length
-			enc := make([]byte, s.Length)
+			encBuf := getEncBuf(s.Length)
+			enc := *encBuf
 			copy(enc, raw[s.Offset-p.offset:s.Offset-p.offset+s.Length])
 			if err := cryptStream(enc, s.Offset); err != nil {
+				encPool.Put(encBuf)
 				return nil, nil, stats, err
 			}
 			dec, err := decompress(enc)
+			encPool.Put(encBuf)
 			if err != nil {
 				return nil, nil, stats, fmt.Errorf("dwrf: stream at %d: %w", s.Offset, err)
 			}
@@ -284,6 +318,7 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 			stats.StreamsDecoded++
 			payloads[s.Offset] = dec
 		}
+		stats.DecodeWall += time.Since(decodeStart)
 	}
 	stats.BytesOverRead = stats.BytesRead - stats.BytesWanted
 	return payloads, selected, stats, nil
@@ -365,13 +400,26 @@ func (r *Reader) ReadStripeBatch(i int, proj *schema.Projection, opts ReadOption
 	if err != nil {
 		return nil, stats, err
 	}
+	decodeStart := time.Now()
+	b, err := decodeStripeBatch(meta, payloads, selected)
+	stats.DecodeWall += time.Since(decodeStart)
+	if err != nil {
+		return nil, stats, err
+	}
+	return b, stats, nil
+}
+
+// decodeStripeBatch assembles the columnar batch from decoded stream
+// payloads.
+func decodeStripeBatch(meta *StripeMeta, payloads map[int64][]byte, selected []StreamMeta) (*Batch, error) {
 	b := newBatch(meta.Rows)
+	var err error
 	for _, s := range selected {
 		payload := payloads[s.Offset]
 		switch s.Kind {
 		case streamLabel:
 			if b.Labels, err = decodeLabels(payload); err != nil {
-				return nil, stats, err
+				return nil, err
 			}
 		case streamDense:
 			col := &DenseColumn{Present: make([]bool, meta.Rows), Values: make([]float32, meta.Rows)}
@@ -432,10 +480,10 @@ func (r *Reader) ReadStripeBatch(i int, proj *schema.Projection, opts ReadOption
 			b.ScoreList[s.Feature] = col
 		}
 		if err != nil {
-			return nil, stats, fmt.Errorf("dwrf: decode feature %d: %w", s.Feature, err)
+			return nil, fmt.Errorf("dwrf: decode feature %d: %w", s.Feature, err)
 		}
 	}
-	return b, stats, nil
+	return b, nil
 }
 
 // filterSample drops features outside the projection (used for the

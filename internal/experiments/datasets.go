@@ -40,6 +40,38 @@ type buildOpts struct {
 	Reorder bool
 }
 
+// buildRowScale multiplies the row count of every dataset build.
+// Reduced-scale test runs (-short) shrink it through setBuildRowScale
+// so the full experiment registry still executes, just over less data.
+var (
+	buildScaleMu  sync.Mutex
+	buildRowScale = 1.0
+)
+
+// setBuildRowScale scales the rows of subsequent dataset builds, clears
+// the dataset cache (cached datasets were built at the old scale), and
+// returns a restore function.
+func setBuildRowScale(scale float64) (restore func()) {
+	buildScaleMu.Lock()
+	prev := buildRowScale
+	buildRowScale = scale
+	buildScaleMu.Unlock()
+	clearDatasetCache()
+	return func() {
+		buildScaleMu.Lock()
+		buildRowScale = prev
+		buildScaleMu.Unlock()
+		clearDatasetCache()
+	}
+}
+
+// clearDatasetCache drops memoized datasets.
+func clearDatasetCache() {
+	datasetMu.Lock()
+	datasetCache = map[string]*BuiltDataset{}
+	datasetMu.Unlock()
+}
+
 func defaultBuild() buildOpts {
 	// Scale 0 defers to each profile's SimScale, which keeps even RM3's
 	// sparse-feature count (188 at paper scale) large enough for
@@ -59,6 +91,16 @@ func defaultBuild() buildOpts {
 func BuildDataset(p datagen.Profile, o buildOpts) (*BuiltDataset, error) {
 	if o.Scale == 0 {
 		o.Scale = p.SimScale
+	}
+	buildScaleMu.Lock()
+	rowScale := buildRowScale
+	buildScaleMu.Unlock()
+	if rowScale != 1 {
+		rows := int(float64(o.RowsPerPart) * rowScale)
+		if rows < 64 {
+			rows = 64
+		}
+		o.RowsPerPart = rows
 	}
 	spec := p.Scale(o.Scale, o.Partitions, o.RowsPerPart)
 	gen := datagen.NewGenerator(spec, o.Seed)

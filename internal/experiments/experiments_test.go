@@ -35,8 +35,12 @@ func TestRunUnknown(t *testing.T) {
 }
 
 func TestEveryExperimentRuns(t *testing.T) {
+	// The fleet-scale simulations behind the registry take ~20s at full
+	// scale; -short runs the whole registry at reduced dataset scale so
+	// coverage survives while the suite finishes in a few seconds.
 	if testing.Short() {
-		t.Skip("experiments build datasets; skipped in -short")
+		restore := setBuildRowScale(0.08)
+		defer restore()
 	}
 	for _, id := range IDs() {
 		res, err := Run(id)
@@ -272,6 +276,10 @@ func TestAblationsCoalesceSweepShape(t *testing.T) {
 }
 
 func TestBuildDatasetDeterministic(t *testing.T) {
+	if testing.Short() {
+		restore := setBuildRowScale(0.08)
+		defer restore()
+	}
 	a, err := BuildDataset(datagen.RM3, defaultBuild())
 	if err != nil {
 		t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing int64 counter safe for concurrent
@@ -53,6 +54,40 @@ func (g *Gauge) Value() float64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.v
+}
+
+// Stopwatch accumulates busy time contributed by many goroutines. It is
+// the primitive behind the DPP worker's per-stage (fetch / decode /
+// transform / deliver) pipeline breakdown: each stage goroutine adds the
+// wall time it spent working, and observers read the cumulative busy
+// time concurrently. The zero value is ready to use.
+type Stopwatch struct {
+	ns atomic.Int64
+}
+
+// Add accumulates d of busy time. Negative durations are ignored so
+// clock adjustments never rewind the total.
+func (s *Stopwatch) Add(d time.Duration) {
+	if d > 0 {
+		s.ns.Add(int64(d))
+	}
+}
+
+// Time runs f and accumulates its wall time.
+func (s *Stopwatch) Time(f func()) {
+	start := time.Now()
+	f()
+	s.Add(time.Since(start))
+}
+
+// Busy reports the cumulative busy time.
+func (s *Stopwatch) Busy() time.Duration {
+	return time.Duration(s.ns.Load())
+}
+
+// Seconds reports the cumulative busy time in seconds.
+func (s *Stopwatch) Seconds() float64 {
+	return s.Busy().Seconds()
 }
 
 // Histogram collects float64 samples and answers exact order-statistic

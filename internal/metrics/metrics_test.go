@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCounter(t *testing.T) {
@@ -271,5 +272,42 @@ func TestPopularityCDFMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var s Stopwatch
+	if s.Busy() != 0 {
+		t.Fatalf("zero Stopwatch busy = %v", s.Busy())
+	}
+	s.Add(3 * time.Millisecond)
+	s.Add(-time.Hour) // negative adds are ignored
+	if got := s.Busy(); got != 3*time.Millisecond {
+		t.Fatalf("Busy = %v, want 3ms", got)
+	}
+	if got := s.Seconds(); math.Abs(got-0.003) > 1e-9 {
+		t.Fatalf("Seconds = %v, want 0.003", got)
+	}
+	s.Time(func() { time.Sleep(2 * time.Millisecond) })
+	if got := s.Busy(); got < 5*time.Millisecond {
+		t.Fatalf("Busy after Time = %v, want >= 5ms", got)
+	}
+}
+
+func TestStopwatchConcurrent(t *testing.T) {
+	var s Stopwatch
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Add(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Busy(); got != 8*1000*time.Microsecond {
+		t.Fatalf("concurrent Busy = %v, want 8ms", got)
 	}
 }

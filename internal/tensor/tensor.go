@@ -6,6 +6,7 @@ package tensor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"dsi/internal/dwrf"
@@ -107,6 +108,104 @@ func Materialize(src *dwrf.Batch, denseIDs, sparseIDs []schema.FeatureID) (*Batc
 		out.Sparse = append(out.Sparse, st)
 	}
 	return out, nil
+}
+
+// ContentSum is an order-independent digest of delivered tensor content,
+// used by end-to-end tests to prove the DPP pipeline delivers exactly
+// the written data regardless of split and batch arrival order: row
+// count, a label digest, per-dense-feature value digests, and
+// per-sparse-feature index sums and counts. Float values are digested by
+// summing their IEEE-754 bit patterns (wrapping uint64 arithmetic), so
+// accumulation order never changes the result and a missing value
+// (materialized 0.0) contributes nothing.
+type ContentSum struct {
+	Rows   int64
+	Labels uint64
+	Dense  map[schema.FeatureID]uint64
+	Sparse map[schema.FeatureID]int64
+	Counts map[schema.FeatureID]int64
+}
+
+// NewContentSum returns an empty digest.
+func NewContentSum() *ContentSum {
+	return &ContentSum{
+		Dense:  make(map[schema.FeatureID]uint64),
+		Sparse: make(map[schema.FeatureID]int64),
+		Counts: make(map[schema.FeatureID]int64),
+	}
+}
+
+// AddBatch folds one delivered batch into the digest.
+func (c *ContentSum) AddBatch(b *Batch) {
+	c.Rows += int64(b.Rows)
+	for _, l := range b.Labels {
+		c.Labels += uint64(math.Float32bits(l))
+	}
+	for col, id := range b.DenseFeatureIDs {
+		for r := 0; r < b.Rows; r++ {
+			c.Dense[id] += uint64(math.Float32bits(b.Dense.At(r, col)))
+		}
+	}
+	for _, s := range b.Sparse {
+		for _, idx := range s.Indices {
+			c.Sparse[s.Feature] += idx
+		}
+		c.Counts[s.Feature] += int64(len(s.Indices))
+	}
+}
+
+// AddLabel folds one expected label into the digest.
+func (c *ContentSum) AddLabel(l float32) {
+	c.Labels += uint64(math.Float32bits(l))
+}
+
+// AddDense folds one expected dense value into the digest.
+func (c *ContentSum) AddDense(id schema.FeatureID, v float32) {
+	c.Dense[id] += uint64(math.Float32bits(v))
+}
+
+// AddSparse folds one expected sparse value list into the digest.
+func (c *ContentSum) AddSparse(id schema.FeatureID, vals []int64) {
+	for _, v := range vals {
+		c.Sparse[id] += v
+	}
+	c.Counts[id] += int64(len(vals))
+}
+
+// Equal reports whether two digests match exactly. Zero-valued map
+// entries are treated as absent so an expected feature that never
+// appeared and a digest that never saw it compare equal.
+func (c *ContentSum) Equal(other *ContentSum) bool {
+	if c.Rows != other.Rows || c.Labels != other.Labels {
+		return false
+	}
+	eqU := func(a, b map[schema.FeatureID]uint64) bool {
+		for id, v := range a {
+			if v != b[id] {
+				return false
+			}
+		}
+		for id, v := range b {
+			if v != a[id] {
+				return false
+			}
+		}
+		return true
+	}
+	eqI := func(a, b map[schema.FeatureID]int64) bool {
+		for id, v := range a {
+			if v != b[id] {
+				return false
+			}
+		}
+		for id, v := range b {
+			if v != a[id] {
+				return false
+			}
+		}
+		return true
+	}
+	return eqU(c.Dense, other.Dense) && eqI(c.Sparse, other.Sparse) && eqI(c.Counts, other.Counts)
 }
 
 // Concat stacks batches row-wise. All batches must share the same feature

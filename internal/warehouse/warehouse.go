@@ -29,11 +29,18 @@ type Warehouse struct {
 
 	mu     sync.Mutex
 	tables map[string]*Table
+
+	readerMu sync.Mutex
+	readers  map[string]*dwrf.Reader
 }
 
 // New returns an empty warehouse on cluster.
 func New(cluster *tectonic.Cluster) *Warehouse {
-	return &Warehouse{cluster: cluster, tables: make(map[string]*Table)}
+	return &Warehouse{
+		cluster: cluster,
+		tables:  make(map[string]*Table),
+		readers: make(map[string]*dwrf.Reader),
+	}
 }
 
 // Cluster exposes the underlying storage (for experiments that inspect
@@ -305,6 +312,11 @@ func (w *Warehouse) ReadSplitBatch(sp Split, proj *schema.Projection, opts dwrf.
 	if err != nil {
 		return nil, dwrf.ReadStats{}, err
 	}
+	return readSplitBatch(r, sp, proj, opts)
+}
+
+// readSplitBatch decodes one stripe of an already open reader.
+func readSplitBatch(r *dwrf.Reader, sp Split, proj *schema.Projection, opts dwrf.ReadOptions) (*dwrf.Batch, dwrf.ReadStats, error) {
 	if !r.Flattened() {
 		rows, stats, err := r.ReadStripe(sp.Stripe, proj, opts)
 		if err != nil {
@@ -313,4 +325,76 @@ func (w *Warehouse) ReadSplitBatch(sp Split, proj *schema.Projection, opts dwrf.
 		return dwrf.BatchFromSamples(rows), stats, nil
 	}
 	return r.ReadStripeBatch(sp.Stripe, proj, opts)
+}
+
+// CachedReader returns a shared reader for path, opening (and footer-
+// decoding) it at most once per warehouse. Readers are immutable after
+// open, so the cached instance is safe for concurrent use; partitions are
+// immutable once published, so the cache never goes stale.
+func (w *Warehouse) CachedReader(path string) (*dwrf.Reader, error) {
+	w.readerMu.Lock()
+	r, ok := w.readers[path]
+	w.readerMu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := dwrf.OpenReader(w.cluster, path)
+	if err != nil {
+		return nil, err
+	}
+	w.readerMu.Lock()
+	if prev, ok := w.readers[path]; ok {
+		r = prev // lost an open race; keep the first instance
+	} else {
+		w.readers[path] = r
+	}
+	w.readerMu.Unlock()
+	return r, nil
+}
+
+// ReadSplitBatchCached is ReadSplitBatch through the shared reader cache:
+// the file footer is fetched and decoded once per file rather than once
+// per split. The DPP worker's pipelined fetch stage uses this path.
+func (w *Warehouse) ReadSplitBatchCached(sp Split, proj *schema.Projection, opts dwrf.ReadOptions) (*dwrf.Batch, dwrf.ReadStats, error) {
+	r, err := w.CachedReader(sp.Path)
+	if err != nil {
+		return nil, dwrf.ReadStats{}, err
+	}
+	return readSplitBatch(r, sp, proj, opts)
+}
+
+// ScanPartition re-reads one partition end to end through the stripe-
+// prefetching reader (dwrf.Reader.StreamBatches): upcoming stripes are
+// fetched and decoded ahead of the consumer by a bounded goroutine
+// pool. ETL output validation and storage-tuning sweeps use it instead
+// of hand-rolling a stripe loop. It returns the rows scanned and the
+// aggregate read statistics, whose FetchWall/DecodeWall split shows
+// where the scan's wall time went. Requires the flattened layout.
+func (t *Table) ScanPartition(key string, proj *schema.Projection, opts dwrf.ReadOptions, pf dwrf.PrefetchOptions) (int, dwrf.ReadStats, error) {
+	p, err := t.Partition(key)
+	if err != nil {
+		return 0, dwrf.ReadStats{}, err
+	}
+	r, err := t.wh.CachedReader(p.Path)
+	if err != nil {
+		return 0, dwrf.ReadStats{}, err
+	}
+	stream, err := r.StreamBatches(nil, proj, opts, pf)
+	if err != nil {
+		return 0, dwrf.ReadStats{}, err
+	}
+	defer stream.Close()
+	rows := 0
+	var agg dwrf.ReadStats
+	for {
+		b, stats, ok, err := stream.Next()
+		if err != nil {
+			return rows, agg, err
+		}
+		if !ok {
+			return rows, agg, nil
+		}
+		rows += b.Rows
+		agg.Merge(stats)
+	}
 }

@@ -280,3 +280,64 @@ func TestWriteOptionsAffectNewPartitionsOnly(t *testing.T) {
 		t.Fatal("new partition should be flattened")
 	}
 }
+
+func TestScanPartitionStreamsAllRows(t *testing.T) {
+	wh := newWarehouse(t)
+	tbl, err := wh.CreateTable("rm", testSchema(t), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPartition(t, tbl, "p1", 96, 5)
+
+	rows, stats, err := tbl.ScanPartition("p1", schema.NewProjection(1, 5), dwrf.ReadOptions{Flatmap: true}, dwrf.PrefetchOptions{Depth: 3, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 96 {
+		t.Fatalf("scanned %d rows, want 96", rows)
+	}
+	if stats.IOs == 0 || stats.BytesDecoded == 0 {
+		t.Fatalf("scan stats empty: %+v", stats)
+	}
+	if stats.DecodeWall <= 0 {
+		t.Fatalf("scan wall-time split not populated: %+v", stats)
+	}
+	if _, _, err := tbl.ScanPartition("nope", nil, dwrf.ReadOptions{}, dwrf.PrefetchOptions{}); err == nil {
+		t.Fatal("unknown partition accepted")
+	}
+}
+
+func TestCachedReaderSharedAcrossSplits(t *testing.T) {
+	wh := newWarehouse(t)
+	tbl, err := wh.CreateTable("rm", testSchema(t), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPartition(t, tbl, "p1", 64, 9)
+	splits, err := tbl.Splits(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := wh.CachedReader(splits[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := wh.CachedReader(splits[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("CachedReader returned distinct instances for one path")
+	}
+	rows := 0
+	for _, sp := range splits {
+		b, _, err := wh.ReadSplitBatchCached(sp, nil, dwrf.ReadOptions{Flatmap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows += b.Rows
+	}
+	if rows != 64 {
+		t.Fatalf("cached split reads returned %d rows, want 64", rows)
+	}
+}
