@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"dsi/internal/datagen"
 	"dsi/internal/dpp"
@@ -297,6 +298,71 @@ func BenchmarkDPPPipelinedSession(b *testing.B) {
 	wh, _, _ := benchDataset(b, true)
 	benchSession(b, wh, benchSessionSpec(dpp.PipelineOptions{Prefetchers: 2, TransformParallelism: 2}))
 }
+
+// benchOrchestratedSession drives a full session through the closed
+// control loop: the Orchestrator owns the pool between the given
+// bounds, a session client resolves membership from the master, and
+// every batch flows trainer-side. Reports batches/sec.
+func benchOrchestratedSession(b *testing.B, minWorkers, maxWorkers int) {
+	b.Helper()
+	wh, _, _ := benchDataset(b, true)
+	spec := benchSessionSpec(dpp.PipelineOptions{Prefetchers: 1, TransformParallelism: 1})
+	spec.BatchSize = 32 // more batches so the control loop has a session to steer
+	var batches int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := dpp.NewMaster(wh, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		launcher := &dpp.InProcessLauncher{
+			Master: m,
+			WH:     wh,
+			Tune:   func(w *dpp.Worker) { w.HeartbeatEvery = time.Millisecond },
+		}
+		o := dpp.NewOrchestrator(m, launcher, dpp.NewAutoScaler(minWorkers, maxWorkers))
+		o.ScaleInterval = 500 * time.Microsecond
+		runDone := make(chan error, 1)
+		go func() { runDone <- o.Run(nil) }()
+		client, err := dpp.NewSessionClient(m, launcher.Dial, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client.RefreshEvery = 500 * time.Microsecond
+		for {
+			bb, ok, err := client.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			_ = bb
+			batches++
+		}
+		if err := <-runDone; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if batches == 0 {
+		b.Fatal("no batches produced")
+	}
+	b.ReportMetric(float64(batches)/b.Elapsed().Seconds(), "batches/sec")
+}
+
+// BenchmarkDPPFixedPoolMinSession pins the orchestrated pool at one
+// worker — the static baseline the auto-scaler improves on.
+func BenchmarkDPPFixedPoolMinSession(b *testing.B) { benchOrchestratedSession(b, 1, 1) }
+
+// BenchmarkDPPFixedPoolMaxSession pins the pool at the maximum — the
+// over-provisioned static configuration.
+func BenchmarkDPPFixedPoolMaxSession(b *testing.B) { benchOrchestratedSession(b, 4, 4) }
+
+// BenchmarkDPPElasticSession lets the closed loop size the pool between
+// the same bounds. Compare with the two fixed-pool benchmarks;
+// BENCH_scale.json records a reference run.
+func BenchmarkDPPElasticSession(b *testing.B) { benchOrchestratedSession(b, 1, 4) }
 
 func BenchmarkTensorMaterialize(b *testing.B) {
 	batch := benchBatch(512)

@@ -3,16 +3,24 @@
 // splits, stateless Workers preprocessing them, and a Client (standing in
 // for a trainer) consuming tensors.
 //
+// The master role can run the closed scaling loop itself: with
+// -max-workers set it hosts an Orchestrator that elastically launches
+// and drains RPC-served workers to track trainer demand. Clients resolve
+// the live worker membership from the master (-master), so connections
+// rebalance as the pool resizes; a static -workers list remains
+// supported for manually operated fleets.
+//
 // Because the module is self-contained and offline, every role
 // regenerates the same deterministic synthetic dataset locally (seeded by
 // -seed), standing in for shared access to the Tectonic cluster.
 //
 // Usage:
 //
-//	dppd -role master -addr :7070
-//	dppd -role worker -master localhost:7070 -addr :7071
+//	dppd -role master -addr :7070 -min-workers 1 -max-workers 8
+//	dppd -role worker -master localhost:7070 -addr :7071   # extra manual worker
+//	dppd -role client -master localhost:7070
 //	dppd -role client -workers localhost:7071,localhost:7072
-//	dppd -role demo            # all three roles in one process
+//	dppd -role demo            # all roles in one process, elastic pool
 package main
 
 import (
@@ -31,11 +39,16 @@ import (
 func main() {
 	role := flag.String("role", "demo", "master | worker | client | demo")
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address (master/worker)")
-	masterAddr := flag.String("master", "127.0.0.1:7070", "master address (worker)")
-	workerList := flag.String("workers", "", "comma-separated worker addresses (client)")
+	masterAddr := flag.String("master", "127.0.0.1:7070", "master address (worker/client)")
+	workerList := flag.String("workers", "", "comma-separated worker addresses (client; overrides -master resolution)")
 	model := flag.String("model", "RM1", "workload profile: RM1, RM2, or RM3")
 	seed := flag.Int64("seed", 1, "dataset seed (must match across roles)")
 	id := flag.String("id", fmt.Sprintf("worker-%d", os.Getpid()), "worker ID")
+
+	// Elastic control plane knobs (master/demo roles).
+	minWorkers := flag.Int("min-workers", 1, "master/demo: lower bound of the auto-scaled pool")
+	maxWorkers := flag.Int("max-workers", 0, "master/demo: upper bound of the auto-scaled pool (0 = master does not launch workers)")
+	scaleInterval := flag.Duration("scale-interval", 250*time.Millisecond, "master/demo: auto-scaler control period")
 
 	// Pipeline knobs. Master and demo roles only: workers pull the
 	// session spec, pipeline sizing included, from the master at
@@ -58,13 +71,13 @@ func main() {
 
 	switch *role {
 	case "master":
-		runMaster(*model, *seed, *addr, pipeline, *bufferDepth)
+		runMaster(*model, *seed, *addr, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval)
 	case "worker":
 		runWorker(*model, *seed, *masterAddr, *addr, *id)
 	case "client":
-		runClient(strings.Split(*workerList, ","))
+		runClient(*masterAddr, strings.Split(*workerList, ","))
 	case "demo":
-		runDemo(*model, *seed, pipeline, *bufferDepth)
+		runDemo(*model, *seed, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval)
 	default:
 		log.Fatalf("dppd: unknown role %q", *role)
 	}
@@ -84,7 +97,7 @@ func buildWorkload(model string, seed int64) (*warehouse.Warehouse, dpp.SessionS
 	return d, spec
 }
 
-func runMaster(model string, seed int64, addr string, pipeline dpp.PipelineOptions, bufferDepth int) {
+func runMaster(model string, seed int64, addr string, pipeline dpp.PipelineOptions, bufferDepth, minWorkers, maxWorkers int, scaleInterval time.Duration) {
 	wh, spec := buildWorkload(model, seed)
 	spec.Pipeline = pipeline
 	if bufferDepth > 0 {
@@ -100,6 +113,48 @@ func runMaster(model string, seed int64, addr string, pipeline dpp.PipelineOptio
 	}
 	defer stop()
 	log.Printf("dppd master: %d splits on %s", m.SplitCount(), ln.Addr())
+
+	if maxWorkers > 0 {
+		// Elastic mode: the master operates its own worker fleet over
+		// RPC, auto-scaling between the bounds. Manually started
+		// -role worker processes still join and are managed alongside.
+		launcher := &dpp.RPCLauncher{
+			MasterAddr: ln.Addr().String(),
+			WH:         wh,
+			OnError: func(id string, err error) {
+				log.Printf("dppd master: worker %s failed: %v", id, err)
+			},
+		}
+		o := dpp.NewOrchestrator(m, launcher, dpp.NewAutoScaler(minWorkers, maxWorkers))
+		o.ScaleInterval = scaleInterval
+		o.CheckpointEvery = 10 * scaleInterval
+		o.OnError = func(err error) { log.Printf("dppd master: %v", err) }
+		runDone := make(chan error, 1)
+		go func() { runDone <- o.Run(nil) }()
+		for {
+			select {
+			case err := <-runDone:
+				if err != nil {
+					log.Fatal(err)
+				}
+				st := o.Status()
+				log.Printf("dppd master: session complete (peak %d workers, %d launched, %d drained, %d checkpoints)",
+					st.Peak, st.Launched, st.Drained, st.Checkpoints)
+				// Linger briefly so clients confirm completion over RPC
+				// instead of finding a closed connection.
+				time.Sleep(2 * time.Second)
+				return
+			case <-time.After(2 * time.Second):
+				completed, total := m.Progress()
+				st := o.Status()
+				log.Printf("dppd master: %d/%d splits complete, %d live workers (%d draining, peak %d)",
+					completed, total, st.Live, st.Draining, st.Peak)
+			}
+		}
+	}
+
+	// Static mode: external workers join; the master only tracks
+	// progress and reaps the dead.
 	for {
 		done, _ := m.Done()
 		completed, total := m.Progress()
@@ -120,16 +175,12 @@ func runWorker(model string, seed int64, masterAddr, addr, id string) {
 		log.Fatal(err)
 	}
 	defer remote.Close()
-	w, err := dpp.NewWorker(id, remote, wh)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ln, stop, err := dpp.ServeWorker(w, addr)
+	w, stop, err := dpp.ListenAndServeWorker(id, addr, remote, wh, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stop()
-	log.Printf("dppd worker %s: serving tensors on %s", id, ln.Addr())
+	log.Printf("dppd worker %s: serving tensors on %s", id, w.Endpoint)
 	if err := w.Run(nil); err != nil {
 		log.Fatal(err)
 	}
@@ -139,27 +190,51 @@ func runWorker(model string, seed int64, masterAddr, addr, id string) {
 		id, rep.SplitsDone, rep.RowsOut, rep.BatchesOut)
 	log.Printf("dppd worker %s: stage busy fetch %.3fs decode %.3fs transform %.3fs deliver %.3fs",
 		id, stage.FetchSeconds, stage.DecodeSeconds, stage.TransformSeconds, stage.DeliverSeconds)
-	// Keep serving until the buffer drains.
-	for w.Buffered() > 0 {
-		time.Sleep(100 * time.Millisecond)
+	// Serve until the buffer drains, then leave the session's membership
+	// so clients drop the connection cleanly.
+	if err := w.Retire(nil); err != nil {
+		log.Printf("dppd worker %s: retire: %v", id, err)
 	}
+	log.Printf("dppd worker %s: retired", id)
 }
 
-func runClient(addrs []string) {
-	var apis []dpp.WorkerAPI
+func runClient(masterAddr string, addrs []string) {
+	var client *dpp.Client
+	var err error
+	static := false
 	for _, a := range addrs {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			continue
+		if strings.TrimSpace(a) != "" {
+			static = true
+			break
 		}
-		rw, err := dpp.DialWorker(a)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer rw.Close()
-		apis = append(apis, rw)
 	}
-	client, err := dpp.NewClient(apis, 0, 0)
+	if static {
+		var apis []dpp.WorkerAPI
+		for _, a := range addrs {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			rw, err := dpp.DialWorker(a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer rw.Close()
+			apis = append(apis, rw)
+		}
+		client, err = dpp.NewClient(apis, 0, 0)
+	} else {
+		remote, derr := dpp.DialMaster(masterAddr)
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		defer remote.Close()
+		log.Printf("dppd client: resolving workers via master %s", masterAddr)
+		client, err = dpp.NewSessionClient(remote, dpp.DialWorkerEndpoint, 0, 0)
+		if client != nil {
+			client.RefreshEvery = 50 * time.Millisecond
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -178,9 +253,10 @@ func runClient(addrs []string) {
 		rows, client.BatchesFetched, client.BytesFetched)
 }
 
-// runDemo hosts master, two workers, and a client in one process, all
-// over real TCP loopback connections.
-func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth int) {
+// runDemo hosts an elastic master, its orchestrated worker pool, and a
+// membership-resolving client in one process, all over real TCP
+// loopback connections.
+func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth, minWorkers, maxWorkers int, scaleInterval time.Duration) {
 	wh, spec := buildWorkload(model, seed)
 	spec.Pipeline = pipeline
 	if bufferDepth > 0 {
@@ -197,39 +273,40 @@ func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth
 	defer stopM()
 	log.Printf("dppd demo: master on %s with %d splits", mln.Addr(), m.SplitCount())
 
-	var apis []dpp.WorkerAPI
-	for i := 0; i < 2; i++ {
-		remote, err := dpp.DialMaster(mln.Addr().String())
-		if err != nil {
-			log.Fatal(err)
-		}
-		w, err := dpp.NewWorker(fmt.Sprintf("demo-w%d", i), remote, wh)
-		if err != nil {
-			log.Fatal(err)
-		}
-		wln, stopW, err := dpp.ServeWorker(w, "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer stopW()
-		go func(w *dpp.Worker) {
-			if err := w.Run(nil); err != nil {
-				log.Print(err)
-			}
-		}(w)
-		rw, err := dpp.DialWorker(wln.Addr().String())
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer rw.Close()
-		apis = append(apis, rw)
-		log.Printf("dppd demo: worker %d on %s", i, wln.Addr())
+	if maxWorkers <= 0 {
+		maxWorkers = 4
 	}
+	if minWorkers < 1 {
+		minWorkers = 1
+	}
+	launcher := &dpp.RPCLauncher{
+		MasterAddr: mln.Addr().String(),
+		WH:         wh,
+		OnError: func(id string, err error) {
+			log.Printf("dppd demo: worker %s failed: %v", id, err)
+		},
+	}
+	o := dpp.NewOrchestrator(m, launcher, dpp.NewAutoScaler(minWorkers, maxWorkers))
+	o.ScaleInterval = scaleInterval
+	if o.ScaleInterval > 50*time.Millisecond {
+		o.ScaleInterval = 50 * time.Millisecond // demo sessions are short
+	}
+	o.CheckpointEvery = 2 * o.ScaleInterval
+	o.OnError = func(err error) { log.Printf("dppd demo: %v", err) }
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run(nil) }()
 
-	client, err := dpp.NewClient(apis, 0, 0)
+	remote, err := dpp.DialMaster(mln.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer remote.Close()
+	client, err := dpp.NewSessionClient(remote, dpp.DialWorkerEndpoint, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.RefreshEvery = 5 * time.Millisecond
+
 	var rows int64
 	start := time.Now()
 	for {
@@ -242,20 +319,12 @@ func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth
 		}
 		rows += int64(b.Rows)
 	}
+	if err := <-runDone; err != nil {
+		log.Fatal(err)
+	}
+	st := o.Status()
 	log.Printf("dppd demo: trained on %d rows in %d batches over TCP in %v",
 		rows, client.BatchesFetched, time.Since(start).Round(time.Millisecond))
-	for i, api := range apis {
-		rw, ok := api.(*dpp.RemoteWorker)
-		if !ok {
-			continue
-		}
-		stats, err := rw.Stats()
-		if err != nil {
-			log.Printf("dppd demo: worker %d stats: %v", i, err)
-			continue
-		}
-		s := stats.Stage
-		log.Printf("dppd demo: worker %d stage busy fetch %.3fs decode %.3fs transform %.3fs deliver %.3fs",
-			i, s.FetchSeconds, s.DecodeSeconds, s.TransformSeconds, s.DeliverSeconds)
-	}
+	log.Printf("dppd demo: elastic pool peaked at %d workers (%d launched, %d drained, %d checkpoints)",
+		st.Peak, st.Launched, st.Drained, st.Checkpoints)
 }

@@ -20,6 +20,22 @@
 // BenchmarkDPPWorkerSession vs BenchmarkDPPPipelinedSession measures
 // the delta (reference run: BENCH_dpp.json).
 //
+// The DPP control plane closes the paper's auto-scaling loop (§3.2.1):
+// a dpp.Orchestrator periodically evaluates worker heartbeats and
+// launches or drains workers through a WorkerLauncher (in-process
+// goroutines or RPC-served TCP workers), with cooldown hysteresis on a
+// virtual clock so tests drive the controller deterministically.
+// Workers register a data-plane endpoint, receive a graceful drain
+// signal, retire by serving out their buffers, and deregister; clients
+// resolve live membership from the master (dpp.NewSessionClient) and
+// rebalance connections as the pool resizes, so a session scales up and
+// back down mid-flight while delivering every row exactly once. The
+// "scaling" experiment reproduces the headline: under a mid-session
+// trainer-speed shift the auto-scaled pool achieves a lower data-stall
+// rate than a fixed minimal pool. BenchmarkDPPElasticSession compares
+// the closed loop against fixed pools at both bounds (reference run:
+// BENCH_scale.json).
+//
 // The implementation lives under internal/; see README.md for the
 // architecture overview, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

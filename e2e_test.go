@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"dsi/internal/datagen"
 	"dsi/internal/dpp"
@@ -201,5 +202,181 @@ func TestEndToEndPipelinedSessionChecksums(t *testing.T) {
 	}
 	if tr.RowsConsumed != int64(partitions*rowsPerPart) {
 		t.Fatalf("trainer consumed %d rows, want %d", tr.RowsConsumed, partitions*rowsPerPart)
+	}
+}
+
+// TestEndToEndElasticSessionChecksums drives a full session through the
+// closed scaling loop: the Orchestrator owns the worker pool, the
+// trainer-side client resolves membership from the master, and the test
+// only modulates consumption speed. A fast-consuming trainer starves the
+// pool (the Orchestrator scales up), a pause oversupplies it (the
+// Orchestrator drains workers back down and they deregister), and the
+// trainer still receives every generated row exactly once — asserted by
+// row counts and order-independent feature checksums as in the pipelined
+// e2e test above.
+func TestEndToEndElasticSessionChecksums(t *testing.T) {
+	const (
+		partitions  = 2
+		rowsPerPart = 1536
+		batchSize   = 16
+	)
+	p, err := datagen.ProfileByName("RM1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := p.Scale(0.01, partitions, rowsPerPart)
+	gen := datagen.NewGenerator(spec, 11)
+
+	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := warehouse.New(cluster)
+	tbl, err := wh.CreateTable("e2e-elastic", spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	denseA, denseB := schema.FeatureID(1), schema.FeatureID(2)
+	sparseA := schema.FeatureID(spec.DenseFeats + 1)
+	sparseB := schema.FeatureID(spec.DenseFeats + 2)
+	const (
+		hashedOut = schema.FeatureID(1 << 20)
+		hashMax   = int64(1) << 16
+	)
+
+	want := tensor.NewContentSum()
+	for part := 0; part < partitions; part++ {
+		pw, err := tbl.NewPartition(fmt.Sprintf("2026-07-%02d", part+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rowsPerPart; i++ {
+			s := gen.Sample()
+			if err := pw.WriteRow(s); err != nil {
+				t.Fatal(err)
+			}
+			want.Rows++
+			want.AddLabel(s.Label)
+			want.AddDense(denseA, s.DenseFeatures[denseA])
+			want.AddDense(denseB, s.DenseFeatures[denseB])
+			want.AddSparse(sparseA, s.SparseFeatures[sparseA])
+			want.AddSparse(sparseB, s.SparseFeatures[sparseB])
+		}
+		if err := pw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	session := dpp.SessionSpec{
+		Table:    "e2e-elastic",
+		Features: []schema.FeatureID{denseA, denseB, sparseA, sparseB},
+		Ops: []transforms.Op{
+			&transforms.SigridHash{In: sparseA, Out: hashedOut, Salt: 3, MaxValue: hashMax},
+		},
+		DenseOut:  []schema.FeatureID{denseA, denseB},
+		SparseOut: []schema.FeatureID{sparseA, sparseB, hashedOut},
+		BatchSize: batchSize,
+		Read:      dwrf.ReadOptions{CoalesceBytes: dwrf.DefaultCoalesceBytes, Flatmap: true},
+	}
+	m, err := dpp.NewMaster(wh, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	launcher := &dpp.InProcessLauncher{
+		Master: m,
+		WH:     wh,
+		Tune:   func(w *dpp.Worker) { w.HeartbeatEvery = time.Millisecond },
+	}
+	o := dpp.NewOrchestrator(m, launcher, dpp.NewAutoScaler(1, 4))
+	o.ScaleInterval = time.Millisecond
+	o.ScaleUpCooldown = time.Millisecond
+	o.ScaleDownCooldown = 3 * time.Millisecond
+	o.CheckpointEvery = 10 * time.Millisecond
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run(nil) }()
+
+	client, err := dpp.NewSessionClient(m, launcher.Dial, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.RefreshEvery = 500 * time.Microsecond
+
+	got := tensor.NewContentSum()
+	batches := 0
+	consume := func() bool {
+		b, ok, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return false
+		}
+		if b.Rows > batchSize {
+			t.Fatalf("batch of %d rows exceeds batch size %d", b.Rows, batchSize)
+		}
+		batches++
+		got.AddBatch(b)
+		return true
+	}
+
+	// Phase 1: consume as fast as possible. Worker buffers stay empty,
+	// the scaler sees starvation, and the pool grows past one.
+	for o.Status().Peak < 2 && batches < 80 {
+		if !consume() {
+			t.Fatalf("session ended during scale-up phase after %d batches", batches)
+		}
+	}
+	// Phase 2: the trainer pauses. Buffers fill, the data planes go
+	// idle, and the Orchestrator drains workers back down; drained
+	// workers retire and deregister once phase 3 empties their buffers.
+	drainDeadline := time.Now().Add(20 * time.Second)
+	for o.Status().Drained == 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Phase 3: consume the rest of the session.
+	for consume() {
+	}
+
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("orchestrator did not finish")
+	}
+
+	st := o.Status()
+	if st.Peak < 2 {
+		t.Fatalf("pool never scaled up: %+v", st)
+	}
+	if st.Drained == 0 {
+		t.Fatalf("pool never drained back down: %+v", st)
+	}
+	if st.Live != 0 {
+		t.Fatalf("workers still tracked after completion: %+v", st)
+	}
+	eps, err := m.ListWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 0 {
+		t.Fatalf("drained workers leaked in master membership: %+v", eps)
+	}
+
+	if got.Rows != int64(partitions*rowsPerPart) {
+		t.Fatalf("trainer consumed %d rows, want %d", got.Rows, partitions*rowsPerPart)
+	}
+	// Drop the transformed output from the delivered digest: the
+	// ground-truth digest covers the raw passthrough features.
+	delete(got.Sparse, hashedOut)
+	delete(got.Counts, hashedOut)
+	if !got.Equal(want) {
+		t.Fatalf("content checksums diverge across elastic churn:\n got %+v\nwant %+v", got, want)
+	}
+	if batches == 0 {
+		t.Fatal("no batches delivered")
 	}
 }

@@ -1,14 +1,14 @@
-// Autoscale: demonstrates the DPP Master's control plane under churn —
-// the auto-scaler grows the worker pool until trainer demand is met
-// without data stalls, a worker is killed mid-session and its split is
-// reassigned, and the master fails over to a replica restored from a
-// checkpoint. The session still delivers every row exactly once.
+// Autoscale: demonstrates the DPP Master's closed scaling loop — the
+// Orchestrator bootstraps the worker pool, a fast-consuming trainer
+// starves it so the auto-scaler grows it, a mid-session trainer slowdown
+// oversupplies it so workers are drained, retired, and deregistered, and
+// the periodically-checkpointed reader state restores a replica master.
+// The session still delivers every row exactly once through all of it.
 package main
 
 import (
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"dsi/internal/datagen"
@@ -16,7 +16,6 @@ import (
 	"dsi/internal/dwrf"
 	"dsi/internal/schema"
 	"dsi/internal/tectonic"
-	"dsi/internal/tensor"
 	"dsi/internal/transforms"
 	"dsi/internal/warehouse"
 )
@@ -24,14 +23,14 @@ import (
 func main() {
 	// Build a small RM3-style dataset.
 	profile := datagen.RM3
-	spec := profile.Scale(0.05, 2, 1024)
+	spec := profile.Scale(0.05, 2, 1536)
 	gen := datagen.NewGenerator(spec, 3)
 	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
 	wh := warehouse.New(cluster)
-	tbl, err := wh.CreateTable(profile.Name, spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 128})
+	tbl, err := wh.CreateTable(profile.Name, spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 64})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,65 +60,92 @@ func main() {
 		},
 		DenseOut:  proj.IDs()[:4],
 		SparseOut: []schema.FeatureID{1 << 20},
-		BatchSize: 64,
+		BatchSize: 32,
 		Read:      dwrf.ReadOptions{CoalesceBytes: 128 << 10, Flatmap: true},
 	}
 	master, err := dpp.NewMaster(wh, session)
 	if err != nil {
 		log.Fatal(err)
 	}
-	master.LeaseTimeout = 50 * time.Millisecond
 	fmt.Printf("session planned: %d splits over %d rows\n", master.SplitCount(), totalRows)
 
-	// Worker pool managed by the auto-scaler.
-	scaler := dpp.NewAutoScaler(1, 6)
-	var (
-		mu      sync.Mutex
-		apis    []dpp.WorkerAPI
-		wg      sync.WaitGroup
-		widx    int
-		stops   []chan struct{}
-		workers []*dpp.Worker
-	)
-	launch := func(n int) {
-		mu.Lock()
-		defer mu.Unlock()
-		for i := 0; i < n; i++ {
-			w, err := dpp.NewWorker(fmt.Sprintf("auto-%d", widx), master, wh)
-			if err != nil {
-				log.Fatal(err)
-			}
-			widx++
-			stop := make(chan struct{})
-			stops = append(stops, stop)
-			workers = append(workers, w)
-			apis = append(apis, dpp.LocalWorkerAPI(w))
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				if err := w.Run(stop); err != nil {
-					log.Print(err)
-				}
-			}()
-		}
-		fmt.Printf("scaler: pool grown to %d workers\n", widx)
+	// The closed loop: the Orchestrator owns the pool end to end —
+	// evaluate stats, launch and drain workers, reap the retired, take
+	// periodic reader-state checkpoints.
+	launcher := &dpp.InProcessLauncher{
+		Master: master,
+		WH:     wh,
+		Tune:   func(w *dpp.Worker) { w.HeartbeatEvery = time.Millisecond },
 	}
-	launch(scaler.Evaluate(master.WorkerStatsSnapshot()))
+	orch := dpp.NewOrchestrator(master, launcher, dpp.NewAutoScaler(1, 6))
+	orch.OnError = func(err error) { log.Print(err) }
+	orch.ScaleInterval = time.Millisecond
+	orch.ScaleUpCooldown = time.Millisecond
+	orch.ScaleDownCooldown = 3 * time.Millisecond
+	orch.CheckpointEvery = 5 * time.Millisecond
+	runDone := make(chan error, 1)
+	go func() { runDone <- orch.Run(nil) }()
 
-	// Kill the first worker almost immediately: stateless workers are
-	// restarted by the master without checkpoint restore.
-	time.Sleep(time.Millisecond)
-	close(stops[0])
-	fmt.Println("chaos: killed worker auto-0 mid-session")
-	time.Sleep(60 * time.Millisecond)
-	if n := master.ReapDead(); n > 0 {
-		fmt.Printf("master: reassigned %d orphaned split(s)\n", n)
-	}
-
-	// Checkpoint the master and fail over to a replica.
-	ckpt, err := master.Checkpoint()
+	// The trainer resolves worker membership from the master, so its
+	// connections rebalance as the pool grows and shrinks.
+	client, err := dpp.NewSessionClient(master, launcher.Dial, 0, 0)
 	if err != nil {
 		log.Fatal(err)
+	}
+	client.RefreshEvery = 500 * time.Microsecond
+
+	rows, batches := 0, 0
+	consume := func() bool {
+		b, ok, err := client.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			return false
+		}
+		rows += b.Rows
+		batches++
+		return true
+	}
+
+	// Phase 1: a fast trainer starves worker buffers; the loop grows the
+	// pool.
+	for orch.Status().Peak < 2 && batches < 48 {
+		if !consume() {
+			break
+		}
+	}
+	fmt.Printf("scale-up: pool grew to %d live workers under a fast trainer\n", orch.Status().Live)
+
+	// Phase 2: the trainer slows down; buffers fill, data planes idle,
+	// and the loop drains workers back toward the minimum.
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for orch.Status().Drained == 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := orch.Status()
+	fmt.Printf("scale-down: %d worker(s) drained after the trainer slowed\n", st.Drained)
+
+	// Phase 3: consume the rest of the session at full speed.
+	for consume() {
+	}
+	if err := <-runDone; err != nil {
+		log.Fatal(err)
+	}
+
+	st = orch.Status()
+	fmt.Printf("pool lifecycle: %d launched, peak %d, %d drained, %d checkpoints, 0 leaked (live=%d)\n",
+		st.Launched, st.Peak, st.Drained, st.Checkpoints, st.Live)
+
+	// Failover: the loop's latest checkpoint restores a replica master
+	// that agrees on progress (here: the finished session).
+	ckpt := orch.LastCheckpoint()
+	if ckpt == nil {
+		// Very short sessions can finish inside the first checkpoint
+		// period; take one directly.
+		if ckpt, err = master.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	replica, err := dpp.RestoreMaster(wh, session, ckpt)
 	if err != nil {
@@ -128,47 +154,7 @@ func main() {
 	done, total := replica.Progress()
 	fmt.Printf("failover: replica restored from checkpoint at %d/%d splits\n", done, total)
 
-	// Finish the session on the replica with a fresh pool.
-	var rows int
-	w, err := dpp.NewWorker("replica-w0", replica, wh)
-	if err != nil {
-		log.Fatal(err)
-	}
-	w.Sink = func(b *tensor.Batch) { rows += b.Rows }
-	for {
-		ok, err := w.ProcessOneSplit()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !ok {
-			break
-		}
-	}
-
-	// Drain whatever the first pool had already buffered so every row is
-	// delivered exactly once across the failover.
-	mu.Lock()
-	client, err := dpp.NewClient(apis, 0, 0)
-	mu.Unlock()
-	if err != nil {
-		log.Fatal(err)
-	}
-	for {
-		b, ok, _, err := client.TryNext()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !ok {
-			break
-		}
-		rows += b.Rows
-	}
-	for _, s := range stops[1:] {
-		close(s)
-	}
-	wg.Wait()
-
-	fmt.Printf("delivered %d of %d rows across kill + failover\n", rows, totalRows)
+	fmt.Printf("delivered %d of %d rows across elastic churn\n", rows, totalRows)
 	if rows != totalRows {
 		log.Fatalf("row loss or duplication: got %d want %d", rows, totalRows)
 	}

@@ -2,6 +2,7 @@ package dpp
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -29,15 +30,58 @@ func (l localWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
 // LocalWorkerAPI wraps an in-process worker as a WorkerAPI.
 func LocalWorkerAPI(w *Worker) WorkerAPI { return localWorker{w} }
 
+// WorkerDialer opens a data-plane connection to one resolved worker.
+// DialWorkerEndpoint is the TCP implementation; in-process launchers
+// provide one that looks the worker up by ID.
+type WorkerDialer func(ep WorkerEndpoint) (WorkerAPI, error)
+
+// workerConn is one live client→worker connection.
+type workerConn struct {
+	id  string
+	api WorkerAPI
+}
+
 // Client runs on each training node and exposes the hook the training
 // loop calls to obtain preprocessed tensors. It routes fetches across a
 // capped subset of workers with partitioned round-robin routing, so
 // client and worker connection counts stay bounded as both sides scale
 // (§3.2.1).
+//
+// Two membership modes exist. NewClient freezes the worker set at
+// construction (the in-process simulation default). NewSessionClient
+// resolves membership from the master instead: the connection set is
+// periodically refreshed against ListWorkers, so workers launched by the
+// auto-scaler are picked up and drained workers are dropped mid-session
+// — but only once they deregister, which they do only after their buffer
+// has been fully consumed, so elasticity never loses rows.
 type Client struct {
-	mu      sync.Mutex
-	workers []WorkerAPI
-	next    int
+	mu    sync.Mutex
+	conns []workerConn
+	next  int
+
+	maxConn     int
+	clientIndex int
+
+	// Dynamic-membership state (nil master means a frozen worker set).
+	master      MasterAPI
+	dial        WorkerDialer
+	lastRefresh time.Time
+	// members is the size of the master's worker membership at the last
+	// Refresh. The session is declared done for this client only once
+	// membership has emptied: every worker deregisters only after its
+	// buffer is fully consumed, so a nonzero membership — a worker this
+	// client failed to dial, a broken connection pending re-dial, or a
+	// partition another capped client is responsible for — means rows
+	// may still be undelivered somewhere.
+	members int
+	// sawDone records that the master reported the session complete. A
+	// master that becomes unreachable afterwards (its process retired)
+	// ends the session gracefully instead of erroring the trainer.
+	sawDone bool
+
+	// RefreshEvery throttles membership refreshes during stalls
+	// (default 2ms). Only meaningful for master-resolved clients.
+	RefreshEvery time.Duration
 
 	// BatchesFetched counts delivered batches.
 	BatchesFetched int64
@@ -45,7 +89,7 @@ type Client struct {
 	BytesFetched int64
 }
 
-// NewClient builds a client over the given workers, connecting to at
+// NewClient builds a client over a frozen worker set, connecting to at
 // most maxConnections of them (0 means all). The partition is chosen by
 // clientIndex so different trainers spread across workers.
 func NewClient(workers []WorkerAPI, maxConnections, clientIndex int) (*Client, error) {
@@ -55,41 +99,237 @@ func NewClient(workers []WorkerAPI, maxConnections, clientIndex int) (*Client, e
 	if maxConnections <= 0 || maxConnections > len(workers) {
 		maxConnections = len(workers)
 	}
-	subset := make([]WorkerAPI, 0, maxConnections)
+	c := &Client{maxConn: maxConnections, clientIndex: clientIndex}
 	for i := 0; i < maxConnections; i++ {
-		subset = append(subset, workers[(clientIndex*maxConnections+i)%len(workers)])
+		idx := (clientIndex*maxConnections + i) % len(workers)
+		c.conns = append(c.conns, workerConn{id: fmt.Sprintf("static-%d", idx), api: workers[idx]})
 	}
-	return &Client{workers: subset}, nil
+	return c, nil
+}
+
+// NewSessionClient builds a client whose worker membership is resolved
+// from the master: the initial set comes from ListWorkers and is
+// re-resolved as the pool grows and shrinks. A session client may start
+// with zero workers (the orchestrator launches the pool asynchronously);
+// Next blocks until workers appear or the session completes.
+func NewSessionClient(master MasterAPI, dial WorkerDialer, maxConnections, clientIndex int) (*Client, error) {
+	if master == nil || dial == nil {
+		return nil, fmt.Errorf("dpp: session client needs a master and a dialer")
+	}
+	c := &Client{master: master, dial: dial, maxConn: maxConnections, clientIndex: clientIndex}
+	if err := c.Refresh(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Connections reports how many workers the client is attached to.
-func (c *Client) Connections() int { return len(c.workers) }
-
-// Next returns the next tensor batch, rotating across the client's
-// workers. It returns ok=false only when every connected worker has
-// finished and drained.
-func (c *Client) Next() (*tensor.Batch, bool, error) {
+func (c *Client) Connections() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for {
-		allDone := true
-		for i := 0; i < len(c.workers); i++ {
-			w := c.workers[(c.next+i)%len(c.workers)]
-			b, ok, done, err := w.FetchBatch()
-			if err != nil {
-				return nil, false, err
-			}
-			if ok {
-				c.next = (c.next + i + 1) % len(c.workers)
-				c.BatchesFetched++
-				c.BytesFetched += b.SizeBytes()
-				return b, true, nil
-			}
-			if !done {
-				allDone = false
+	return len(c.conns)
+}
+
+// AddWorker attaches a worker connection, reporting whether it was
+// added (false when the ID is already connected).
+func (c *Client) AddWorker(id string, api WorkerAPI) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addLocked(id, api)
+}
+
+func (c *Client) addLocked(id string, api WorkerAPI) bool {
+	for _, conn := range c.conns {
+		if conn.id == id {
+			return false
+		}
+	}
+	c.conns = append(c.conns, workerConn{id: id, api: api})
+	return true
+}
+
+// RemoveWorker detaches a worker connection (closing it when the
+// transport supports Close) and reports whether it was connected.
+func (c *Client) RemoveWorker(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeLocked(id)
+}
+
+func (c *Client) removeLocked(id string) bool {
+	for i, conn := range c.conns {
+		if conn.id != id {
+			continue
+		}
+		if closer, ok := conn.api.(io.Closer); ok {
+			closer.Close()
+		}
+		c.conns = append(c.conns[:i], c.conns[i+1:]...)
+		if c.next > i {
+			c.next--
+		}
+		if len(c.conns) > 0 {
+			c.next %= len(c.conns)
+		} else {
+			c.next = 0
+		}
+		return true
+	}
+	return false
+}
+
+// Refresh re-resolves worker membership from the master and rebalances
+// connections: deregistered workers are dropped (safe — workers
+// deregister only after their buffer is fully consumed), new workers
+// are dialed, and the partitioned connection cap is re-applied over the
+// master's ID-sorted membership so sibling clients stay spread as the
+// pool resizes. Dialing happens outside the client lock (a slow or dead
+// endpoint must not block concurrent TryNext callers), and a failed
+// dial skips the worker until a later refresh: a dead worker is the
+// master's to reap and its leases' rows are requeued there, so the
+// client never turns one worker's death into session failure. Only a
+// failure to reach the master itself is returned. Frozen-membership
+// clients treat Refresh as a no-op.
+func (c *Client) Refresh() error {
+	if c.master == nil {
+		return nil
+	}
+	eps, err := c.master.ListWorkers()
+	if err != nil {
+		return err
+	}
+	target := eps
+	if c.maxConn > 0 && len(eps) > c.maxConn {
+		target = make([]WorkerEndpoint, 0, c.maxConn)
+		for i := 0; i < c.maxConn; i++ {
+			target = append(target, eps[(c.clientIndex*c.maxConn+i)%len(eps)])
+		}
+	}
+	want := make(map[string]bool, len(target))
+	for _, ep := range target {
+		want[ep.ID] = true
+	}
+	c.mu.Lock()
+	c.lastRefresh = time.Now()
+	have := make(map[string]bool, len(c.conns))
+	for _, conn := range append([]workerConn(nil), c.conns...) {
+		if !want[conn.id] {
+			c.removeLocked(conn.id)
+			continue
+		}
+		have[conn.id] = true
+	}
+	c.mu.Unlock()
+
+	for _, ep := range target {
+		if have[ep.ID] {
+			continue
+		}
+		api, err := c.dial(ep)
+		if err != nil {
+			continue
+		}
+		if !c.AddWorker(ep.ID, api) {
+			// A concurrent refresh won the race; release the spare.
+			if closer, ok := api.(io.Closer); ok {
+				closer.Close()
 			}
 		}
-		if allDone {
+	}
+	c.mu.Lock()
+	c.members = len(eps)
+	c.mu.Unlock()
+	return nil
+}
+
+// refreshEvery is the effective membership refresh throttle.
+func (c *Client) refreshEvery() time.Duration {
+	if c.RefreshEvery > 0 {
+		return c.RefreshEvery
+	}
+	return 2 * time.Millisecond
+}
+
+// masterGone decides how an unreachable master ends the session: once
+// the master has reported completion and this client's connections are
+// drained, a master that retired (its process exiting closes the RPC
+// connection) is a graceful end, not an error.
+func (c *Client) masterGone(allDone bool) bool {
+	if !allDone {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sawDone
+}
+
+// masterErr suppresses the master error when masterGone declares a
+// graceful end.
+func (c *Client) masterErr(allDone bool, err error) error {
+	if c.masterGone(allDone) {
+		return nil
+	}
+	return err
+}
+
+// sweepLocked tries each connected worker once starting at the rotation
+// cursor. allDone reports whether every connected worker has finished
+// and drained (vacuously true with no connections). For master-resolved
+// clients a fetch error drops the broken connection instead of failing
+// the sweep: a live worker is re-dialed on a later refresh, and a dead
+// one is reaped by the master, which requeues its unacknowledged leases
+// — one worker's failure must not become session failure. (Batches a
+// crashed worker had already buffered for acknowledged splits are lost
+// either way — acknowledgement happens at buffer insert — propagating
+// the error could not recover them.) Frozen worker sets have no
+// recovery path, so their fetch errors still propagate.
+func (c *Client) sweepLocked() (b *tensor.Batch, ok, allDone bool, err error) {
+	allDone = true
+	var broken []string
+	for i := 0; i < len(c.conns); i++ {
+		w := c.conns[(c.next+i)%len(c.conns)]
+		b, ok, wDone, err := w.api.FetchBatch()
+		if err != nil {
+			if c.master == nil {
+				return nil, false, false, err
+			}
+			broken = append(broken, w.id)
+			allDone = false // its buffer may hold rows; resolve via refresh
+			continue
+		}
+		if ok {
+			c.next = (c.next + i + 1) % len(c.conns)
+			c.BatchesFetched++
+			c.BytesFetched += b.SizeBytes()
+			return b, true, false, nil
+		}
+		if !wDone {
+			allDone = false
+		}
+	}
+	for _, id := range broken {
+		c.removeLocked(id)
+	}
+	return nil, false, allDone, nil
+}
+
+// Next returns the next tensor batch. It returns ok=false only when the
+// session has no more data for this client: for a frozen worker set,
+// when every connected worker has finished and drained; for a
+// master-resolved client, when additionally the master reports the
+// session complete and membership has emptied. The stall backoff sleeps
+// without holding the client lock, so TryNext and stats readers on
+// other trainer goroutines are never blocked behind it.
+func (c *Client) Next() (*tensor.Batch, bool, error) {
+	for {
+		b, ok, done, err := c.TryNext()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return b, true, nil
+		}
+		if done {
 			return nil, false, nil
 		}
 		// Workers exist but are all momentarily empty; yield briefly
@@ -98,29 +338,60 @@ func (c *Client) Next() (*tensor.Batch, bool, error) {
 	}
 }
 
-// TryNext sweeps the connected workers once without blocking. ok=false
-// with done=false means no batch was ready (a data stall from the
-// trainer's point of view); done=true means every worker has finished
-// and drained.
+// TryNext sweeps the connected workers once without blocking on data.
+// ok=false with done=false means no batch was ready (a data stall from
+// the trainer's point of view); done=true means the session has no more
+// data for this client. Master-resolved clients piggyback a throttled
+// membership refresh on stalls, which is how scaled-up workers join and
+// drained ones leave the rotation mid-session.
 func (c *Client) TryNext() (b *tensor.Batch, ok, done bool, err error) {
 	c.mu.Lock()
+	b, ok, allDone, err := c.sweepLocked()
+	if err != nil || ok {
+		c.mu.Unlock()
+		return b, ok, false, err
+	}
+	if c.master == nil {
+		c.mu.Unlock()
+		return nil, false, allDone, nil
+	}
+	stale := time.Since(c.lastRefresh) >= c.refreshEvery()
+	c.mu.Unlock()
+
+	if !stale {
+		// Throttled: whether merely starved or (vacuously) drained, wait
+		// out the refresh window rather than hammering the master with
+		// membership and completion RPCs on every poll.
+		return nil, false, false, nil
+	}
+	if err := c.Refresh(); err != nil {
+		return nil, false, c.masterGone(allDone), c.masterErr(allDone, err)
+	}
+	if !allDone {
+		return nil, false, false, nil
+	}
+	// Every connection this client held was drained at sweep time. The
+	// session is over for us only if the master agrees and membership
+	// has emptied — workers deregister only after their buffers are
+	// fully consumed, so any remaining member (unreachable, broken, or
+	// another capped client's partition) may still hold undelivered
+	// rows.
+	sessionDone, err := c.master.Done()
+	if err != nil {
+		return nil, false, c.masterGone(allDone), c.masterErr(allDone, err)
+	}
+	if !sessionDone {
+		return nil, false, false, nil
+	}
+	c.mu.Lock()
 	defer c.mu.Unlock()
-	allDone := true
-	for i := 0; i < len(c.workers); i++ {
-		w := c.workers[(c.next+i)%len(c.workers)]
-		b, ok, wDone, err := w.FetchBatch()
-		if err != nil {
-			return nil, false, false, err
-		}
-		if ok {
-			c.next = (c.next + i + 1) % len(c.workers)
-			c.BatchesFetched++
-			c.BytesFetched += b.SizeBytes()
-			return b, true, false, nil
-		}
-		if !wDone {
-			allDone = false
-		}
+	c.sawDone = true
+	if c.members > 0 {
+		return nil, false, false, nil
+	}
+	b, ok, allDone, err = c.sweepLocked()
+	if err != nil || ok {
+		return b, ok, false, err
 	}
 	return nil, false, allDone, nil
 }

@@ -136,15 +136,15 @@ func TestMasterLeaseLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := m.NextSplit("ghost"); err == nil {
+	if _, _, _, _, err := m.NextSplit("ghost"); err == nil {
 		t.Fatal("unregistered worker got a split")
 	}
-	if _, err := m.RegisterWorker("w1"); err != nil {
+	if _, err := m.RegisterWorker("w1", ""); err != nil {
 		t.Fatal(err)
 	}
 	seen := map[int]bool{}
 	for {
-		_, id, ok, err := m.NextSplit("w1")
+		_, id, ok, _, err := m.NextSplit("w1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,13 +174,13 @@ func TestMasterCompleteValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.RegisterWorker("w1"); err != nil {
+	if _, err := m.RegisterWorker("w1", ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.RegisterWorker("w2"); err != nil {
+	if _, err := m.RegisterWorker("w2", ""); err != nil {
 		t.Fatal(err)
 	}
-	_, id, ok, err := m.NextSplit("w1")
+	_, id, ok, _, err := m.NextSplit("w1")
 	if err != nil || !ok {
 		t.Fatal(err)
 	}
@@ -209,10 +209,10 @@ func TestMasterReapDeadReassigns(t *testing.T) {
 	m.now = func() time.Time { return now }
 	m.LeaseTimeout = 10 * time.Second
 
-	if _, err := m.RegisterWorker("w1"); err != nil {
+	if _, err := m.RegisterWorker("w1", ""); err != nil {
 		t.Fatal(err)
 	}
-	_, id, ok, err := m.NextSplit("w1")
+	_, id, ok, _, err := m.NextSplit("w1")
 	if err != nil || !ok {
 		t.Fatal("no split leased")
 	}
@@ -222,12 +222,12 @@ func TestMasterReapDeadReassigns(t *testing.T) {
 		t.Fatalf("ReapDead = %d, want 1", got)
 	}
 	// Split must be leasable again by a fresh worker.
-	if _, err := m.RegisterWorker("w2"); err != nil {
+	if _, err := m.RegisterWorker("w2", ""); err != nil {
 		t.Fatal(err)
 	}
 	var found bool
 	for {
-		_, id2, ok, err := m.NextSplit("w2")
+		_, id2, ok, _, err := m.NextSplit("w2")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,18 +252,21 @@ func TestMasterDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.RegisterWorker("w1"); err != nil {
+	if _, err := m.RegisterWorker("w1", ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Drain("w1"); err != nil {
 		t.Fatal(err)
 	}
-	_, _, ok, err := m.NextSplit("w1")
+	_, _, ok, draining, err := m.NextSplit("w1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Fatal("draining worker received a split")
+	}
+	if !draining {
+		t.Fatal("drained worker not told to drain")
 	}
 	if m.WorkerCount() != 0 {
 		t.Fatalf("WorkerCount = %d, want 0 after drain", m.WorkerCount())
@@ -273,19 +276,99 @@ func TestMasterDrain(t *testing.T) {
 	}
 }
 
+// TestDeregisterShrinksMembership is the drained-worker leak regression:
+// before DeregisterWorker, a drained worker that finished stayed in the
+// master's worker map forever, heartbeating and polluting
+// WorkerStatsSnapshot with stale stats.
+func TestDeregisterShrinksMembership(t *testing.T) {
+	wh, spec := buildFixture(t, 32, 16)
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"w1", "w2", "w3"} {
+		if _, err := m.RegisterWorker(id, "addr:"+id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Drain("w2"); err != nil {
+		t.Fatal(err)
+	}
+	eps, err := m.ListWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 3 {
+		t.Fatalf("ListWorkers = %d entries, want 3 (draining workers stay listed)", len(eps))
+	}
+	if eps[0].ID != "w1" || eps[1].ID != "w2" || eps[2].ID != "w3" {
+		t.Fatalf("ListWorkers not ID-sorted: %+v", eps)
+	}
+	if !eps[1].Draining || eps[1].Endpoint != "addr:w2" {
+		t.Fatalf("w2 entry = %+v, want draining with endpoint", eps[1])
+	}
+
+	if err := m.DeregisterWorker("w2"); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	n := len(m.workers)
+	m.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("worker map holds %d entries after deregister, want 2 (drained-worker leak)", n)
+	}
+	if got := len(m.WorkerStatsSnapshot()); got != 2 {
+		t.Fatalf("WorkerStatsSnapshot = %d entries, want 2", got)
+	}
+	if err := m.DeregisterWorker("w2"); err == nil {
+		t.Fatal("double deregister accepted")
+	}
+
+	// Deregistering with a split in flight requeues the lease.
+	_, id, ok, _, err := m.NextSplit("w1")
+	if err != nil || !ok {
+		t.Fatal("lease failed")
+	}
+	if err := m.DeregisterWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RegisterWorker("w4", ""); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for {
+		_, id2, ok, _, err := m.NextSplit("w4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if id2 == id {
+			seen = true
+		}
+		if err := m.CompleteSplit("w4", id2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !seen {
+		t.Fatalf("split %d leased to deregistered worker never requeued", id)
+	}
+}
+
 func TestMasterCheckpointRestore(t *testing.T) {
 	wh, spec := buildFixture(t, 32, 16)
 	m, err := NewMaster(wh, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.RegisterWorker("w1"); err != nil {
+	if _, err := m.RegisterWorker("w1", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Complete half the splits.
 	half := m.SplitCount() / 2
 	for i := 0; i < half; i++ {
-		_, id, ok, err := m.NextSplit("w1")
+		_, id, ok, _, err := m.NextSplit("w1")
 		if err != nil || !ok {
 			t.Fatal("lease failed")
 		}
@@ -308,12 +391,12 @@ func TestMasterCheckpointRestore(t *testing.T) {
 		t.Fatalf("restored progress = %d/%d, want %d/%d", c, total, half, m.SplitCount())
 	}
 	// The remaining splits are each leased exactly once.
-	if _, err := m2.RegisterWorker("w2"); err != nil {
+	if _, err := m2.RegisterWorker("w2", ""); err != nil {
 		t.Fatal(err)
 	}
 	count := 0
 	for {
-		_, id, ok, err := m2.NextSplit("w2")
+		_, id, ok, _, err := m2.NextSplit("w2")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -527,7 +610,7 @@ func TestWorkerStatelessRestart(t *testing.T) {
 	}
 	_ = w1
 	// w1 leases a split and crashes (never completes).
-	if _, _, ok, err := m.NextSplit("w1"); err != nil || !ok {
+	if _, _, ok, _, err := m.NextSplit("w1"); err != nil || !ok {
 		t.Fatal("lease failed")
 	}
 	now = now.Add(6 * time.Second)
@@ -570,9 +653,14 @@ func TestAutoScalerScalesUpOnStarvation(t *testing.T) {
 
 func TestAutoScalerScalesDownWhenIdle(t *testing.T) {
 	a := NewAutoScaler(1, 50)
+	// Full buffers plus a low measured busy fraction mark a worker
+	// drainable. The modelled utilizations are saturation-relative (the
+	// bottleneck domain always reads 1.0), so they must not veto the
+	// drain: these stats pin CPUUtil at 1.0 exactly as a real
+	// backpressured worker reports it.
 	stats := []WorkerStats{
-		{BufferedBatches: 8, CPUUtil: 0.2, MemBWUtil: 0.1, NICUtil: 0.1},
-		{BufferedBatches: 7, CPUUtil: 0.3, MemBWUtil: 0.2, NICUtil: 0.1},
+		{BufferedBatches: 8, MinBuffered: 8, CPUUtil: 1.0, MemBWUtil: 0.6, NICUtil: 0.1, BusyFrac: 0.05},
+		{BufferedBatches: 7, MinBuffered: 7, CPUUtil: 1.0, MemBWUtil: 0.5, NICUtil: 0.1, BusyFrac: 0.1},
 	}
 	delta := a.Evaluate(stats)
 	if delta >= 0 {
@@ -582,13 +670,22 @@ func TestAutoScalerScalesDownWhenIdle(t *testing.T) {
 	if len(stats)+delta < a.MinWorkers {
 		t.Fatalf("scaled below MinWorkers: %d", len(stats)+delta)
 	}
+	// A busy worker with full buffers (fast producer, keeping up) is not
+	// drainable.
+	busy := []WorkerStats{
+		{BufferedBatches: 8, MinBuffered: 8, BusyFrac: 0.9},
+		{BufferedBatches: 7, MinBuffered: 7, BusyFrac: 0.8},
+	}
+	if delta := a.Evaluate(busy); delta != 0 {
+		t.Fatalf("Evaluate(busy) = %d, want 0", delta)
+	}
 }
 
 func TestAutoScalerSteadyState(t *testing.T) {
 	a := NewAutoScaler(1, 50)
 	stats := []WorkerStats{
-		{BufferedBatches: 3, CPUUtil: 0.8},
-		{BufferedBatches: 4, CPUUtil: 0.85},
+		{BufferedBatches: 3, MinBuffered: 3, CPUUtil: 0.8},
+		{BufferedBatches: 4, MinBuffered: 4, CPUUtil: 0.85},
 	}
 	if delta := a.Evaluate(stats); delta != 0 {
 		t.Fatalf("Evaluate = %d, want 0", delta)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -20,7 +21,23 @@ type WorkerStats struct {
 	MemCapacityUtil float64
 	NICUtil         float64
 	BufferedBatches int
-	RowsPerSec      float64
+	// MinBuffered is the lowest buffered-batch level observed since the
+	// previous heartbeat. The instantaneous BufferedBatches is scheduling
+	// noise on a loaded host (a burst-scheduled worker can report a full
+	// buffer an instant after trainers drained it dry); the windowed
+	// minimum answers the question the scaler actually asks — did this
+	// worker's buffer ever run dry? — and is what the scale-up and
+	// scale-down rules key on.
+	MinBuffered int
+	RowsPerSec  float64
+	// BusyFrac is the measured fraction of the last heartbeat window the
+	// worker's stage goroutines spent busy (fetching, decoding, or
+	// transforming). Unlike the modelled utilizations above — which are
+	// saturation-relative, so the bottleneck domain always reads 1.0 —
+	// BusyFrac drops toward zero when the pipeline is blocked on
+	// backpressure from slow trainers, making it the oversupply signal
+	// the auto-scaler's drain decision keys on.
+	BusyFrac float64
 	// Stage is the cumulative per-stage busy-time breakdown of the
 	// worker's pipelined data plane (the Figure 9 measurement: where do
 	// worker cycles actually go?).
@@ -45,19 +62,39 @@ func (s StageBusy) Total() float64 {
 	return s.FetchSeconds + s.DecodeSeconds + s.TransformSeconds + s.DeliverSeconds
 }
 
-// MasterAPI is the control-plane surface Workers depend on. The Master
-// implements it directly; the TCP transport wraps it.
+// WorkerEndpoint is one registered worker's identity and data-plane
+// address, as resolved by ListWorkers. Clients use it to build and
+// rebalance their connection set as the pool grows and shrinks.
+type WorkerEndpoint struct {
+	ID       string
+	Endpoint string
+	Draining bool
+}
+
+// MasterAPI is the control-plane surface Workers and Clients depend on.
+// The Master implements it directly; the TCP transport wraps it.
 type MasterAPI interface {
-	// RegisterWorker announces a worker and returns the session spec
-	// (workers pull their transformations from the master on startup).
-	RegisterWorker(workerID string) (SessionSpec, error)
+	// RegisterWorker announces a worker together with its data-plane
+	// endpoint (the address Clients fetch tensors from) and returns the
+	// session spec (workers pull their transformations from the master
+	// on startup).
+	RegisterWorker(workerID, endpoint string) (SessionSpec, error)
+	// DeregisterWorker removes a worker from the session's membership.
+	// Workers call it after they have finished (or finished draining)
+	// and their buffer has been fully consumed, so Clients never lose
+	// buffered rows when the worker disappears from ListWorkers.
+	DeregisterWorker(workerID string) error
 	// NextSplit leases the next unprocessed split. ok=false means no
-	// work is currently available (done, or everything is in flight).
-	NextSplit(workerID string) (split warehouse.Split, splitID int, ok bool, err error)
+	// work is currently available (done, draining, or everything is in
+	// flight); draining=true tells the worker it has been marked for
+	// removal and should exit once its in-flight work is delivered.
+	NextSplit(workerID string) (split warehouse.Split, splitID int, ok bool, draining bool, err error)
 	// CompleteSplit acknowledges a finished split.
 	CompleteSplit(workerID string, splitID int) error
 	// Heartbeat reports liveness and utilization.
 	Heartbeat(workerID string, stats WorkerStats) error
+	// ListWorkers resolves the session's current worker membership.
+	ListWorkers() ([]WorkerEndpoint, error)
 	// Done reports whether every split has completed.
 	Done() (bool, error)
 }
@@ -97,6 +134,7 @@ type lease struct {
 }
 
 type workerInfo struct {
+	endpoint string
 	lastSeen time.Time
 	stats    WorkerStats
 	draining bool
@@ -145,30 +183,49 @@ func (m *Master) Spec() SessionSpec { return m.spec }
 func (m *Master) SplitCount() int { return len(m.splits) }
 
 // RegisterWorker implements MasterAPI.
-func (m *Master) RegisterWorker(workerID string) (SessionSpec, error) {
+func (m *Master) RegisterWorker(workerID, endpoint string) (SessionSpec, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.workers[workerID] = &workerInfo{lastSeen: m.now()}
+	m.workers[workerID] = &workerInfo{endpoint: endpoint, lastSeen: m.now()}
 	return m.spec, nil
 }
 
+// DeregisterWorker implements MasterAPI. Any splits still leased to the
+// worker are requeued, so a worker that deregisters with work in flight
+// (e.g. forced shutdown) loses no data.
+func (m *Master) DeregisterWorker(workerID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.workers[workerID]; !ok {
+		return fmt.Errorf("dpp: unregistered worker %q", workerID)
+	}
+	delete(m.workers, workerID)
+	for splitID, l := range m.inflight {
+		if l.worker == workerID {
+			delete(m.inflight, splitID)
+			m.pending = append(m.pending, splitID)
+		}
+	}
+	return nil
+}
+
 // NextSplit implements MasterAPI.
-func (m *Master) NextSplit(workerID string) (warehouse.Split, int, bool, error) {
+func (m *Master) NextSplit(workerID string) (warehouse.Split, int, bool, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	w, ok := m.workers[workerID]
 	if !ok {
-		return warehouse.Split{}, 0, false, fmt.Errorf("dpp: unregistered worker %q", workerID)
+		return warehouse.Split{}, 0, false, false, fmt.Errorf("dpp: unregistered worker %q", workerID)
 	}
 	w.lastSeen = m.now()
 	if w.draining || len(m.pending) == 0 {
-		return warehouse.Split{}, 0, false, nil
+		return warehouse.Split{}, 0, false, w.draining, nil
 	}
 	id := m.pending[0]
 	m.pending = m.pending[1:]
 	now := m.now()
 	m.inflight[id] = &lease{worker: workerID, since: now, granted: now}
-	return m.splits[id], id, true, nil
+	return m.splits[id], id, true, false, nil
 }
 
 // CompleteSplit implements MasterAPI.
@@ -224,6 +281,21 @@ func (m *Master) Done() (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.nComplete == len(m.splits), nil
+}
+
+// ListWorkers implements MasterAPI. Draining workers stay listed until
+// they deregister: their buffers may still hold undelivered tensors.
+// The result is sorted by worker ID so every client resolves the same
+// membership order and partitioned connection caps stay disjoint.
+func (m *Master) ListWorkers() ([]WorkerEndpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerEndpoint, 0, len(m.workers))
+	for id, w := range m.workers {
+		out = append(out, WorkerEndpoint{ID: id, Endpoint: w.endpoint, Draining: w.draining})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
 }
 
 // Progress reports completed and total split counts.
@@ -362,14 +434,18 @@ func RestoreMaster(wh *warehouse.Warehouse, spec SessionSpec, checkpoint []byte)
 type AutoScaler struct {
 	// MinWorkers and MaxWorkers bound the pool.
 	MinWorkers, MaxWorkers int
-	// LowBuffer is the buffered-batch level below which trainers are at
-	// risk of stalling (scale up).
+	// LowBuffer is the buffered-batch level (windowed minimum,
+	// WorkerStats.MinBuffered) below which trainers are at risk of
+	// stalling (scale up).
 	LowBuffer int
-	// HighBuffer is the level above which workers are oversupplied
-	// (scale down if also under-utilized).
+	// HighBuffer is the level the windowed-minimum buffer must stay
+	// above for a worker to count as oversupplied (scale down if also
+	// under-utilized).
 	HighBuffer int
-	// IdleUtil is the utilization below which an oversupplied worker is
-	// considered drainable.
+	// IdleUtil is the live busy fraction (WorkerStats.BusyFrac) below
+	// which an oversupplied worker is considered drainable. The modelled
+	// saturation-relative utilizations cannot serve here: the bottleneck
+	// domain always reads 1.0 however idle the worker actually is.
 	IdleUtil float64
 	// StepUp caps how many workers are added per evaluation.
 	StepUp int
@@ -400,11 +476,10 @@ func (a *AutoScaler) Evaluate(stats []WorkerStats) int {
 	starving := 0
 	drainable := 0
 	for _, s := range stats {
-		if s.BufferedBatches <= a.LowBuffer {
+		if s.MinBuffered <= a.LowBuffer {
 			starving++
 		}
-		util := maxf(s.CPUUtil, maxf(s.MemBWUtil, s.NICUtil))
-		if s.BufferedBatches >= a.HighBuffer && util < a.IdleUtil {
+		if s.MinBuffered >= a.HighBuffer && s.BusyFrac < a.IdleUtil {
 			drainable++
 		}
 	}

@@ -1,0 +1,519 @@
+package dpp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------
+// AutoScaler.Evaluate edge cases.
+// ---------------------------------------------------------------------
+
+func TestAutoScalerEmptyPoolMinZero(t *testing.T) {
+	// Even a zero-minimum policy bootstraps one probe worker: with no
+	// workers at all the session cannot start, and the controller needs
+	// at least one stats stream to steer by.
+	a := NewAutoScaler(0, 8)
+	if got := a.Evaluate(nil); got != 1 {
+		t.Fatalf("Evaluate(empty, min=0) = %d, want 1", got)
+	}
+}
+
+func TestAutoScalerScaleUpClampedByMax(t *testing.T) {
+	a := NewAutoScaler(1, 4)
+	stats := []WorkerStats{
+		{BufferedBatches: 0}, {BufferedBatches: 0}, {BufferedBatches: 0},
+	}
+	// All three starving wants +3 (under StepUp 4) but the pool may only
+	// grow by one.
+	if got := a.Evaluate(stats); got != 1 {
+		t.Fatalf("Evaluate = %d, want 1 (clamped by MaxWorkers)", got)
+	}
+}
+
+func TestAutoScalerMajorityStarvingBoundary(t *testing.T) {
+	a := NewAutoScaler(1, 50)
+	healthy := WorkerStats{BufferedBatches: 4, MinBuffered: 4, BusyFrac: 0.9}
+	starving := WorkerStats{BufferedBatches: 0, BusyFrac: 0.9}
+	// Exactly half starving is not a majority: no scale-up.
+	half := []WorkerStats{starving, starving, healthy, healthy}
+	if got := a.Evaluate(half); got != 0 {
+		t.Fatalf("Evaluate(half starving) = %d, want 0", got)
+	}
+	// One more tips the majority.
+	most := []WorkerStats{starving, starving, starving, healthy}
+	if got := a.Evaluate(most); got != 3 {
+		t.Fatalf("Evaluate(majority starving) = %d, want 3", got)
+	}
+	// StepUp caps the per-evaluation growth however many starve.
+	many := make([]WorkerStats, 9)
+	for i := range many {
+		many[i] = starving
+	}
+	if got := a.Evaluate(many); got != a.StepUp {
+		t.Fatalf("Evaluate(all starving) = %d, want StepUp %d", got, a.StepUp)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Orchestrator control loop under a fake (virtual) clock.
+// ---------------------------------------------------------------------
+
+// fakeHandle is a launcher handle whose drain state the test controls.
+type fakeHandle struct {
+	id string
+
+	mu      sync.Mutex
+	stopped bool
+	drained bool
+}
+
+func (h *fakeHandle) ID() string { return h.id }
+
+func (h *fakeHandle) Stop() {
+	h.mu.Lock()
+	h.stopped = true
+	h.drained = true // a stopped fake retires immediately
+	h.mu.Unlock()
+}
+
+func (h *fakeHandle) Drained() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.drained
+}
+
+// fakeLauncher registers workers with the master but runs no data plane;
+// the test feeds heartbeats to shape the scaler's view.
+type fakeLauncher struct {
+	m *Master
+
+	mu      sync.Mutex
+	handles map[string]*fakeHandle
+	order   []string
+}
+
+func (l *fakeLauncher) Launch(id string) (WorkerHandle, error) {
+	if _, err := l.m.RegisterWorker(id, "fake://"+id); err != nil {
+		return nil, err
+	}
+	h := &fakeHandle{id: id}
+	l.mu.Lock()
+	if l.handles == nil {
+		l.handles = make(map[string]*fakeHandle)
+	}
+	l.handles[id] = h
+	l.order = append(l.order, id)
+	l.mu.Unlock()
+	return h, nil
+}
+
+// ids returns launch order.
+func (l *fakeLauncher) ids() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.order...)
+}
+
+// heartbeatAll reports the given stats for every launched worker still
+// registered.
+func (l *fakeLauncher) heartbeatAll(t *testing.T, stats WorkerStats) {
+	t.Helper()
+	for _, id := range l.ids() {
+		_ = l.m.Heartbeat(id, stats) // deregistered workers reject; fine
+	}
+}
+
+// retire marks a fake worker fully drained and deregisters it, as a real
+// worker's Retire does.
+func (l *fakeLauncher) retire(t *testing.T, id string) {
+	t.Helper()
+	l.mu.Lock()
+	h := l.handles[id]
+	l.mu.Unlock()
+	if h == nil {
+		t.Fatalf("retire of unknown worker %s", id)
+	}
+	h.mu.Lock()
+	h.drained = true
+	h.mu.Unlock()
+	if err := l.m.DeregisterWorker(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newFakeClockOrchestrator(t *testing.T, min, max int) (*Orchestrator, *fakeLauncher, *Master) {
+	t.Helper()
+	wh, spec := buildFixture(t, 64, 16)
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &fakeLauncher{m: m}
+	o := NewOrchestrator(m, l, NewAutoScaler(min, max))
+	o.ScaleInterval = time.Second
+	o.ScaleUpCooldown = time.Second
+	o.ScaleDownCooldown = 3 * time.Second
+	return o, l, m
+}
+
+func step(t *testing.T, o *Orchestrator) {
+	t.Helper()
+	if err := o.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrchestratorGrowsOnStarvation(t *testing.T) {
+	o, l, _ := newFakeClockOrchestrator(t, 1, 8)
+
+	// Bootstrap: an empty pool grows to the minimum immediately.
+	step(t, o)
+	if got := o.Status().Live; got != 1 {
+		t.Fatalf("live after bootstrap = %d, want 1", got)
+	}
+
+	// The lone worker starves (empty buffer); after the cooldown the
+	// loop launches more.
+	l.heartbeatAll(t, WorkerStats{BufferedBatches: 0, BusyFrac: 0.9})
+	o.Clock.Advance(time.Second)
+	step(t, o)
+	if got := o.Status().Live; got != 2 {
+		t.Fatalf("live after starvation step = %d, want 2", got)
+	}
+
+	// Still starving: growth continues, one cooldown at a time.
+	l.heartbeatAll(t, WorkerStats{BufferedBatches: 0, BusyFrac: 0.9})
+	o.Clock.Advance(time.Second)
+	step(t, o)
+	if got := o.Status().Live; got != 4 {
+		t.Fatalf("live after second starvation step = %d, want 4", got)
+	}
+}
+
+func TestOrchestratorNoFlapWithinCooldown(t *testing.T) {
+	o, l, _ := newFakeClockOrchestrator(t, 1, 8)
+	step(t, o)
+	l.heartbeatAll(t, WorkerStats{BufferedBatches: 0, BusyFrac: 0.9})
+
+	// Starvation is visible but the bootstrap launch just happened: the
+	// loop must hold until the cooldown elapses, however many times it
+	// is stepped.
+	for i := 0; i < 5; i++ {
+		step(t, o)
+	}
+	if got := o.Status().Live; got != 1 {
+		t.Fatalf("live within cooldown = %d, want 1 (flapped)", got)
+	}
+	o.Clock.Advance(time.Second - time.Millisecond)
+	step(t, o)
+	if got := o.Status().Live; got != 1 {
+		t.Fatalf("live just before cooldown expiry = %d, want 1", got)
+	}
+	o.Clock.Advance(time.Millisecond)
+	step(t, o)
+	if got := o.Status().Live; got != 2 {
+		t.Fatalf("live after cooldown expiry = %d, want 2", got)
+	}
+
+	// Oversupply immediately after a scale-up must not drain until the
+	// down-cooldown elapses (no up→down flap).
+	l.heartbeatAll(t, WorkerStats{BufferedBatches: 8, MinBuffered: 8, BusyFrac: 0.05})
+	step(t, o)
+	if got := o.Status().Draining; got != 0 {
+		t.Fatalf("draining right after scale-up = %d, want 0 (flapped)", got)
+	}
+}
+
+func TestOrchestratorDrainsOnOversupply(t *testing.T) {
+	o, l, m := newFakeClockOrchestrator(t, 1, 8)
+	step(t, o)
+	l.heartbeatAll(t, WorkerStats{BufferedBatches: 0, BusyFrac: 0.9})
+	o.Clock.Advance(time.Second)
+	step(t, o) // 2 live
+
+	// Both workers report full buffers and an idle data plane.
+	l.heartbeatAll(t, WorkerStats{BufferedBatches: 8, MinBuffered: 8, BusyFrac: 0.05})
+	o.Clock.Advance(3 * time.Second)
+	step(t, o)
+	st := o.Status()
+	if st.Draining != 1 {
+		t.Fatalf("draining = %d, want 1 (down to MinWorkers)", st.Draining)
+	}
+	if got := m.WorkerCount(); got != 1 {
+		t.Fatalf("live master workers = %d, want 1", got)
+	}
+	// The most recently launched worker is the drain victim.
+	victim := l.ids()[len(l.ids())-1]
+	eps, err := m.ListWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps {
+		if ep.ID == victim && !ep.Draining {
+			t.Fatalf("expected LIFO drain victim %s to be draining: %+v", victim, eps)
+		}
+	}
+
+	// Once the drained worker retires, the loop forgets it.
+	l.retire(t, victim)
+	step(t, o)
+	st = o.Status()
+	if st.Live != 1 || st.Draining != 0 {
+		t.Fatalf("status after retire = %+v, want 1 live, 0 draining", st)
+	}
+}
+
+// flakyLauncher fails a set number of launches before delegating.
+type flakyLauncher struct {
+	inner    *fakeLauncher
+	mu       sync.Mutex
+	failures int
+}
+
+func (l *flakyLauncher) Launch(id string) (WorkerHandle, error) {
+	l.mu.Lock()
+	fail := l.failures > 0
+	if fail {
+		l.failures--
+	}
+	l.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("transient launch failure")
+	}
+	return l.inner.Launch(id)
+}
+
+// TestOrchestratorRetriesFailedLaunch: a transient launch failure is
+// reported to OnError and retried on the next step — it must not abort
+// the control loop (which would force-stop the pool and abandon
+// buffered batches whose splits were already acknowledged).
+func TestOrchestratorRetriesFailedLaunch(t *testing.T) {
+	wh, spec := buildFixture(t, 64, 16)
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &fakeLauncher{m: m}
+	o := NewOrchestrator(m, &flakyLauncher{inner: fl, failures: 1}, NewAutoScaler(1, 4))
+	o.ScaleInterval = time.Second
+	var errs int
+	o.OnError = func(error) { errs++ }
+
+	step(t, o) // bootstrap launch fails transiently
+	if errs != 1 {
+		t.Fatalf("OnError calls = %d, want 1", errs)
+	}
+	if got := o.Status().Live; got != 0 {
+		t.Fatalf("live after failed launch = %d, want 0", got)
+	}
+	// The failure armed no cooldown: the very next step retries and
+	// succeeds without advancing the clock.
+	step(t, o)
+	if got := o.Status().Live; got != 1 {
+		t.Fatalf("live after retry = %d, want 1", got)
+	}
+	if errs != 1 {
+		t.Fatalf("OnError calls after retry = %d, want 1", errs)
+	}
+}
+
+// TestSessionClientSkipsUndialableWorker: one worker's dial failing must
+// not fail Refresh (and with it the whole training client); the worker
+// is skipped until a later refresh or until the master reaps it.
+func TestSessionClientSkipsUndialableWorker(t *testing.T) {
+	wh, spec := buildFixture(t, 64, 16)
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := NewWorkerWithEndpoint("w1", "ok", m, wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RegisterWorker("w2", "dead"); err != nil {
+		t.Fatal(err)
+	}
+	dial := func(ep WorkerEndpoint) (WorkerAPI, error) {
+		if ep.Endpoint != "ok" {
+			return nil, fmt.Errorf("connection refused")
+		}
+		return LocalWorkerAPI(w1), nil
+	}
+	c, err := NewSessionClient(m, dial, 0, 0)
+	if err != nil {
+		t.Fatalf("session client failed over one dead worker: %v", err)
+	}
+	if got := c.Connections(); got != 1 {
+		t.Fatalf("Connections = %d, want 1 (dead worker skipped)", got)
+	}
+	// Once the master forgets the dead worker, refresh converges.
+	if err := m.DeregisterWorker("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Connections(); got != 1 {
+		t.Fatalf("Connections after reap = %d, want 1", got)
+	}
+}
+
+func TestOrchestratorNeverExceedsBounds(t *testing.T) {
+	o, l, m := newFakeClockOrchestrator(t, 1, 3)
+	for i := 0; i < 12; i++ {
+		step(t, o)
+		l.heartbeatAll(t, WorkerStats{BufferedBatches: 0, BusyFrac: 0.9})
+		o.Clock.Advance(time.Second)
+		if got := o.Status().Live; got > 3 {
+			t.Fatalf("live = %d exceeds MaxWorkers 3", got)
+		}
+	}
+	if got := o.Status().Live; got != 3 {
+		t.Fatalf("live = %d, want steady state at MaxWorkers 3", got)
+	}
+	if got := m.WorkerCount(); got != 3 {
+		t.Fatalf("master sees %d workers, want 3", got)
+	}
+}
+
+func TestOrchestratorPeriodicCheckpoint(t *testing.T) {
+	o, _, _ := newFakeClockOrchestrator(t, 1, 2)
+	o.CheckpointEvery = 2 * time.Second
+	step(t, o)
+	if o.LastCheckpoint() == nil {
+		t.Fatal("no checkpoint after first due step")
+	}
+	if got := o.Status().Checkpoints; got != 1 {
+		t.Fatalf("checkpoints = %d, want 1", got)
+	}
+	step(t, o) // not due yet
+	if got := o.Status().Checkpoints; got != 1 {
+		t.Fatalf("checkpoints within period = %d, want 1", got)
+	}
+	o.Clock.Advance(2 * time.Second)
+	step(t, o)
+	if got := o.Status().Checkpoints; got != 2 {
+		t.Fatalf("checkpoints after period = %d, want 2", got)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Closed loop over real workers: the orchestrator owns the pool, a
+// session client resolves membership from the master, every row arrives.
+// ---------------------------------------------------------------------
+
+func TestOrchestratedSessionDeliversAllRows(t *testing.T) {
+	wh, spec := buildFixture(t, 96, 8) // 24 splits, 192 rows
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var launcherErr sync.Map
+	l := &InProcessLauncher{
+		Master: m,
+		WH:     wh,
+		Tune:   func(w *Worker) { w.HeartbeatEvery = time.Millisecond },
+		OnError: func(id string, err error) {
+			launcherErr.Store(id, err)
+		},
+	}
+	o := NewOrchestrator(m, l, NewAutoScaler(1, 4))
+	o.ScaleInterval = time.Millisecond
+	o.CheckpointEvery = 5 * time.Millisecond
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run(nil) }()
+
+	client, err := NewSessionClient(m, l.Dial, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.RefreshEvery = 500 * time.Microsecond
+	rows := 0
+	for {
+		b, ok, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += b.Rows
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("orchestrator did not finish")
+	}
+	launcherErr.Range(func(id, err any) bool {
+		t.Errorf("worker %v failed: %v", id, err)
+		return true
+	})
+	if rows != 192 {
+		t.Fatalf("client consumed %d rows, want 192", rows)
+	}
+	st := o.Status()
+	if st.Live != 0 {
+		t.Fatalf("workers still tracked after completion: %+v", st)
+	}
+	if st.Launched == 0 {
+		t.Fatal("orchestrator launched no workers")
+	}
+	// No membership leak: every launched worker deregistered.
+	eps, err := m.ListWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 0 {
+		t.Fatalf("workers still registered after session: %+v", eps)
+	}
+	if o.LastCheckpoint() == nil {
+		t.Fatal("orchestrator took no checkpoints")
+	}
+}
+
+// TestOrchestratorStopAbandonsPool force-stops a running pool mid-session
+// and verifies every worker retires and deregisters.
+func TestOrchestratorStopAbandonsPool(t *testing.T) {
+	wh, spec := buildFixture(t, 128, 8) // 32 splits
+	spec.BufferDepth = 2                // block workers on backpressure
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &InProcessLauncher{Master: m, WH: wh, Tune: func(w *Worker) { w.HeartbeatEvery = time.Millisecond }}
+	o := NewOrchestrator(m, l, NewAutoScaler(2, 2))
+	o.ScaleInterval = time.Millisecond
+	stop := make(chan struct{})
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run(stop) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for o.Status().Launched < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("orchestrator did not stop")
+	}
+	if got := o.Status().Live; got != 0 {
+		t.Fatalf("live after stop = %d, want 0", got)
+	}
+	eps, err := m.ListWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 0 {
+		t.Fatalf("workers left registered after forced stop: %+v", eps)
+	}
+}

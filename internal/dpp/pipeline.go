@@ -162,7 +162,7 @@ func (w *Worker) runPipelined(stop <-chan struct{}) error {
 		close(w.splitDone) // wake fetchers waiting to re-check Done
 		w.splitDone = make(chan struct{})
 		w.mu.Unlock()
-		if err := w.master.Heartbeat(w.ID, w.Stats()); err != nil {
+		if err := w.master.Heartbeat(w.ID, w.heartbeatStats()); err != nil {
 			abort.fail(err)
 			break
 		}
@@ -194,9 +194,16 @@ func (w *Worker) fetchLoop(out chan<- fetchedSplit, abort *pipelineAbort) {
 			return
 		default:
 		}
-		split, splitID, ok, err := w.master.NextSplit(w.ID)
+		split, splitID, ok, draining, err := w.master.NextSplit(w.ID)
 		if err != nil {
 			abort.fail(err)
+			return
+		}
+		if draining {
+			// Drain-complete for this fetcher: the master hands out no
+			// further leases; already-fetched splits still flow through
+			// transform and delivery before Run returns.
+			w.setDraining()
 			return
 		}
 		if !ok {

@@ -294,11 +294,11 @@ func TestHeartbeatRenewsInflightLeases(t *testing.T) {
 	m.now = func() time.Time { return now }
 	m.LeaseTimeout = 10 * time.Second
 
-	if _, err := m.RegisterWorker("w1"); err != nil {
+	if _, err := m.RegisterWorker("w1", ""); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, _, ok, err := m.NextSplit("w1"); err != nil || !ok {
+		if _, _, ok, _, err := m.NextSplit("w1"); err != nil || !ok {
 			t.Fatal("lease failed")
 		}
 	}
@@ -325,7 +325,7 @@ func TestHeartbeatRenewsInflightLeases(t *testing.T) {
 		t.Fatalf("ReapDead = %d for wedged worker past MaxLeaseAge, want 3", got)
 	}
 	// Once heartbeats stop, remaining leases are reclaimed too.
-	if _, _, ok, err := m.NextSplit("w1"); err != nil || !ok {
+	if _, _, ok, _, err := m.NextSplit("w1"); err != nil || !ok {
 		t.Fatal("re-lease failed")
 	}
 	now = now.Add(11 * time.Second)

@@ -21,15 +21,18 @@ type MasterService struct {
 	master *Master
 }
 
-// RegisterArgs identifies the calling worker.
-type RegisterArgs struct{ WorkerID string }
+// RegisterArgs identifies the calling worker and its data-plane address.
+type RegisterArgs struct {
+	WorkerID string
+	Endpoint string
+}
 
 // RegisterReply carries the session spec.
 type RegisterReply struct{ Spec SessionSpec }
 
 // Register handles worker registration.
 func (s *MasterService) Register(args *RegisterArgs, reply *RegisterReply) error {
-	spec, err := s.master.RegisterWorker(args.WorkerID)
+	spec, err := s.master.RegisterWorker(args.WorkerID, args.Endpoint)
 	if err != nil {
 		return err
 	}
@@ -37,23 +40,45 @@ func (s *MasterService) Register(args *RegisterArgs, reply *RegisterReply) error
 	return nil
 }
 
+// DeregisterArgs identifies the departing worker.
+type DeregisterArgs struct{ WorkerID string }
+
+// Deregister removes a drained worker from the session's membership.
+func (s *MasterService) Deregister(args *DeregisterArgs, reply *struct{}) error {
+	return s.master.DeregisterWorker(args.WorkerID)
+}
+
 // NextSplitArgs identifies the calling worker.
 type NextSplitArgs struct{ WorkerID string }
 
-// NextSplitReply carries one leased split.
+// NextSplitReply carries one leased split, or the drain signal.
 type NextSplitReply struct {
-	Split   warehouse.Split
-	SplitID int
-	OK      bool
+	Split    warehouse.Split
+	SplitID  int
+	OK       bool
+	Draining bool
 }
 
 // NextSplit leases a split.
 func (s *MasterService) NextSplit(args *NextSplitArgs, reply *NextSplitReply) error {
-	split, id, ok, err := s.master.NextSplit(args.WorkerID)
+	split, id, ok, draining, err := s.master.NextSplit(args.WorkerID)
 	if err != nil {
 		return err
 	}
-	reply.Split, reply.SplitID, reply.OK = split, id, ok
+	reply.Split, reply.SplitID, reply.OK, reply.Draining = split, id, ok, draining
+	return nil
+}
+
+// ListWorkersReply carries the session's resolved worker membership.
+type ListWorkersReply struct{ Workers []WorkerEndpoint }
+
+// ListWorkers resolves current worker membership for clients.
+func (s *MasterService) ListWorkers(args *struct{}, reply *ListWorkersReply) error {
+	workers, err := s.master.ListWorkers()
+	if err != nil {
+		return err
+	}
+	reply.Workers = workers
 	return nil
 }
 
@@ -148,21 +173,35 @@ func DialMaster(addr string) (*RemoteMaster, error) {
 func (r *RemoteMaster) Close() error { return r.client.Close() }
 
 // RegisterWorker implements MasterAPI.
-func (r *RemoteMaster) RegisterWorker(workerID string) (SessionSpec, error) {
+func (r *RemoteMaster) RegisterWorker(workerID, endpoint string) (SessionSpec, error) {
 	var reply RegisterReply
-	if err := r.client.Call("Master.Register", &RegisterArgs{WorkerID: workerID}, &reply); err != nil {
+	if err := r.client.Call("Master.Register", &RegisterArgs{WorkerID: workerID, Endpoint: endpoint}, &reply); err != nil {
 		return SessionSpec{}, err
 	}
 	return reply.Spec, nil
 }
 
+// DeregisterWorker implements MasterAPI.
+func (r *RemoteMaster) DeregisterWorker(workerID string) error {
+	return r.client.Call("Master.Deregister", &DeregisterArgs{WorkerID: workerID}, &struct{}{})
+}
+
 // NextSplit implements MasterAPI.
-func (r *RemoteMaster) NextSplit(workerID string) (warehouse.Split, int, bool, error) {
+func (r *RemoteMaster) NextSplit(workerID string) (warehouse.Split, int, bool, bool, error) {
 	var reply NextSplitReply
 	if err := r.client.Call("Master.NextSplit", &NextSplitArgs{WorkerID: workerID}, &reply); err != nil {
-		return warehouse.Split{}, 0, false, err
+		return warehouse.Split{}, 0, false, false, err
 	}
-	return reply.Split, reply.SplitID, reply.OK, nil
+	return reply.Split, reply.SplitID, reply.OK, reply.Draining, nil
+}
+
+// ListWorkers implements MasterAPI.
+func (r *RemoteMaster) ListWorkers() ([]WorkerEndpoint, error) {
+	var reply ListWorkersReply
+	if err := r.client.Call("Master.ListWorkers", &struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Workers, nil
 }
 
 // CompleteSplit implements MasterAPI.
@@ -217,13 +256,54 @@ func (s *WorkerService) Stats(args *struct{}, reply *StatsReply) error {
 
 // ServeWorker exposes a worker's buffer over net/rpc.
 func ServeWorker(worker *Worker, addr string) (net.Listener, func(), error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", &WorkerService{worker: worker}); err != nil {
-		return nil, nil, err
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
+	}
+	stop, err := ServeWorkerOn(worker, ln)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	return ln, stop, nil
+}
+
+// ListenAndServeWorker binds addr, registers a new worker announcing
+// the bound address as its data-plane endpoint, and serves its buffer
+// over net/rpc — the canonical way a TCP worker joins a session (used
+// by cmd/dppd's worker role and the RPCLauncher). tune, when non-nil,
+// adjusts the worker after construction but before the data plane
+// starts serving (so no RPC can observe a half-tuned worker). The
+// returned stop closes the listener.
+func ListenAndServeWorker(id, addr string, master MasterAPI, wh *warehouse.Warehouse, tune func(*Worker)) (*Worker, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := NewWorkerWithEndpoint(id, advertiseAddr(ln.Addr()), master, wh)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	if tune != nil {
+		tune(w)
+	}
+	stop, err := ServeWorkerOn(w, ln)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	return w, stop, nil
+}
+
+// ServeWorkerOn exposes a worker's buffer over net/rpc on an existing
+// listener. Binding the listener first lets a worker register its real
+// data-plane address with the master before serving (the elastic flow:
+// listen → NewWorkerWithEndpoint → serve).
+func ServeWorkerOn(worker *Worker, ln net.Listener) (func(), error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &WorkerService{worker: worker}); err != nil {
+		return nil, err
 	}
 	done := make(chan struct{})
 	go func() {
@@ -244,7 +324,7 @@ func ServeWorker(worker *Worker, addr string) (net.Listener, func(), error) {
 		close(done)
 		ln.Close()
 	}
-	return ln, stop, nil
+	return stop, nil
 }
 
 // RemoteWorker is a WorkerAPI backed by an RPC connection.
@@ -287,3 +367,25 @@ func (r *RemoteWorker) Stats() (WorkerStats, error) {
 }
 
 var _ WorkerAPI = (*RemoteWorker)(nil)
+
+// DialWorkerEndpoint is the WorkerDialer for TCP-served workers: it
+// connects to the endpoint the worker registered with the master.
+func DialWorkerEndpoint(ep WorkerEndpoint) (WorkerAPI, error) {
+	return DialWorker(ep.Endpoint)
+}
+
+// advertiseAddr converts a bound listener address into a dialable
+// endpoint: a wildcard bind ("-addr :7071" yields host "::") is not
+// dialable by clients, so it is advertised as loopback — matching this
+// offline module's single-host deployments. Multi-host runs must bind
+// an explicitly addressable -addr.
+func advertiseAddr(addr net.Addr) string {
+	tcp, ok := addr.(*net.TCPAddr)
+	if !ok {
+		return addr.String()
+	}
+	if tcp.IP == nil || tcp.IP.IsUnspecified() {
+		return net.JoinHostPort("127.0.0.1", fmt.Sprint(tcp.Port))
+	}
+	return addr.String()
+}

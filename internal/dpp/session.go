@@ -7,20 +7,35 @@
 //
 //   - The Master (control plane) breaks the preprocessing workload into
 //     self-contained splits, serves them to Workers, tracks progress,
-//     checkpoints reader state, restarts failed Workers, and auto-scales
-//     the Worker pool to eliminate data stalls.
-//   - Workers (data plane) are stateless: they pull the transformation
-//     spec at startup, then run splits through a bounded multi-stage
-//     pipeline — a prefetcher pool fetching and decoding stripes ahead
-//     of consumption, a concurrent transform stage, and a delivery
-//     stage whose bounded buffer applies backpressure — sized by
-//     SessionSpec.Pipeline and observable per stage via WorkerStats.
+//     checkpoints reader state, restarts failed Workers, and resolves
+//     the session's live worker membership (ListWorkers) for clients.
+//   - The Orchestrator closes the auto-scaling loop around the Master:
+//     it periodically evaluates worker heartbeats with the AutoScaler
+//     policy and launches or drains workers through a WorkerLauncher
+//     (InProcessLauncher for goroutine workers, RPCLauncher for
+//     TCP-served ones), reaps retired workers, and takes periodic
+//     reader-state checkpoints. Scale actions respect up/down cooldowns
+//     measured on an internal/clock virtual clock, so tests drive the
+//     identical control law deterministically via Step and Advance.
+//   - Workers (data plane) are stateless: they register a data-plane
+//     endpoint, pull the transformation spec at startup, then run
+//     splits through a bounded multi-stage pipeline — a prefetcher pool
+//     fetching and decoding stripes ahead of consumption, a concurrent
+//     transform stage, and a delivery stage whose bounded buffer
+//     applies backpressure — sized by SessionSpec.Pipeline and
+//     observable per stage via WorkerStats. A drained worker finishes
+//     its in-flight splits, serves out its buffer (Retire), and
+//     deregisters, so shrinking the pool never loses rows.
 //   - Clients run on trainer nodes and fetch tensors from Workers with
-//     partitioned round-robin routing.
+//     partitioned round-robin routing. A session client
+//     (NewSessionClient) resolves membership from the Master and
+//     rebalances its connections as the pool grows and shrinks
+//     mid-session; NewClient keeps the frozen-set behaviour for static
+//     fleets.
 //
 // The package supports two transports: direct in-process calls (used by
 // simulations and tests) and net/rpc over TCP (cmd/dppd), exercising the
-// same Master/Worker/Client logic.
+// same Master/Worker/Client/Orchestrator logic.
 package dpp
 
 import (

@@ -161,6 +161,9 @@ func (r ResourceReport) Utilizations(node hw.NodeSpec, ghz float64) (cpu, mem, n
 // batches for Clients.
 type Worker struct {
 	ID string
+	// Endpoint is the data-plane address registered with the master
+	// (empty for in-process workers dialed by identity).
+	Endpoint string
 
 	master MasterAPI
 	wh     *warehouse.Warehouse
@@ -172,10 +175,20 @@ type Worker struct {
 	buffer    []*tensor.Batch
 	bufBytes  int64
 	finished  bool
+	draining  bool
 	report    ResourceReport
 	notEmpty  chan struct{} // closed-and-replaced signal for consumers
 	notFull   chan struct{} // closed-and-replaced signal for producers
 	splitDone chan struct{} // closed-and-replaced after each CompleteSplit
+
+	// BusyFrac window: the last Stats() sample point, so each heartbeat
+	// reports the live busy fraction since the previous one.
+	lastStatsAt  time.Time
+	lastBusy     time.Duration
+	lastBusyFrac float64
+	// minBuffered tracks the lowest buffer occupancy since the last
+	// Stats() call (WorkerStats.MinBuffered).
+	minBuffered int
 
 	// Stage stopwatches accumulate busy time across all pipeline
 	// goroutines; Report folds them into the resource report.
@@ -194,12 +207,26 @@ type Worker struct {
 	Node hw.NodeSpec
 	// ClockGHz is the modelled core clock.
 	ClockGHz float64
+	// HeartbeatEvery is the background liveness heartbeat period
+	// (default 500ms). Orchestrated tests shrink it so the master's view
+	// of buffer occupancy and busy fraction stays fresh at millisecond
+	// control-loop scales.
+	HeartbeatEvery time.Duration
 }
 
 // NewWorker registers with the master, pulls the session spec, and
-// compiles the transformation graph.
+// compiles the transformation graph. The worker registers no data-plane
+// endpoint; use NewWorkerWithEndpoint when clients resolve workers
+// through the master.
 func NewWorker(id string, master MasterAPI, wh *warehouse.Warehouse) (*Worker, error) {
-	spec, err := master.RegisterWorker(id)
+	return NewWorkerWithEndpoint(id, "", master, wh)
+}
+
+// NewWorkerWithEndpoint registers with the master, announcing the
+// data-plane address clients should fetch tensors from, pulls the
+// session spec, and compiles the transformation graph.
+func NewWorkerWithEndpoint(id, endpoint string, master MasterAPI, wh *warehouse.Warehouse) (*Worker, error) {
+	spec, err := master.RegisterWorker(id, endpoint)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: worker %s register: %w", id, err)
 	}
@@ -209,17 +236,19 @@ func NewWorker(id string, master MasterAPI, wh *warehouse.Warehouse) (*Worker, e
 		return nil, fmt.Errorf("dpp: worker %s graph: %w", id, err)
 	}
 	return &Worker{
-		ID:        id,
-		master:    master,
-		wh:        wh,
-		spec:      spec,
-		graph:     graph,
-		proj:      spec.Projection(),
-		notEmpty:  make(chan struct{}),
-		notFull:   make(chan struct{}),
-		splitDone: make(chan struct{}),
-		Node:      hw.CV1,
-		ClockGHz:  2.5,
+		ID:          id,
+		Endpoint:    endpoint,
+		master:      master,
+		wh:          wh,
+		spec:        spec,
+		graph:       graph,
+		proj:        spec.Projection(),
+		notEmpty:    make(chan struct{}),
+		notFull:     make(chan struct{}),
+		splitDone:   make(chan struct{}),
+		lastStatsAt: time.Now(),
+		Node:        hw.CV1,
+		ClockGHz:    2.5,
 	}, nil
 }
 
@@ -227,9 +256,13 @@ func NewWorker(id string, master MasterAPI, wh *warehouse.Warehouse) (*Worker, e
 func (w *Worker) Spec() SessionSpec { return w.spec }
 
 // ProcessOneSplit fetches and fully processes one split. It returns
-// false when the master has no split to hand out.
+// false when the master has no split to hand out (session done, nothing
+// pending, or this worker has been marked draining — see Draining).
 func (w *Worker) ProcessOneSplit() (bool, error) {
-	split, splitID, ok, err := w.master.NextSplit(w.ID)
+	split, splitID, ok, draining, err := w.master.NextSplit(w.ID)
+	if draining {
+		w.setDraining()
+	}
 	if err != nil {
 		return false, err
 	}
@@ -402,6 +435,9 @@ func (w *Worker) GetBatch() (*tensor.Batch, bool) {
 			b := w.buffer[0]
 			w.buffer = w.buffer[1:]
 			w.bufBytes -= b.SizeBytes()
+			if len(w.buffer) < w.minBuffered {
+				w.minBuffered = len(w.buffer)
+			}
 			close(w.notFull)
 			w.notFull = make(chan struct{})
 			w.mu.Unlock()
@@ -429,6 +465,9 @@ func (w *Worker) TryGetBatch() (b *tensor.Batch, ok, done bool) {
 		b = w.buffer[0]
 		w.buffer = w.buffer[1:]
 		w.bufBytes -= b.SizeBytes()
+		if len(w.buffer) < w.minBuffered {
+			w.minBuffered = len(w.buffer)
+		}
 		close(w.notFull)
 		w.notFull = make(chan struct{})
 		return b, true, false
@@ -448,6 +487,21 @@ func (w *Worker) Finished() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.finished
+}
+
+// Draining reports whether the master has marked this worker for
+// removal: it receives no further splits and Run exits once in-flight
+// work is delivered.
+func (w *Worker) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+func (w *Worker) setDraining() {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
 }
 
 // Report snapshots the worker's cumulative resource accounting,
@@ -471,13 +525,68 @@ func (w *Worker) Report() ResourceReport {
 	return rep
 }
 
-// Stats assembles the heartbeat payload: saturation-relative utilizations
-// plus buffer occupancy.
-func (w *Worker) Stats() WorkerStats {
+// busyFracWindow is the minimum wall window over which BusyFrac is
+// re-sampled; faster callers reuse the previous sample so concurrent
+// stat readers don't shred the measurement window into noise.
+const busyFracWindow = 200 * time.Microsecond
+
+// busyFrac measures the live busy fraction of the data plane since the
+// previous sample: productive stage time (fetch, decode, transform —
+// not delivery, which counts backpressure blocking) over wall time,
+// normalized by the number of stage goroutines.
+func (w *Worker) busyFrac() float64 {
+	busy := w.stageFetch.Busy() + w.stageDecode.Busy() + w.stageTransform.Busy()
+	parallel := 1.0
+	if !w.spec.Pipeline.Sequential {
+		parallel = float64(w.spec.Pipeline.Prefetchers + w.spec.Pipeline.TransformParallelism)
+	}
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wall := now.Sub(w.lastStatsAt)
+	if wall < busyFracWindow {
+		return w.lastBusyFrac
+	}
+	frac := float64(busy-w.lastBusy) / (float64(wall) * parallel)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	w.lastStatsAt, w.lastBusy, w.lastBusyFrac = now, busy, frac
+	return frac
+}
+
+// Stats assembles a utilization snapshot: saturation-relative modelled
+// utilizations plus buffer occupancy and the live busy fraction. It
+// does NOT consume the BusyFrac/MinBuffered measurement windows, so
+// external pollers (the Worker.Stats RPC, tests) can call it freely
+// without corrupting the signals the auto-scaler keys on; only the
+// worker's own heartbeat paths sample-and-reset via heartbeatStats.
+func (w *Worker) Stats() WorkerStats { return w.stats(false) }
+
+// heartbeatStats is Stats plus a sample-and-restart of the BusyFrac and
+// MinBuffered windows; each heartbeat therefore reports what happened
+// since the previous heartbeat.
+func (w *Worker) heartbeatStats() WorkerStats { return w.stats(true) }
+
+func (w *Worker) stats(sample bool) WorkerStats {
 	rep := w.Report()
 	cpu, mem, nic := rep.Utilizations(w.Node, w.ClockGHz)
+	var busyFrac float64
+	if sample {
+		busyFrac = w.busyFrac()
+	}
 	w.mu.Lock()
+	if !sample {
+		busyFrac = w.lastBusyFrac
+	}
 	buffered := len(w.buffer)
+	minBuffered := w.minBuffered
+	if sample {
+		w.minBuffered = buffered // restart the window at the current level
+	}
 	resident := float64(w.bufBytes)
 	w.mu.Unlock()
 	return WorkerStats{
@@ -486,7 +595,9 @@ func (w *Worker) Stats() WorkerStats {
 		NICUtil:         nic,
 		MemCapacityUtil: resident / (w.Node.MemoryGB * 1e9),
 		BufferedBatches: buffered,
+		MinBuffered:     minBuffered,
 		RowsPerSec:      rep.SaturatedThroughput(w.Node, w.ClockGHz),
+		BusyFrac:        busyFrac,
 		Stage: StageBusy{
 			FetchSeconds:     w.stageFetch.Seconds(),
 			DecodeSeconds:    w.stageDecode.Seconds(),
@@ -507,10 +618,13 @@ func (w *Worker) finish() {
 	w.mu.Unlock()
 }
 
-// Run processes splits until the master reports the session done or stop
-// is closed. By default the data plane runs pipelined (fetch, transform,
-// and deliver overlap); SessionSpec.Pipeline.Sequential restores the
-// serial baseline loop. Heartbeats are sent after every split, plus a
+// Run processes splits until the master reports the session done, the
+// master marks this worker draining (the auto-scaler shrinking the
+// pool), or stop is closed. In-flight splits are always delivered before
+// Run returns; buffered batches remain fetchable afterwards — follow
+// with Retire to serve them out and deregister. By default the data
+// plane runs pipelined (fetch, transform, and deliver overlap);
+// SessionSpec.Pipeline.Sequential restores the serial baseline loop. Heartbeats are sent after every split, plus a
 // background liveness tick so a worker stalled on a slow trainer is
 // neither reaped nor has its in-flight leases requeued.
 func (w *Worker) Run(stop <-chan struct{}) error {
@@ -524,20 +638,28 @@ func (w *Worker) Run(stop <-chan struct{}) error {
 	return w.runPipelined(stop)
 }
 
+// heartbeatEvery is the effective background heartbeat period.
+func (w *Worker) heartbeatEvery() time.Duration {
+	if w.HeartbeatEvery > 0 {
+		return w.HeartbeatEvery
+	}
+	return 500 * time.Millisecond
+}
+
 // heartbeatLoop renews liveness — and, at the master, the worker's
 // in-flight leases — during stretches where no split completes, e.g.
 // delivery blocked on a stalled trainer for longer than the lease
 // timeout. Errors are ignored: a reaped worker finds out on its next
 // data-plane call to the master.
 func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
-	t := time.NewTicker(500 * time.Millisecond)
+	t := time.NewTicker(w.heartbeatEvery())
 	defer t.Stop()
 	for {
 		select {
 		case <-stop:
 			return
 		case <-t.C:
-			_ = w.master.Heartbeat(w.ID, w.Stats())
+			_ = w.master.Heartbeat(w.ID, w.heartbeatStats())
 		}
 	}
 }
@@ -556,11 +678,14 @@ func (w *Worker) runSequential(stop <-chan struct{}) error {
 		if err != nil {
 			return err
 		}
-		if err := w.master.Heartbeat(w.ID, w.Stats()); err != nil {
+		if err := w.master.Heartbeat(w.ID, w.heartbeatStats()); err != nil {
 			return err
 		}
 		if processed {
 			continue
+		}
+		if w.Draining() {
+			return nil
 		}
 		done, err := w.master.Done()
 		if err != nil {
@@ -571,6 +696,42 @@ func (w *Worker) runSequential(stop <-chan struct{}) error {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// Retire serves the worker's remaining buffered batches until consumers
+// drain them — heartbeating so the master keeps listing the worker and
+// clients keep fetching from it — then removes the worker from the
+// master's membership. Closing abandon gives up on undelivered batches
+// (forced shutdown; their splits are requeued by DeregisterWorker if
+// still leased) but still deregisters. Several consecutive heartbeat
+// failures also abandon the buffer: a worker the master no longer
+// acknowledges (reaped, or the control connection gone for good) is
+// dropped from membership, so no client will ever be routed here to
+// drain it and waiting would wedge forever — its leases are requeued
+// master-side. A single transient heartbeat error is retried, not
+// treated as abandonment. Call after Run returns; the pair is the
+// worker half of the graceful drain protocol.
+func (w *Worker) Retire(abandon <-chan struct{}) error {
+	hb := time.NewTicker(w.heartbeatEvery())
+	defer hb.Stop()
+	hbFails := 0
+drain:
+	for w.Buffered() > 0 {
+		select {
+		case <-abandon:
+			break drain
+		case <-hb.C:
+			if err := w.master.Heartbeat(w.ID, w.heartbeatStats()); err != nil {
+				if hbFails++; hbFails >= 3 {
+					break drain
+				}
+			} else {
+				hbFails = 0
+			}
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return w.master.DeregisterWorker(w.ID)
 }
 
 // sliceBatches splits a materialized batch into chunks of at most

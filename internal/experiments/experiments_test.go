@@ -13,7 +13,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
 		"ablations",
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"gaps", "membw",
+		"gaps", "membw", "scaling",
 		"table10", "table11", "table12", "table2", "table3", "table4",
 		"table5", "table6", "table7", "table8", "table9",
 	}
@@ -219,6 +219,43 @@ func TestTable9Shape(t *testing.T) {
 	}
 	if findRow(t, res, "workers/trainer ordering RM3>RM1>RM2").Measured != "true" {
 		t.Fatal("workers-per-trainer ordering does not match Table 9")
+	}
+}
+
+// TestScalingClosedLoopShape asserts the §3.2.1 headline the scaling
+// experiment reproduces: under an identical trainer-speed shift, the
+// auto-scaled pool grows past the fixed pool's size and stalls less.
+func TestScalingClosedLoopShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real-time elastic sessions")
+	}
+	res, err := Run("scaling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := findRow(t, res, "closed loop reduces stalls").Measured; got != "true" {
+		t.Fatalf("auto-scaled pool did not reduce stalls:\n%s", res)
+	}
+	usOf := func(label string) float64 {
+		m := strings.TrimSuffix(findRow(t, res, label).Measured, "µs")
+		v, err := strconv.ParseFloat(m, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", m, err)
+		}
+		return v
+	}
+	fixed := usOf("post-shift stall per batch, fixed minimal pool")
+	auto := usOf("post-shift stall per batch, auto-scaled pool")
+	if !(auto < fixed) {
+		t.Fatalf("stall per batch: auto %.0fµs vs fixed %.0fµs, want auto lower", auto, fixed)
+	}
+	autoNote := findRow(t, res, "post-shift stall per batch, auto-scaled pool").Note
+	var peak int
+	if _, err := fmt.Sscanf(autoNote, "pool grew to %d workers", &peak); err != nil {
+		t.Fatalf("parse %q: %v", autoNote, err)
+	}
+	if peak < 2 {
+		t.Fatalf("auto-scaled pool peaked at %d workers, want >1", peak)
 	}
 }
 

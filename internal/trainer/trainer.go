@@ -7,6 +7,7 @@ package trainer
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"dsi/internal/dpp"
@@ -116,7 +117,12 @@ type Trainer struct {
 	// StepTime is the simulated GPU compute time per step; the trainer
 	// sleeps this long after each consumed batch.
 	StepTime time.Duration
-	// StallPoll is how long a stalled step waits before retrying.
+	// StallPoll is how long a stalled step waits before retrying. Zero
+	// yields the processor without a timed sleep: on a loaded host,
+	// timed sleeps can stretch far past their nominal duration and park
+	// the trainer long enough to mask real supply shortfalls, so
+	// stall-rate measurements that must not depend on timer behaviour
+	// poll with bare yields instead.
 	StallPoll time.Duration
 
 	StepsDone    int
@@ -144,7 +150,11 @@ func (t *Trainer) Run(maxSteps int) (float64, error) {
 		}
 		if !ok {
 			t.StallPolls++
-			time.Sleep(t.StallPoll)
+			if t.StallPoll > 0 {
+				time.Sleep(t.StallPoll)
+			} else {
+				runtime.Gosched()
+			}
 			continue
 		}
 		t.StepsDone++
