@@ -44,6 +44,8 @@ func main() {
 	model := flag.String("model", "RM1", "workload profile: RM1, RM2, or RM3")
 	seed := flag.Int64("seed", 1, "dataset seed (must match across roles)")
 	id := flag.String("id", fmt.Sprintf("worker-%d", os.Getpid()), "worker ID")
+	dataplane := flag.String("dataplane", dpp.DataPlaneFramed,
+		"worker→trainer wire encoding: framed (streaming flat-binary, gob fallback per worker) | gob (unary net/rpc)")
 
 	// Elastic control plane knobs (master/demo roles).
 	minWorkers := flag.Int("min-workers", 1, "master/demo: lower bound of the auto-scaled pool")
@@ -69,15 +71,19 @@ func main() {
 		Sequential:           *sequential,
 	}
 
+	if _, err := dpp.DataPlaneDialer(*dataplane); err != nil {
+		log.Fatal(err)
+	}
+
 	switch *role {
 	case "master":
-		runMaster(*model, *seed, *addr, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval)
+		runMaster(*model, *seed, *addr, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane)
 	case "worker":
 		runWorker(*model, *seed, *masterAddr, *addr, *id)
 	case "client":
-		runClient(*masterAddr, strings.Split(*workerList, ","))
+		runClient(*masterAddr, strings.Split(*workerList, ","), *dataplane)
 	case "demo":
-		runDemo(*model, *seed, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval)
+		runDemo(*model, *seed, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane)
 	default:
 		log.Fatalf("dppd: unknown role %q", *role)
 	}
@@ -97,9 +103,10 @@ func buildWorkload(model string, seed int64) (*warehouse.Warehouse, dpp.SessionS
 	return d, spec
 }
 
-func runMaster(model string, seed int64, addr string, pipeline dpp.PipelineOptions, bufferDepth, minWorkers, maxWorkers int, scaleInterval time.Duration) {
+func runMaster(model string, seed int64, addr string, pipeline dpp.PipelineOptions, bufferDepth, minWorkers, maxWorkers int, scaleInterval time.Duration, dataplane string) {
 	wh, spec := buildWorkload(model, seed)
 	spec.Pipeline = pipeline
+	spec.DataPlane = dataplane
 	if bufferDepth > 0 {
 		spec.BufferDepth = bufferDepth
 	}
@@ -198,9 +205,12 @@ func runWorker(model string, seed int64, masterAddr, addr, id string) {
 	log.Printf("dppd worker %s: retired", id)
 }
 
-func runClient(masterAddr string, addrs []string) {
+func runClient(masterAddr string, addrs []string, dataplane string) {
+	dial, err := dpp.DataPlaneDialer(dataplane)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var client *dpp.Client
-	var err error
 	static := false
 	for _, a := range addrs {
 		if strings.TrimSpace(a) != "" {
@@ -215,11 +225,13 @@ func runClient(masterAddr string, addrs []string) {
 			if a == "" {
 				continue
 			}
-			rw, err := dpp.DialWorker(a)
+			rw, err := dial(dpp.WorkerEndpoint{ID: a, Endpoint: a})
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer rw.Close()
+			if closer, ok := rw.(interface{ Close() error }); ok {
+				defer closer.Close()
+			}
 			apis = append(apis, rw)
 		}
 		client, err = dpp.NewClient(apis, 0, 0)
@@ -229,8 +241,8 @@ func runClient(masterAddr string, addrs []string) {
 			log.Fatal(derr)
 		}
 		defer remote.Close()
-		log.Printf("dppd client: resolving workers via master %s", masterAddr)
-		client, err = dpp.NewSessionClient(remote, dpp.DialWorkerEndpoint, 0, 0)
+		log.Printf("dppd client: resolving workers via master %s (%s data plane)", masterAddr, dataplane)
+		client, err = dpp.NewSessionClient(remote, dial, 0, 0)
 		if client != nil {
 			client.RefreshEvery = 50 * time.Millisecond
 		}
@@ -248,6 +260,7 @@ func runClient(masterAddr string, addrs []string) {
 			break
 		}
 		rows += int64(b.Rows)
+		b.Release()
 	}
 	log.Printf("dppd client: consumed %d rows in %d batches (%d bytes)",
 		rows, client.BatchesFetched, client.BytesFetched)
@@ -256,9 +269,14 @@ func runClient(masterAddr string, addrs []string) {
 // runDemo hosts an elastic master, its orchestrated worker pool, and a
 // membership-resolving client in one process, all over real TCP
 // loopback connections.
-func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth, minWorkers, maxWorkers int, scaleInterval time.Duration) {
+func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth, minWorkers, maxWorkers int, scaleInterval time.Duration, dataplane string) {
+	dial, err := dpp.DataPlaneDialer(dataplane)
+	if err != nil {
+		log.Fatal(err)
+	}
 	wh, spec := buildWorkload(model, seed)
 	spec.Pipeline = pipeline
+	spec.DataPlane = dataplane
 	if bufferDepth > 0 {
 		spec.BufferDepth = bufferDepth
 	}
@@ -301,7 +319,7 @@ func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth
 		log.Fatal(err)
 	}
 	defer remote.Close()
-	client, err := dpp.NewSessionClient(remote, dpp.DialWorkerEndpoint, 0, 0)
+	client, err := dpp.NewSessionClient(remote, dial, 0, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -318,6 +336,7 @@ func runDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth
 			break
 		}
 		rows += int64(b.Rows)
+		b.Release()
 	}
 	if err := <-runDone; err != nil {
 		log.Fatal(err)

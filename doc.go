@@ -20,6 +20,21 @@
 // BenchmarkDPPWorkerSession vs BenchmarkDPPPipelinedSession measures
 // the delta (reference run: BENCH_dpp.json).
 //
+// The worker→trainer hot path is a zero-copy framed streaming data
+// plane: tensor.Batch has an explicit wire codec (AppendBinary /
+// DecodeBinary — length-prefixed little-endian frames with pooled
+// buffers and a Batch.Release lifecycle), and dpp workers push batch
+// frames over one credit-windowed TCP stream per client instead of
+// answering unary gob RPCs, eliminating the per-batch round trip and
+// the reflection-driven (de)serialization share of the paper's
+// "datacenter tax" (§6.2). Both encodings are served on every worker
+// listener (protocol-sniffed), clients fall back to gob unary for old
+// workers, cmd/dppd selects with -dataplane=framed|gob, and
+// CostParams.FramedTaxCyclesPerByte lets the resource model price the
+// cheaper encoding. BenchmarkDPPWireFormat measures the delta
+// (reference run: BENCH_wire.json — ~3.5x per-batch latency and ~99%
+// less garbage on the standard session shape).
+//
 // The DPP control plane closes the paper's auto-scaling loop (§3.2.1):
 // a dpp.Orchestrator periodically evaluates worker heartbeats and
 // launches or drains workers through a WorkerLauncher (in-process

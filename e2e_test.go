@@ -344,7 +344,7 @@ func TestEndToEndElasticSessionChecksums(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-	case <-time.After(60 * time.Second):
+	case <-time.After(120 * time.Second):
 		t.Fatal("orchestrator did not finish")
 	}
 
@@ -378,5 +378,184 @@ func TestEndToEndElasticSessionChecksums(t *testing.T) {
 	}
 	if batches == 0 {
 		t.Fatal("no batches delivered")
+	}
+}
+
+// TestEndToEndElasticSessionChecksumsFramed is the elastic exactly-once
+// test over the framed streaming data plane: the master serves RPC over
+// real TCP loopback, the Orchestrator launches TCP workers
+// (RPCLauncher), and the trainer-side client streams length-prefixed
+// batch frames with credit flow control instead of unary gob fetches.
+// Scale-up, drain-down, worker deregistration, and the client's
+// window-rescue on connection removal must all preserve exactly-once
+// delivery — asserted by row counts and order-independent feature
+// checksums.
+func TestEndToEndElasticSessionChecksumsFramed(t *testing.T) {
+	const (
+		partitions  = 2
+		rowsPerPart = 768
+		batchSize   = 16
+	)
+	p, err := datagen.ProfileByName("RM1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := p.Scale(0.01, partitions, rowsPerPart)
+	gen := datagen.NewGenerator(spec, 13)
+
+	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := warehouse.New(cluster)
+	tbl, err := wh.CreateTable("e2e-framed", spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	denseA, denseB := schema.FeatureID(1), schema.FeatureID(2)
+	sparseA := schema.FeatureID(spec.DenseFeats + 1)
+	sparseB := schema.FeatureID(spec.DenseFeats + 2)
+	const (
+		hashedOut = schema.FeatureID(1 << 20)
+		hashMax   = int64(1) << 16
+	)
+
+	want := tensor.NewContentSum()
+	for part := 0; part < partitions; part++ {
+		pw, err := tbl.NewPartition(fmt.Sprintf("2026-07-%02d", part+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rowsPerPart; i++ {
+			s := gen.Sample()
+			if err := pw.WriteRow(s); err != nil {
+				t.Fatal(err)
+			}
+			want.Rows++
+			want.AddLabel(s.Label)
+			want.AddDense(denseA, s.DenseFeatures[denseA])
+			want.AddDense(denseB, s.DenseFeatures[denseB])
+			want.AddSparse(sparseA, s.SparseFeatures[sparseA])
+			want.AddSparse(sparseB, s.SparseFeatures[sparseB])
+		}
+		if err := pw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	session := dpp.SessionSpec{
+		Table:    "e2e-framed",
+		Features: []schema.FeatureID{denseA, denseB, sparseA, sparseB},
+		Ops: []transforms.Op{
+			&transforms.SigridHash{In: sparseA, Out: hashedOut, Salt: 3, MaxValue: hashMax},
+		},
+		DenseOut:  []schema.FeatureID{denseA, denseB},
+		SparseOut: []schema.FeatureID{sparseA, sparseB, hashedOut},
+		BatchSize: batchSize,
+		Read:      dwrf.ReadOptions{CoalesceBytes: dwrf.DefaultCoalesceBytes, Flatmap: true},
+		DataPlane: dpp.DataPlaneFramed,
+	}
+	m, err := dpp.NewMaster(wh, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mln, stopMaster, err := dpp.ServeMaster(m, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopMaster()
+
+	launcher := &dpp.RPCLauncher{
+		MasterAddr: mln.Addr().String(),
+		WH:         wh,
+		Tune:       func(w *dpp.Worker) { w.HeartbeatEvery = time.Millisecond },
+		OnError:    func(id string, err error) { t.Errorf("worker %s: %v", id, err) },
+	}
+	o := dpp.NewOrchestrator(m, launcher, dpp.NewAutoScaler(1, 4))
+	o.ScaleInterval = time.Millisecond
+	o.ScaleUpCooldown = time.Millisecond
+	o.ScaleDownCooldown = 3 * time.Millisecond
+	o.CheckpointEvery = 10 * time.Millisecond
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run(nil) }()
+
+	remote, err := dpp.DialMaster(mln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	client, err := dpp.NewSessionClient(remote, dpp.DialWorkerEndpointFramed, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.RefreshEvery = 500 * time.Microsecond
+
+	got := tensor.NewContentSum()
+	batches := 0
+	consume := func() bool {
+		b, ok, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return false
+		}
+		if b.Rows > batchSize {
+			t.Fatalf("batch of %d rows exceeds batch size %d", b.Rows, batchSize)
+		}
+		batches++
+		got.AddBatch(b)
+		b.Release()
+		return true
+	}
+
+	// Phase 1: consume as fast as possible until the pool scales up.
+	for o.Status().Peak < 2 && batches < 60 {
+		if !consume() {
+			t.Fatalf("session ended during scale-up phase after %d batches", batches)
+		}
+	}
+	// Phase 2: pause so buffers fill, data planes idle, and the loop
+	// drains workers; drained workers retire once phase 3 empties them.
+	drainDeadline := time.Now().Add(20 * time.Second)
+	for o.Status().Drained == 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Phase 3: consume the rest of the session over the streams.
+	for consume() {
+	}
+
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("orchestrator did not finish")
+	}
+
+	st := o.Status()
+	if st.Peak < 2 {
+		t.Fatalf("pool never scaled up: %+v", st)
+	}
+	if st.Drained == 0 {
+		t.Fatalf("pool never drained back down: %+v", st)
+	}
+	eps, err := m.ListWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 0 {
+		t.Fatalf("drained workers leaked in master membership: %+v", eps)
+	}
+
+	if got.Rows != int64(partitions*rowsPerPart) {
+		t.Fatalf("trainer consumed %d rows over framed streams, want %d", got.Rows, partitions*rowsPerPart)
+	}
+	delete(got.Sparse, hashedOut)
+	delete(got.Counts, hashedOut)
+	if !got.Equal(want) {
+		t.Fatalf("content checksums diverge across elastic churn on the framed plane:\n got %+v\nwant %+v", got, want)
 	}
 }

@@ -105,6 +105,7 @@ func main() {
 		}
 		rows += b.Rows
 		batches++
+		b.Release() // recycle streamed tensors (no-op for in-process batches)
 		return true
 	}
 

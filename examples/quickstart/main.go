@@ -90,6 +90,7 @@ func main() {
 		}
 		batches++
 		rows += b.Rows
+		b.Release() // recycle streamed tensors (no-op for in-process batches)
 	}
 	rep := worker.Report()
 	fmt.Printf("trained on %d rows in %d batches\n", rows, batches)

@@ -31,9 +31,19 @@ func (l localWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
 func LocalWorkerAPI(w *Worker) WorkerAPI { return localWorker{w} }
 
 // WorkerDialer opens a data-plane connection to one resolved worker.
-// DialWorkerEndpoint is the TCP implementation; in-process launchers
-// provide one that looks the worker up by ID.
+// DialWorkerEndpointFramed (streaming) and DialWorkerEndpoint (gob
+// unary) are the TCP implementations; in-process launchers provide one
+// that looks the worker up by ID.
 type WorkerDialer func(ep WorkerEndpoint) (WorkerAPI, error)
+
+// drainable is implemented by transports that prefetch batches ahead of
+// consumption (the framed stream): when the client drops such a
+// connection it first rescues the already-received window, so streamed
+// batches popped from a worker's buffer are never lost to a membership
+// change.
+type drainable interface {
+	Drain() []*tensor.Batch
+}
 
 // workerConn is one live client→worker connection.
 type workerConn struct {
@@ -82,6 +92,16 @@ type Client struct {
 	// RefreshEvery throttles membership refreshes during stalls
 	// (default 2ms). Only meaningful for master-resolved clients.
 	RefreshEvery time.Duration
+
+	// orphans holds batches rescued from dropped streaming connections
+	// (see drainable); they are served before any worker is swept so
+	// exactly-once delivery survives membership churn. detached counts
+	// rescues still in flight: dropping a streamed connection drains it
+	// on a side goroutine (Drain can wait out a network round trip, far
+	// too long to hold the client lock), and the session is not declared
+	// done for this client until every rescue has landed.
+	orphans  []*tensor.Batch
+	detached int
 
 	// BatchesFetched counts delivered batches.
 	BatchesFetched int64
@@ -161,7 +181,12 @@ func (c *Client) removeLocked(id string) bool {
 		if conn.id != id {
 			continue
 		}
-		if closer, ok := conn.api.(io.Closer); ok {
+		if d, ok := conn.api.(drainable); ok {
+			// Rescue the prefetched window off the lock; close after the
+			// drain so in-flight frames can still be collected.
+			c.detached++
+			go c.reapDetached(conn.api, d)
+		} else if closer, ok := conn.api.(io.Closer); ok {
 			closer.Close()
 		}
 		c.conns = append(c.conns[:i], c.conns[i+1:]...)
@@ -176,6 +201,19 @@ func (c *Client) removeLocked(id string) bool {
 		return true
 	}
 	return false
+}
+
+// reapDetached drains one dropped streaming connection outside the
+// client lock and lands the rescued window in the orphan queue.
+func (c *Client) reapDetached(api WorkerAPI, d drainable) {
+	batches := d.Drain()
+	if closer, ok := api.(io.Closer); ok {
+		closer.Close()
+	}
+	c.mu.Lock()
+	c.orphans = append(c.orphans, batches...)
+	c.detached--
+	c.mu.Unlock()
 }
 
 // Refresh re-resolves worker membership from the master and rebalances
@@ -230,8 +268,17 @@ func (c *Client) Refresh() error {
 			continue
 		}
 		if !c.AddWorker(ep.ID, api) {
-			// A concurrent refresh won the race; release the spare.
-			if closer, ok := api.(io.Closer); ok {
+			// A concurrent refresh won the race; release the spare. A
+			// streamed spare may already hold pushed batches (popped from
+			// the worker's buffer, disjoint from the winner's stream), so
+			// it is drained into the orphan queue like a removal, not
+			// merely closed.
+			if d, ok := api.(drainable); ok {
+				c.mu.Lock()
+				c.detached++
+				c.mu.Unlock()
+				go c.reapDetached(api, d)
+			} else if closer, ok := api.(io.Closer); ok {
 				closer.Close()
 			}
 		}
@@ -284,6 +331,13 @@ func (c *Client) masterErr(allDone bool, err error) error {
 // the error could not recover them.) Frozen worker sets have no
 // recovery path, so their fetch errors still propagate.
 func (c *Client) sweepLocked() (b *tensor.Batch, ok, allDone bool, err error) {
+	if len(c.orphans) > 0 {
+		b = c.orphans[0]
+		c.orphans = c.orphans[1:]
+		c.BatchesFetched++
+		c.BytesFetched += b.SizeBytes()
+		return b, true, false, nil
+	}
 	allDone = true
 	var broken []string
 	for i := 0; i < len(c.conns); i++ {
@@ -310,7 +364,9 @@ func (c *Client) sweepLocked() (b *tensor.Batch, ok, allDone bool, err error) {
 	for _, id := range broken {
 		c.removeLocked(id)
 	}
-	return nil, false, allDone, nil
+	// A rescue still in flight may land orphans; the sweep cannot be
+	// "all done" until every detached drain has resolved.
+	return nil, false, allDone && c.detached == 0, nil
 }
 
 // Next returns the next tensor batch. It returns ok=false only when the
@@ -386,7 +442,9 @@ func (c *Client) TryNext() (b *tensor.Batch, ok, done bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sawDone = true
-	if c.members > 0 {
+	if c.members > 0 || c.detached > 0 {
+		// A detached rescue still in flight may yet land orphans; ending
+		// the session now would drop them.
 		return nil, false, false, nil
 	}
 	b, ok, allDone, err = c.sweepLocked()

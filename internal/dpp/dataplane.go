@@ -1,0 +1,577 @@
+package dpp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"dsi/internal/tensor"
+)
+
+// This file is the framed streaming data plane: the worker→trainer hot
+// path that moves every training byte. The unary gob transport
+// (RemoteWorker.FetchBatch) pays the worst version of the paper's
+// "datacenter tax" (§6.2, §7.2): a full round trip per batch, a
+// reflection-driven gob encode on the worker, and a fresh allocation
+// storm on the trainer. The framed plane replaces all three:
+//
+//   - One TCP stream per worker. The client opens it with a hello
+//     carrying a credit window; the worker pushes length-prefixed
+//     flat-binary batch frames (tensor.AppendBinary) as the delivery
+//     stage produces them, so per-batch RTTs disappear while the
+//     worker's bounded buffer (BufferDepth / MaxBufferedBytes) keeps
+//     applying backpressure.
+//   - Credit-based flow control. The worker may have at most `window`
+//     un-acknowledged frames in flight; the client grants one credit per
+//     consumed batch. A stalled trainer therefore stops the stream after
+//     at most one window, and the stall propagates back through the
+//     worker's delivery buffer exactly as before.
+//   - Pooled frames at both ends. The worker encodes each batch once
+//     into a pooled buffer and writes it with a single syscall; the
+//     client decodes into pool-backed tensors that the trainer returns
+//     with Batch.Release.
+//
+// Wire protocol, after the client connects:
+//
+//	client hello : "DSI1" | u8 version | u32 credit window
+//	server hello : "DSI1" | u8 version
+//	server frame : u8 kind | u32 payload length | payload
+//	               kind 1 = batch (payload is one tensor frame)
+//	               kind 2 = done  (worker finished and drained; len 0)
+//	client grant : u32 credit delta (any time after the hello)
+//
+// Both transports share the worker's listener: the accept path sniffs
+// the first four bytes and routes "DSI1" to the framed server,
+// everything else to net/rpc. DialWorkerFramed likewise falls back to
+// the gob transport when the remote side does not answer the hello —
+// old workers keep serving new clients and vice versa.
+
+const (
+	// dataPlaneMagic opens both hellos of the framed protocol.
+	dataPlaneMagic = "DSI1"
+	// dataPlaneVersion is the protocol version spoken by this package.
+	dataPlaneVersion = 1
+
+	frameKindBatch = 1
+	frameKindDone  = 2
+
+	// defaultCreditWindow is the per-stream in-flight batch budget.
+	defaultCreditWindow = 8
+
+	// handshakeTimeout bounds the framed hello exchange; on expiry the
+	// dialer falls back to the gob transport.
+	handshakeTimeout = 3 * time.Second
+)
+
+// DataPlaneFramed and DataPlaneGob name the two wire encodings of the
+// worker→trainer data plane (SessionSpec.DataPlane, cmd/dppd
+// -dataplane).
+const (
+	DataPlaneFramed = "framed"
+	DataPlaneGob    = "gob"
+)
+
+// DataPlaneDialer resolves a -dataplane mode to the matching
+// WorkerDialer: framed streaming (with automatic gob fallback per
+// worker) or plain gob unary. The empty mode resolves to gob, matching
+// SessionSpec.DataPlane's default so the wire encoding and the
+// modelled tax always agree when neither is set.
+func DataPlaneDialer(mode string) (WorkerDialer, error) {
+	switch mode {
+	case DataPlaneFramed:
+		return DialWorkerEndpointFramed, nil
+	case "", DataPlaneGob:
+		return DialWorkerEndpoint, nil
+	default:
+		return nil, fmt.Errorf("dpp: unknown data plane %q (want %s or %s)", mode, DataPlaneFramed, DataPlaneGob)
+	}
+}
+
+// BatchSource is the buffer surface the data plane serves from: Worker
+// implements it, and benchmarks or tests can serve synthetic sources
+// through ServeBatchSource.
+type BatchSource interface {
+	// TryGetBatch pops one buffered batch without blocking. done=true
+	// means the source has finished and drained.
+	TryGetBatch() (b *tensor.Batch, ok bool, done bool)
+}
+
+// ungetter is the optional BatchSource extension the framed server uses
+// to return the un-granted window of an abnormally broken stream to the
+// buffer (Worker implements it), so a transient connection failure
+// requeues the in-flight batches instead of losing them.
+type ungetter interface {
+	UngetBatches(batches []*tensor.Batch)
+}
+
+// outstandingTracker is the optional BatchSource extension that counts
+// batches sent into stream windows but not yet granted (consumed) by a
+// client. Worker implements it so Retire does not deregister while a
+// stream still holds an un-granted window — the window's rows would
+// have nowhere to go if that stream then broke abnormally (requeued
+// into a deregistered worker no client can resolve).
+type outstandingTracker interface {
+	addStreamOutstanding(delta int)
+}
+
+// serveDataPlaneOn serves both wire encodings of a batch source's data
+// plane on ln: framed streams for clients that open with the protocol
+// magic, net/rpc gob for everyone else.
+func serveDataPlaneOn(svc *WorkerService, ln net.Listener) (func(), error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", svc); err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	go acceptLoop(ln, done, func(conn net.Conn) {
+		go sniffDataPlaneConn(srv, svc.src, conn)
+	})
+	stop := func() {
+		close(done)
+		ln.Close()
+	}
+	return stop, nil
+}
+
+// ServeBatchSource exposes a batch source over both data planes on addr
+// (with zero worker stats) — the entry point transport benchmarks and
+// tests use to measure the wire path in isolation.
+func ServeBatchSource(src BatchSource, addr string) (net.Listener, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	stop, err := serveDataPlaneOn(&WorkerService{src: src}, ln)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	return ln, stop, nil
+}
+
+// sniffDataPlaneConn routes one accepted connection by its first bytes:
+// the framed protocol announces itself with dataPlaneMagic; anything
+// else is a gob net/rpc client.
+func sniffDataPlaneConn(srv *rpc.Server, src BatchSource, conn net.Conn) {
+	br := bufio.NewReader(conn)
+	magic, err := br.Peek(len(dataPlaneMagic))
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if string(magic) == dataPlaneMagic {
+		br.Discard(len(dataPlaneMagic))
+		serveFramedStream(src, conn, br)
+		return
+	}
+	srv.ServeConn(sniffedConn{Conn: conn, r: br})
+}
+
+// sniffedConn replays bytes buffered during protocol sniffing before
+// reading from the wrapped connection.
+type sniffedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (c sniffedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// serveFramedStream runs the server half of one framed stream: finish
+// the hello, track the client's credit, and push batch frames until the
+// source drains or the connection breaks. The protocol magic has
+// already been consumed from br.
+func serveFramedStream(src BatchSource, conn net.Conn, br *bufio.Reader) {
+	defer conn.Close()
+
+	var hello [5]byte // version + credit window; magic already consumed
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if hello[0] != dataPlaneVersion {
+		return
+	}
+	window := int64(binary.LittleEndian.Uint32(hello[1:5]))
+	if window <= 0 {
+		window = defaultCreditWindow
+	}
+	var shello [len(dataPlaneMagic) + 1]byte
+	copy(shello[:], dataPlaneMagic)
+	shello[len(dataPlaneMagic)] = dataPlaneVersion
+	if _, err := conn.Write(shello[:]); err != nil {
+		return
+	}
+
+	// Credit reader: accumulate grants until the client goes away, and
+	// retire granted batches from the un-granted window. A half-closed
+	// connection (clean EOF — the client's polite "stop sending" before
+	// it collects the stream, see StreamWorker.Drain) ends the grant
+	// stream gracefully: the client keeps and consumes the window, so
+	// the server must NOT requeue it. Any other read error is an
+	// abnormal break: the client discards its partial window and the
+	// un-granted batches are requeued into the source, so a transient
+	// connection failure costs no rows. (The residual hazard is a grant
+	// lost in flight for a batch the trainer already consumed — that
+	// batch is requeued and delivered twice; the graceful paths are
+	// exact.)
+	var (
+		creditMu sync.Mutex
+		credit   = window
+		unacked  []*tensor.Batch
+		abnormal bool
+	)
+	// track mirrors the un-granted window size into the source, so a
+	// Worker's Retire can wait for in-flight stream windows to land.
+	track := func(delta int) {
+		if ot, ok := src.(outstandingTracker); ok && delta != 0 {
+			ot.addStreamOutstanding(delta)
+		}
+	}
+
+	creditCh := make(chan struct{}, 1)
+	connGone := make(chan struct{})
+	go func() {
+		defer close(connGone)
+		var buf [4]byte
+		for {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				if !errors.Is(err, io.EOF) {
+					creditMu.Lock()
+					abnormal = true
+					creditMu.Unlock()
+				}
+				return
+			}
+			delta := int64(binary.LittleEndian.Uint32(buf[:]))
+			creditMu.Lock()
+			credit += delta
+			granted := int(delta)
+			if granted > len(unacked) {
+				granted = len(unacked)
+			}
+			unacked = append(unacked[:0], unacked[granted:]...)
+			creditMu.Unlock()
+			track(-granted)
+			select {
+			case creditCh <- struct{}{}:
+			default:
+			}
+		}
+	}()
+
+	// takeWindow empties the un-granted window and returns it.
+	takeWindow := func() []*tensor.Batch {
+		creditMu.Lock()
+		batches := append([]*tensor.Batch(nil), unacked...)
+		unacked = unacked[:0]
+		creditMu.Unlock()
+		track(-len(batches))
+		return batches
+	}
+	// requeue returns the un-granted window to the source on an abnormal
+	// break. Sources without UngetBatches keep the old lossy behaviour.
+	requeue := func() {
+		batches := takeWindow()
+		if ug, ok := src.(ungetter); ok {
+			ug.UngetBatches(batches)
+		}
+	}
+	connGoneExit := func() {
+		creditMu.Lock()
+		ab := abnormal
+		creditMu.Unlock()
+		if ab {
+			requeue()
+			return
+		}
+		// Graceful half-close: the client keeps and consumes (or
+		// rescues) the window, so it only leaves the outstanding count.
+		takeWindow()
+	}
+
+	frame := tensor.GetFrameBuf()
+	defer func() { tensor.PutFrameBuf(frame) }()
+	for {
+		// Wait for credit.
+		for {
+			creditMu.Lock()
+			have := credit > 0
+			creditMu.Unlock()
+			if have {
+				break
+			}
+			select {
+			case <-creditCh:
+			case <-connGone:
+				connGoneExit()
+				return
+			}
+		}
+		// Wait for a batch. The source only exposes a non-blocking pop,
+		// so an empty-but-live buffer is polled at a period well under
+		// any batch production time.
+		var b *tensor.Batch
+		for b == nil {
+			bb, ok, done := src.TryGetBatch()
+			if ok {
+				b = bb
+				break
+			}
+			if done {
+				var hdr [5]byte
+				hdr[0] = frameKindDone
+				conn.Write(hdr[:])
+				// The remaining window belongs to the client now.
+				takeWindow()
+				return
+			}
+			select {
+			case <-connGone:
+				connGoneExit()
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+		// Enter the batch into the un-granted window BEFORE writing its
+		// frame: a grant that races the write must retire the true FIFO
+		// head, and a grant for this batch cannot arrive before the
+		// client has read the frame.
+		creditMu.Lock()
+		credit--
+		unacked = append(unacked, b)
+		creditMu.Unlock()
+		track(1)
+		// One encode, one write: header and payload share the pooled
+		// buffer, so a batch costs a single syscall and no garbage.
+		frame = append(frame[:0], frameKindBatch, 0, 0, 0, 0)
+		frame = b.AppendBinary(frame)
+		binary.LittleEndian.PutUint32(frame[1:5], uint32(len(frame)-5))
+		if _, err := conn.Write(frame); err != nil {
+			// A write failure is an abnormal break: requeue the whole
+			// un-granted window including this batch.
+			requeue()
+			return
+		}
+	}
+}
+
+// StreamWorker is the client half of a framed stream: a WorkerAPI whose
+// FetchBatch pops from a local window of already-pushed batches instead
+// of paying a round trip per batch.
+type StreamWorker struct {
+	conn    net.Conn
+	batches chan *tensor.Batch
+
+	// wmu serializes credit-grant writes from consumer goroutines.
+	wmu sync.Mutex
+
+	// readerDone closes when the read loop exits; err and done are set
+	// before it closes and read only after it, so they need no lock.
+	readerDone chan struct{}
+	err        error
+	done       bool
+
+	closeOnce sync.Once
+}
+
+// DialWorkerFramed opens a framed stream to a worker's data-plane
+// address. When the remote side does not speak the framed protocol (an
+// old gob-only worker), it transparently falls back to the unary gob
+// transport, so mixed fleets keep working during rollout.
+func DialWorkerFramed(addr string) (WorkerAPI, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dpp: dial worker %s: %w", addr, err)
+	}
+	hello := make([]byte, 0, len(dataPlaneMagic)+5)
+	hello = append(hello, dataPlaneMagic...)
+	hello = append(hello, dataPlaneVersion)
+	hello = binary.LittleEndian.AppendUint32(hello, defaultCreditWindow)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return DialWorker(addr)
+	}
+	var shello [len(dataPlaneMagic) + 1]byte
+	if _, err := io.ReadFull(conn, shello[:]); err != nil ||
+		string(shello[:len(dataPlaneMagic)]) != dataPlaneMagic ||
+		shello[len(dataPlaneMagic)] != dataPlaneVersion {
+		// A gob-only worker reads our hello as a broken gob stream and
+		// hangs up; fall back to the transport it does speak.
+		conn.Close()
+		return DialWorker(addr)
+	}
+	conn.SetDeadline(time.Time{})
+	s := &StreamWorker{
+		conn:       conn,
+		batches:    make(chan *tensor.Batch, defaultCreditWindow),
+		readerDone: make(chan struct{}),
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// DialWorkerEndpointFramed is the framed WorkerDialer for TCP-served
+// workers (with gob fallback per endpoint).
+func DialWorkerEndpointFramed(ep WorkerEndpoint) (WorkerAPI, error) {
+	return DialWorkerFramed(ep.Endpoint)
+}
+
+// readLoop receives frames into the local window. The channel's
+// capacity equals the credit window and the server never exceeds
+// ungranted credit, so the send can never block.
+func (s *StreamWorker) readLoop() {
+	defer close(s.readerDone)
+	r := bufio.NewReader(s.conn)
+	var hdr [5]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// EOF before a done frame is an error unless we closed the
+			// connection ourselves; Close suppresses it via closeOnce.
+			s.err = err
+			return
+		}
+		kind, n := hdr[0], binary.LittleEndian.Uint32(hdr[1:5])
+		switch kind {
+		case frameKindDone:
+			s.done = true
+			return
+		case frameKindBatch:
+			buf := tensor.GetFrameBuf()
+			if cap(buf) < int(n) {
+				buf = make([]byte, n)
+			}
+			buf = buf[:n]
+			if _, err := io.ReadFull(r, buf); err != nil {
+				tensor.PutFrameBuf(buf)
+				s.err = err
+				return
+			}
+			b, _, err := tensor.DecodeBinary(buf)
+			tensor.PutFrameBuf(buf)
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.batches <- b
+		default:
+			s.err = fmt.Errorf("dpp: framed stream: unknown frame kind %d", kind)
+			return
+		}
+	}
+}
+
+// grant returns n credits to the worker. Write errors are ignored: a
+// broken connection surfaces on the read side, which is where the
+// client's error handling already lives.
+func (s *StreamWorker) grant(n uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], n)
+	s.wmu.Lock()
+	s.conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	s.conn.Write(buf[:])
+	s.conn.SetWriteDeadline(time.Time{})
+	s.wmu.Unlock()
+}
+
+// FetchBatch implements WorkerAPI: it pops one batch from the stream's
+// local window (granting a replacement credit) without blocking.
+// ok=false with done=false means no frame has arrived yet; done=true
+// means the worker sent its end-of-stream marker and the window is
+// empty.
+func (s *StreamWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
+	select {
+	case b := <-s.batches:
+		s.grant(1)
+		return b, true, false, nil
+	default:
+	}
+	select {
+	case b := <-s.batches:
+		s.grant(1)
+		return b, true, false, nil
+	case <-s.readerDone:
+		// Serve frames that arrived before the stream ended.
+		select {
+		case b := <-s.batches:
+			return b, true, false, nil
+		default:
+		}
+		if s.done {
+			return nil, false, true, nil
+		}
+		return nil, false, false, s.err
+	default:
+		return nil, false, false, nil
+	}
+}
+
+// Drain rescues every batch the stream has already received but the
+// trainer has not consumed, for hand-off when the client drops this
+// connection (a drained worker leaving the membership, or a rebalance).
+// It half-closes the connection so the worker stops after its in-flight
+// credit, waits for the stream to quiesce, and returns the window's
+// contents — the batches a unary transport would never have prefetched
+// and therefore could not lose. A stream that ended with an abnormal
+// error (reset, truncated frame) returns nil instead: the worker
+// requeued the un-granted window on its side, so keeping the local copy
+// would deliver those batches twice.
+func (s *StreamWorker) Drain() []*tensor.Batch {
+	if tc, ok := s.conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	var out []*tensor.Batch
+	deadline := time.After(2 * time.Second)
+collect:
+	for {
+		select {
+		case b := <-s.batches:
+			out = append(out, b)
+		case <-s.readerDone:
+			for {
+				select {
+				case b := <-s.batches:
+					out = append(out, b)
+				default:
+					break collect
+				}
+			}
+		case <-deadline:
+			break collect
+		}
+	}
+	if quiesced := isClosed(s.readerDone); quiesced && !s.done && s.err != nil && !errors.Is(s.err, io.EOF) {
+		for _, b := range out {
+			b.Release()
+		}
+		return nil
+	}
+	return out
+}
+
+// isClosed reports whether ch has been closed (non-blocking).
+func isClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close tears the stream down. Batches still in the window are
+// discarded; use Drain first to keep them.
+func (s *StreamWorker) Close() error {
+	var err error
+	s.closeOnce.Do(func() { err = s.conn.Close() })
+	return err
+}
+
+var _ WorkerAPI = (*StreamWorker)(nil)

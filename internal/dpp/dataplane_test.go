@@ -1,0 +1,437 @@
+package dpp
+
+import (
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+	"testing"
+	"time"
+
+	"dsi/internal/schema"
+	"dsi/internal/tensor"
+)
+
+// dataplaneTestBatch builds a deterministic batch for transport tests.
+func dataplaneTestBatch(rows int, seed int64) *tensor.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	b := &tensor.Batch{
+		Rows:            rows,
+		DenseFeatureIDs: []schema.FeatureID{1, 2},
+		Labels:          make([]float32, rows),
+		Dense:           &tensor.Dense2D{Rows: rows, Cols: 2, Data: make([]float32, rows*2)},
+	}
+	for i := range b.Labels {
+		b.Labels[i] = rng.Float32()
+	}
+	for i := range b.Dense.Data {
+		b.Dense.Data[i] = rng.Float32()
+	}
+	st := &tensor.SparseTensor{Feature: 17, Offsets: make([]int32, 1, rows+1)}
+	for r := 0; r < rows; r++ {
+		for j := 0; j < 4; j++ {
+			st.Indices = append(st.Indices, rng.Int63n(1<<18))
+		}
+		st.Offsets = append(st.Offsets, int32(len(st.Indices)))
+	}
+	b.Sparse = []*tensor.SparseTensor{st}
+	return b
+}
+
+// countedSource serves copies of one batch a fixed number of times,
+// tracking how many have been popped.
+type countedSource struct {
+	mu        sync.Mutex
+	batch     *tensor.Batch
+	remaining int
+	popped    int
+}
+
+func (s *countedSource) TryGetBatch() (*tensor.Batch, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.remaining <= 0 {
+		return nil, false, true
+	}
+	s.remaining--
+	s.popped++
+	return s.batch, true, false
+}
+
+func (s *countedSource) Popped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.popped
+}
+
+func TestFramedStreamTransport(t *testing.T) {
+	const n = 25
+	batch := dataplaneTestBatch(32, 1)
+	src := &countedSource{batch: batch, remaining: n}
+	ln, stop, err := ServeBatchSource(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	api, err := DialWorkerFramed(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, ok := api.(*StreamWorker)
+	if !ok {
+		t.Fatalf("dial returned %T, want *StreamWorker (fallback fired against a framed server)", api)
+	}
+	defer sw.Close()
+
+	want := tensor.NewContentSum()
+	for i := 0; i < n; i++ {
+		want.AddBatch(batch)
+	}
+	got := tensor.NewContentSum()
+	received := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, ok, done, err := api.FetchBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if !ok {
+			if time.Now().After(deadline) {
+				t.Fatalf("stream stalled after %d batches", received)
+			}
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		received++
+		got.AddBatch(b)
+		b.Release()
+	}
+	if received != n {
+		t.Fatalf("received %d batches, want %d", received, n)
+	}
+	if !got.Equal(want) {
+		t.Fatal("content sums diverge across the framed stream")
+	}
+}
+
+func TestFramedStreamHonorsCreditWindow(t *testing.T) {
+	// A client that never consumes must stop the stream after at most
+	// the initial credit window, leaving the rest buffered server-side —
+	// the backpressure that keeps a stalled trainer from unbounding
+	// worker memory.
+	src := &countedSource{batch: dataplaneTestBatch(8, 2), remaining: 100}
+	ln, stop, err := ServeBatchSource(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	api, err := DialWorkerFramed(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := api.(*StreamWorker)
+	defer sw.Close()
+	time.Sleep(100 * time.Millisecond)
+	if popped := src.Popped(); popped > defaultCreditWindow {
+		t.Fatalf("server pushed %d batches against a credit window of %d", popped, defaultCreditWindow)
+	}
+}
+
+func TestFramedStreamDrainRescuesWindow(t *testing.T) {
+	const n = 6 // fits inside one credit window
+	batch := dataplaneTestBatch(8, 3)
+	src := &countedSource{batch: batch, remaining: n}
+	ln, stop, err := ServeBatchSource(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	api, err := DialWorkerFramed(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := api.(*StreamWorker)
+	// Wait for the server to push everything, consume one batch, then
+	// drop the connection the way the client does on a membership
+	// change: Drain must hand back exactly the unconsumed remainder.
+	deadline := time.Now().Add(5 * time.Second)
+	for src.Popped() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	var first *tensor.Batch
+	for first == nil {
+		b, ok, _, err := api.FetchBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			first = b
+		}
+	}
+	rescued := sw.Drain()
+	sw.Close()
+	if len(rescued)+1 != n {
+		t.Fatalf("consumed 1 + drained %d, want %d total", len(rescued), n)
+	}
+	want, got := tensor.NewContentSum(), tensor.NewContentSum()
+	for i := 0; i < n; i++ {
+		want.AddBatch(batch)
+	}
+	got.AddBatch(first)
+	for _, b := range rescued {
+		got.AddBatch(b)
+	}
+	if !got.Equal(want) {
+		t.Fatal("drain lost or duplicated content")
+	}
+}
+
+// requeueSource is a countedSource that also accepts batches back — the
+// Worker buffer's recovery surface for abnormally broken streams.
+type requeueSource struct {
+	mu       sync.Mutex
+	queue    []*tensor.Batch
+	popped   int
+	requeued int
+}
+
+func (s *requeueSource) TryGetBatch() (*tensor.Batch, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return nil, false, true
+	}
+	b := s.queue[0]
+	s.queue = s.queue[1:]
+	s.popped++
+	return b, true, false
+}
+
+func (s *requeueSource) UngetBatches(batches []*tensor.Batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = append(append([]*tensor.Batch(nil), batches...), s.queue...)
+	s.requeued += len(batches)
+}
+
+func (s *requeueSource) counts() (popped, requeued, queued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.popped, s.requeued, len(s.queue)
+}
+
+func TestFramedStreamRequeuesOnAbnormalDisconnect(t *testing.T) {
+	// An abnormal client disconnect (reset, not the graceful half-close)
+	// must requeue the un-granted window into the source, so a second
+	// client still receives every batch exactly once.
+	const n = 30
+	batch := dataplaneTestBatch(16, 5)
+	src := &requeueSource{}
+	for i := 0; i < n; i++ {
+		src.queue = append(src.queue, batch)
+	}
+	ln, stop, err := ServeBatchSource(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	api, err := DialWorkerFramed(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := api.(*StreamWorker)
+	// Let the server push a full credit window, consume nothing, then
+	// abort the connection with a reset.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if popped, _, _ := src.counts(); popped >= defaultCreditWindow {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never filled the credit window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if tc, ok := sw.conn.(*net.TCPConn); ok {
+		tc.SetLinger(0) // close sends RST: the abnormal break
+	}
+	sw.Close()
+
+	// The server must return the whole un-granted window to the source.
+	for {
+		if _, requeued, _ := src.counts(); requeued >= defaultCreditWindow {
+			break
+		}
+		if time.Now().After(deadline) {
+			popped, requeued, queued := src.counts()
+			t.Fatalf("window not requeued: popped %d requeued %d queued %d", popped, requeued, queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A fresh client consumes the session: exactly n batches, no loss,
+	// no duplicates.
+	api2, err := DialWorkerFramed(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api2.(*StreamWorker).Close()
+	received := 0
+	for {
+		b, ok, done, err := api2.FetchBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if !ok {
+			if time.Now().After(deadline) {
+				t.Fatalf("second stream stalled after %d batches", received)
+			}
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		received++
+		b.Release()
+	}
+	if received != n {
+		t.Fatalf("second client received %d batches, want exactly %d", received, n)
+	}
+}
+
+func TestFramedDialFallsBackToGob(t *testing.T) {
+	// A gob-only listener (the pre-framed worker): plain net/rpc with no
+	// protocol sniffing.
+	src := &countedSource{batch: dataplaneTestBatch(16, 4), remaining: 5}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &WorkerService{src: src}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+
+	api, err := DialWorkerFramed(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := api.(*RemoteWorker); !ok {
+		t.Fatalf("dial returned %T, want *RemoteWorker fallback", api)
+	}
+	defer api.(*RemoteWorker).Close()
+	rows := 0
+	for {
+		b, ok, done, err := api.FetchBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if ok {
+			rows += b.Rows
+		}
+	}
+	if rows != 5*16 {
+		t.Fatalf("fallback transport delivered %d rows, want %d", rows, 5*16)
+	}
+}
+
+func TestRPCTransportEndToEndFramed(t *testing.T) {
+	// The full worker path over the framed plane: master over RPC,
+	// worker serving its real buffer, client streaming frames.
+	wh, spec := buildFixture(t, 64, 16)
+	spec.DataPlane = DataPlaneFramed
+	m, err := NewMaster(wh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, stopMaster, err := ServeMaster(m, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopMaster()
+
+	remote, err := DialMaster(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	w, err := NewWorker("framed-w1", remote, wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wln, stopWorker, err := ServeWorker(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopWorker()
+	go func() {
+		if err := w.Run(nil); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	api, err := DialWorkerFramed(wln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := api.(*StreamWorker); !ok {
+		t.Fatalf("dial returned %T, want *StreamWorker", api)
+	}
+	client, err := NewClient([]WorkerAPI{api}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for {
+		b, ok, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += b.Rows
+		b.Release()
+	}
+	if rows != 128 {
+		t.Fatalf("framed client saw %d rows, want 128", rows)
+	}
+	// Every granted batch must have retired from the worker's
+	// outstanding stream window, so Retire would not block.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Undelivered() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := w.Undelivered(); n != 0 {
+		t.Fatalf("worker still reports %d undelivered batches after full consumption", n)
+	}
+	// The same listener still serves gob unary side by side.
+	rw, err := DialWorker(wln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	if _, ok, done, err := rw.FetchBatch(); err != nil || ok || !done {
+		t.Fatalf("gob fetch after drain = ok %v done %v err %v, want done", ok, done, err)
+	}
+}

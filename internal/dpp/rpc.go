@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
-	"sync"
+	"time"
 
 	"dsi/internal/tensor"
 	"dsi/internal/warehouse"
@@ -114,6 +114,45 @@ func (s *MasterService) Done(args *struct{}, reply *bool) error {
 	return nil
 }
 
+// acceptBackoff bounds the retry delay after a transient Accept error.
+const (
+	acceptBackoffMin = time.Millisecond
+	acceptBackoffMax = 100 * time.Millisecond
+)
+
+// acceptLoop accepts connections until done closes (or the listener is
+// torn down), handing each to handle. Transient Accept errors — a
+// momentarily exhausted fd table, a connection reset during the
+// handshake — back off exponentially instead of hot-spinning a core on
+// the accept syscall; a successful accept resets the backoff.
+func acceptLoop(ln net.Listener, done <-chan struct{}, handle func(net.Conn)) {
+	backoff := acceptBackoffMin
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
+		}
+		backoff = acceptBackoffMin
+		handle(conn)
+	}
+}
+
 // ServeMaster listens on addr and serves the master over net/rpc. It
 // returns the bound listener (use its Addr for clients) and a stop
 // function.
@@ -126,28 +165,10 @@ func ServeMaster(master *Master, addr string) (net.Listener, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var wg sync.WaitGroup
 	done := make(chan struct{})
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				select {
-				case <-done:
-					return
-				default:
-					continue
-				}
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				srv.ServeConn(conn)
-			}()
-		}
-	}()
+	go acceptLoop(ln, done, func(conn net.Conn) {
+		go srv.ServeConn(conn)
+	})
 	stop := func() {
 		close(done)
 		ln.Close()
@@ -223,9 +244,11 @@ func (r *RemoteMaster) Done() (bool, error) {
 
 var _ MasterAPI = (*RemoteMaster)(nil)
 
-// WorkerService is the RPC wrapper around a Worker's data plane.
+// WorkerService is the gob-unary RPC wrapper around a data-plane batch
+// source (normally a Worker; benchmarks serve synthetic sources).
 type WorkerService struct {
-	worker *Worker
+	src   BatchSource
+	stats func() WorkerStats
 }
 
 // FetchReply carries one tensor batch.
@@ -237,7 +260,7 @@ type FetchReply struct {
 
 // Fetch pops one buffered batch.
 func (s *WorkerService) Fetch(args *struct{}, reply *FetchReply) error {
-	b, ok, done := s.worker.TryGetBatch()
+	b, ok, done := s.src.TryGetBatch()
 	reply.Batch, reply.OK, reply.Done = b, ok, done
 	return nil
 }
@@ -250,7 +273,9 @@ type StatsReply struct {
 
 // Stats reports the worker's live utilization snapshot.
 func (s *WorkerService) Stats(args *struct{}, reply *StatsReply) error {
-	reply.Stats = s.worker.Stats()
+	if s.stats != nil {
+		reply.Stats = s.stats()
+	}
 	return nil
 }
 
@@ -296,35 +321,14 @@ func ListenAndServeWorker(id, addr string, master MasterAPI, wh *warehouse.Wareh
 	return w, stop, nil
 }
 
-// ServeWorkerOn exposes a worker's buffer over net/rpc on an existing
-// listener. Binding the listener first lets a worker register its real
-// data-plane address with the master before serving (the elastic flow:
-// listen → NewWorkerWithEndpoint → serve).
+// ServeWorkerOn exposes a worker's buffer on an existing listener, over
+// both data planes: framed streaming for clients that open with the
+// protocol magic, gob net/rpc for everyone else (see dataplane.go).
+// Binding the listener first lets a worker register its real data-plane
+// address with the master before serving (the elastic flow: listen →
+// NewWorkerWithEndpoint → serve).
 func ServeWorkerOn(worker *Worker, ln net.Listener) (func(), error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", &WorkerService{worker: worker}); err != nil {
-		return nil, err
-	}
-	done := make(chan struct{})
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				select {
-				case <-done:
-					return
-				default:
-					continue
-				}
-			}
-			go srv.ServeConn(conn)
-		}
-	}()
-	stop := func() {
-		close(done)
-		ln.Close()
-	}
-	return stop, nil
+	return serveDataPlaneOn(&WorkerService{src: worker, stats: worker.Stats}, ln)
 }
 
 // RemoteWorker is a WorkerAPI backed by an RPC connection.

@@ -34,8 +34,38 @@
 //     fleets.
 //
 // The package supports two transports: direct in-process calls (used by
-// simulations and tests) and net/rpc over TCP (cmd/dppd), exercising the
-// same Master/Worker/Client/Orchestrator logic.
+// simulations and tests) and TCP (cmd/dppd), exercising the same
+// Master/Worker/Client/Orchestrator logic.
+//
+// Over TCP the worker→trainer data plane itself has two wire encodings,
+// served simultaneously on every worker's listener (the accept path
+// sniffs the first bytes of each connection):
+//
+//   - Framed streaming (DialWorkerFramed / DialWorkerEndpointFramed):
+//     the client opens one stream per worker with a hello carrying a
+//     credit window ("DSI1" | version | u32 window); the worker answers
+//     ("DSI1" | version) and pushes length-prefixed flat-binary batch
+//     frames (u8 kind | u32 length | tensor frame; kind 2 = done) as
+//     its delivery stage produces them, decrementing credit per frame.
+//     The client grants one u32 credit per consumed batch, so at most a
+//     window of batches is in flight and a stalled trainer propagates
+//     backpressure into the worker's bounded buffer. Frames are encoded
+//     once into pooled buffers and decode into pool-backed tensors the
+//     trainer returns with tensor.Batch.Release. When a stream is
+//     dropped mid-session (a drained worker deregistering, a rebalance)
+//     the client first half-closes and rescues the received window on a
+//     side goroutine, and when a stream breaks abnormally (reset,
+//     truncated frame) the worker requeues the un-granted window into
+//     its buffer while the client discards its partial copy — so
+//     exactly-once delivery survives membership churn and transient
+//     connection failures alike.
+//   - Gob unary (DialWorker / DialWorkerEndpoint): one net/rpc
+//     Worker.Fetch round trip per batch with reflection-driven gob
+//     encoding — the paper's "datacenter tax" baseline, kept both as
+//     the fallback DialWorkerFramed uses automatically when a worker
+//     does not answer the framed hello (old workers in mixed fleets)
+//     and as a measurable comparison point (cmd/dppd -dataplane=gob,
+//     BenchmarkDPPWireFormat).
 package dpp
 
 import (
@@ -73,6 +103,14 @@ type SessionSpec struct {
 	// Pipeline sizes the worker's pipelined data plane; the zero value
 	// enables it with default parallelism.
 	Pipeline PipelineOptions
+	// DataPlane selects the worker→trainer wire encoding the session is
+	// modelled (and, via cmd/dppd, operated) on: DataPlaneFramed for the
+	// streaming flat-binary transport or DataPlaneGob for unary net/rpc
+	// gob. Empty defaults to gob — the Thrift-style encoding whose
+	// datacenter tax the paper measures — so the reproduction's modelled
+	// baselines are unchanged unless a session opts into the framed
+	// plane.
+	DataPlane string
 	// Costs tunes the worker resource model; zero value means defaults.
 	Costs CostParams
 }
@@ -154,6 +192,11 @@ func (s *SessionSpec) Validate() error {
 	if len(s.Features) == 0 {
 		return fmt.Errorf("dpp: session needs a feature projection")
 	}
+	switch s.DataPlane {
+	case "", DataPlaneFramed, DataPlaneGob:
+	default:
+		return fmt.Errorf("dpp: unknown data plane %q (want %s or %s)", s.DataPlane, DataPlaneFramed, DataPlaneGob)
+	}
 	return nil
 }
 
@@ -198,8 +241,16 @@ type CostParams struct {
 	// optimizations (LO) are enabled. Paper: +28% throughput.
 	LocalOptFactor float64
 	// TaxCyclesPerByte is the datacenter-tax CPU per network byte moved
-	// (TLS, Thrift).
+	// (TLS, Thrift) — the cost of the gob-unary data plane's
+	// reflection-driven (de)serialization, applied to all RX bytes and,
+	// under DataPlaneGob, to tensor TX bytes.
 	TaxCyclesPerByte float64
+	// FramedTaxCyclesPerByte is the tax on tensor TX bytes under
+	// DataPlaneFramed: the flat-binary codec's single append pass
+	// replaces the reflective encode, leaving mostly the TLS share of
+	// the tax (§6.2 splits the tax roughly evenly between TLS and
+	// (de)serialization).
+	FramedTaxCyclesPerByte float64
 	// TLSMemAmplification multiplies memory traffic for NIC bytes
 	// (paper: TLS amplifies memory bandwidth 3x).
 	TLSMemAmplification float64
@@ -233,6 +284,9 @@ func (c CostParams) withDefaults() CostParams {
 	}
 	if c.TaxCyclesPerByte == 0 {
 		c.TaxCyclesPerByte = 1.7
+	}
+	if c.FramedTaxCyclesPerByte == 0 {
+		c.FramedTaxCyclesPerByte = 0.8
 	}
 	if c.TLSMemAmplification == 0 {
 		c.TLSMemAmplification = 3.0

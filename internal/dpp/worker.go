@@ -174,8 +174,12 @@ type Worker struct {
 	mu        sync.Mutex
 	buffer    []*tensor.Batch
 	bufBytes  int64
-	finished  bool
-	draining  bool
+	// outstanding counts batches sent into framed stream windows but not
+	// yet granted by a client (see dataplane.go); Retire waits for it to
+	// reach zero so a worker never deregisters while rows are in flight.
+	outstanding int
+	finished    bool
+	draining    bool
 	report    ResourceReport
 	notEmpty  chan struct{} // closed-and-replaced signal for consumers
 	notFull   chan struct{} // closed-and-replaced signal for producers
@@ -351,12 +355,20 @@ func (w *Worker) transformBatch(batch *dwrf.Batch) (transformed, error) {
 // worker's cumulative resource report.
 func (w *Worker) accountSplit(readStats dwrf.ReadStats, tr transformed) {
 	costs := w.spec.Costs
+	// The RX tax (storage fetch TLS + decode framing) is encoding-
+	// independent; the TX tax depends on the session's data plane: the
+	// framed codec's flat append pass replaces gob's reflective encode
+	// on every tensor byte sent to trainers.
+	txTax := costs.TaxCyclesPerByte
+	if w.spec.DataPlane == DataPlaneFramed {
+		txTax = costs.FramedTaxCyclesPerByte
+	}
 	w.mu.Lock()
 	r := &w.report
 	cpuDiv := costs.cpuDivisor()
 	r.ExtractCycles += float64(readStats.BytesDecoded) * costs.ExtractCyclesPerByte * costs.extractMultiplier() / cpuDiv
 	r.TransformCycles += tr.xform.TotalCycles() * costs.XformCycleScale / cpuDiv
-	r.TaxCycles += float64(readStats.BytesRead+tr.txBytes) * costs.TaxCyclesPerByte
+	r.TaxCycles += float64(readStats.BytesRead)*costs.TaxCyclesPerByte + float64(tr.txBytes)*txTax
 	r.MemExtract += float64(readStats.BytesDecoded) * costs.ExtractMemBytesPerByte * costs.extractMultiplier()
 	r.MemTransform += tr.xform.MemBytes * costs.XformCycleScale
 	r.MemNetRX += float64(readStats.BytesRead) * costs.TLSMemAmplification
@@ -473,6 +485,46 @@ func (w *Worker) TryGetBatch() (b *tensor.Batch, ok, done bool) {
 		return b, true, false
 	}
 	return nil, false, w.finished
+}
+
+// UngetBatches returns batches to the FRONT of the buffer, preserving
+// their order — the framed data plane's recovery path when a stream
+// breaks abnormally with sent-but-unconsumed batches in flight (see
+// dataplane.go). The buffer's capacity bounds are deliberately ignored:
+// these batches were already admitted once, and dropping them would
+// lose rows whose splits the master has acknowledged.
+func (w *Worker) UngetBatches(batches []*tensor.Batch) {
+	if len(batches) == 0 {
+		return
+	}
+	w.mu.Lock()
+	buf := make([]*tensor.Batch, 0, len(batches)+len(w.buffer))
+	buf = append(buf, batches...)
+	w.buffer = append(buf, w.buffer...)
+	for _, b := range batches {
+		w.bufBytes += b.SizeBytes()
+	}
+	if w.bufBytes > w.report.ResidentPeak {
+		w.report.ResidentPeak = w.bufBytes
+	}
+	close(w.notEmpty)
+	w.notEmpty = make(chan struct{})
+	w.mu.Unlock()
+}
+
+// addStreamOutstanding implements the data plane's outstandingTracker.
+func (w *Worker) addStreamOutstanding(delta int) {
+	w.mu.Lock()
+	w.outstanding += delta
+	w.mu.Unlock()
+}
+
+// Undelivered reports batches the worker is still responsible for:
+// buffered plus sent into stream windows but not yet granted.
+func (w *Worker) Undelivered() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buffer) + w.outstanding
 }
 
 // Buffered reports the number of buffered batches.
@@ -716,7 +768,11 @@ func (w *Worker) Retire(abandon <-chan struct{}) error {
 	defer hb.Stop()
 	hbFails := 0
 drain:
-	for w.Buffered() > 0 {
+	// Undelivered (not merely Buffered): batches pushed into a framed
+	// stream's un-granted window still belong to this worker — if the
+	// stream broke abnormally after deregistration they would be
+	// requeued into a worker no client can resolve, losing rows.
+	for w.Undelivered() > 0 {
 		select {
 		case <-abandon:
 			break drain

@@ -108,13 +108,39 @@ func compress(data []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// decompress inflates data.
-func decompress(data []byte) ([]byte, error) {
+// decompress inflates data. rawLen is the decoded length promised by
+// the stream's metadata (StreamMeta.RawLength): when positive the
+// output buffer is sized once up front, eliminating io.ReadAll's
+// regrowth copies on every stream decode; zero or negative falls back
+// to incremental reading. A stream that decodes shorter than promised
+// is returned truncated (payload decoders bounds-check), and one that
+// decodes longer keeps its tail so corrupt metadata degrades to the
+// unsized path rather than silently dropping bytes.
+func decompress(data []byte, rawLen int64) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(data))
 	defer r.Close()
-	out, err := io.ReadAll(r)
+	if rawLen <= 0 {
+		out, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("dwrf: decompress: %w", err)
+		}
+		return out, nil
+	}
+	out := make([]byte, rawLen)
+	n, err := io.ReadFull(r, out)
+	switch err {
+	case nil:
+	case io.EOF, io.ErrUnexpectedEOF:
+		return out[:n], nil
+	default:
+		return nil, fmt.Errorf("dwrf: decompress: %w", err)
+	}
+	tail, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("dwrf: decompress: %w", err)
+	}
+	if len(tail) > 0 {
+		out = append(out, tail...)
 	}
 	return out, nil
 }

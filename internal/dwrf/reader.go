@@ -309,7 +309,7 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 				encPool.Put(encBuf)
 				return nil, nil, stats, err
 			}
-			dec, err := decompress(enc)
+			dec, err := decompress(enc, s.RawLength)
 			encPool.Put(encBuf)
 			if err != nil {
 				return nil, nil, stats, fmt.Errorf("dwrf: stream at %d: %w", s.Offset, err)

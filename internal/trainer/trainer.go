@@ -160,6 +160,9 @@ func (t *Trainer) Run(maxSteps int) (float64, error) {
 		t.StepsDone++
 		t.RowsConsumed += int64(b.Rows)
 		t.BytesLoaded += b.SizeBytes()
+		// The simulated step is done with the tensors; recycle them into
+		// the wire codec's pools (no-op for non-streamed batches).
+		b.Release()
 		if t.StepTime > 0 {
 			time.Sleep(t.StepTime)
 		}
