@@ -14,6 +14,13 @@
 // regenerates the same deterministic synthetic dataset locally (seeded by
 // -seed), standing in for shared access to the Tectonic cluster.
 //
+// With -sessions > 1 the master hosts the multi-tenant Service: one
+// shared elastic fleet of session-aware workers serves several
+// concurrent sessions, dividing capacity by weighted fair share. The
+// submit role registers a new session over RPC (its -weight is its
+// fleet share), consumes it like a trainer, and closes it on
+// completion; the client role joins an existing session with -session.
+//
 // Usage:
 //
 //	dppd -role master -addr :7070 -min-workers 1 -max-workers 8
@@ -21,6 +28,11 @@
 //	dppd -role client -master localhost:7070
 //	dppd -role client -workers localhost:7071,localhost:7072
 //	dppd -role demo            # all roles in one process, elastic pool
+//
+//	dppd -role master -sessions 2 -max-workers 8   # multi-tenant service
+//	dppd -role submit -master localhost:7070 -session mine -weight 3
+//	dppd -role client -master localhost:7070 -session s1
+//	dppd -role demo -sessions 3 -max-workers 5     # 3 tenants, one fleet
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"dsi/internal/datagen"
@@ -51,6 +64,11 @@ func main() {
 	minWorkers := flag.Int("min-workers", 1, "master/demo: lower bound of the auto-scaled pool")
 	maxWorkers := flag.Int("max-workers", 0, "master/demo: upper bound of the auto-scaled pool (0 = master does not launch workers)")
 	scaleInterval := flag.Duration("scale-interval", 250*time.Millisecond, "master/demo: auto-scaler control period")
+
+	// Multi-tenant knobs.
+	sessions := flag.Int("sessions", 1, "master/demo: number of pre-created sessions (>1 hosts the multi-tenant service; demo tenants get weights 1..N)")
+	sessionID := flag.String("session", "", "client/submit: session to consume (submit default: job-<pid>)")
+	weight := flag.Float64("weight", 1, "submit: the session's weighted fair share of the fleet")
 
 	// Pipeline knobs. Master and demo roles only: workers pull the
 	// session spec, pipeline sizing included, from the master at
@@ -77,16 +95,203 @@ func main() {
 
 	switch *role {
 	case "master":
-		runMaster(*model, *seed, *addr, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane)
+		if *sessions > 1 {
+			runServiceMaster(*model, *seed, *addr, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane, *sessions)
+		} else {
+			runMaster(*model, *seed, *addr, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane)
+		}
 	case "worker":
 		runWorker(*model, *seed, *masterAddr, *addr, *id)
 	case "client":
-		runClient(*masterAddr, strings.Split(*workerList, ","), *dataplane)
+		runClient(*masterAddr, strings.Split(*workerList, ","), *dataplane, *sessionID)
+	case "submit":
+		runSubmit(*model, *seed, *masterAddr, *dataplane, *sessionID, *weight, pipeline, *bufferDepth)
 	case "demo":
-		runDemo(*model, *seed, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane)
+		if *sessions > 1 {
+			runServiceDemo(*model, *seed, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane, *sessions)
+		} else {
+			runDemo(*model, *seed, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane)
+		}
 	default:
 		log.Fatalf("dppd: unknown role %q", *role)
 	}
+}
+
+// tenantSpec assembles one session's spec from the shared workload.
+func tenantSpec(spec dpp.SessionSpec, pipeline dpp.PipelineOptions, bufferDepth int, dataplane string, weight float64) dpp.SessionSpec {
+	spec.Pipeline = pipeline
+	spec.DataPlane = dataplane
+	spec.Weight = weight
+	if bufferDepth > 0 {
+		spec.BufferDepth = bufferDepth
+	}
+	return spec
+}
+
+// runServiceMaster hosts the multi-tenant Service: n pre-created
+// sessions (s1..sN, equal weight; submit adds more at arbitrary
+// weights) over one shared elastic fleet of session-aware workers.
+func runServiceMaster(model string, seed int64, addr string, pipeline dpp.PipelineOptions, bufferDepth, minWorkers, maxWorkers int, scaleInterval time.Duration, dataplane string, n int) {
+	wh, spec := buildWorkload(model, seed)
+	svc := dpp.NewService(wh)
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if err := svc.CreateSession(id, tenantSpec(spec, pipeline, bufferDepth, dataplane, 1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ln, stop, err := dpp.ServeService(svc, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	log.Printf("dppd service: %d sessions on %s", n, ln.Addr())
+
+	if maxWorkers <= 0 {
+		maxWorkers = 4
+	}
+	launcher := &dpp.RPCFleetLauncher{
+		ServiceAddr: ln.Addr().String(),
+		WH:          wh,
+		OnError: func(id string, err error) {
+			log.Printf("dppd service: worker %s failed: %v", id, err)
+		},
+	}
+	o := dpp.NewFleetOrchestrator(svc, launcher, dpp.NewAutoScaler(minWorkers, maxWorkers))
+	o.ScaleInterval = scaleInterval
+	o.CheckpointEvery = 10 * scaleInterval
+	o.OnError = func(err error) { log.Printf("dppd service: %v", err) }
+	go func() {
+		if err := o.Run(nil); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	for {
+		time.Sleep(2 * time.Second)
+		infos, err := svc.ListSessions()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := o.Status()
+		counts := svc.AssignmentCounts()
+		for _, info := range infos {
+			log.Printf("dppd service: session %s w=%.1f %d/%d splits, %d workers (target %d)",
+				info.ID, info.Weight, info.Completed, info.Total, counts[info.ID], info.Target)
+		}
+		log.Printf("dppd service: fleet %d live (%d draining, peak %d)", st.Live, st.Draining, st.Peak)
+	}
+}
+
+// runSubmit registers a new session at the service, consumes it like a
+// trainer, and closes it — the multi-tenant job-submission flow.
+func runSubmit(model string, seed int64, masterAddr, dataplane, sessionID string, weight float64, pipeline dpp.PipelineOptions, bufferDepth int) {
+	if sessionID == "" {
+		sessionID = fmt.Sprintf("job-%d", os.Getpid())
+	}
+	_, spec := buildWorkload(model, seed)
+	rs, err := dpp.DialService(masterAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rs.Close()
+	if err := rs.CreateSession(sessionID, tenantSpec(spec, pipeline, bufferDepth, dataplane, weight)); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dppd submit: session %s registered (weight %.1f)", sessionID, weight)
+	rows, batches, bytes := consumeSession(rs, sessionID, dataplane)
+	if err := rs.CloseSession(sessionID); err != nil {
+		log.Printf("dppd submit: close: %v", err)
+	}
+	log.Printf("dppd submit: session %s consumed %d rows in %d batches (%d bytes), closed", sessionID, rows, batches, bytes)
+}
+
+// consumeSession drains one session through a tenant client.
+func consumeSession(ctrl dpp.FleetControl, sessionID, dataplane string) (rows int64, batches, bytes int64) {
+	dial, err := dpp.SessionWorkerDialer(dataplane, sessionID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := dpp.NewTenantClient(ctrl, sessionID, dial, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.RefreshEvery = 50 * time.Millisecond
+	for {
+		b, ok, err := client.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += int64(b.Rows)
+		b.Release()
+	}
+	return rows, client.BatchesFetched, client.BytesFetched
+}
+
+// runServiceDemo hosts the whole multi-tenant flow in one process: the
+// service, its shared elastic fleet, and n concurrent tenants with
+// weights 1..n, all over real TCP loopback.
+func runServiceDemo(model string, seed int64, pipeline dpp.PipelineOptions, bufferDepth, minWorkers, maxWorkers int, scaleInterval time.Duration, dataplane string, n int) {
+	wh, spec := buildWorkload(model, seed)
+	svc := dpp.NewService(wh)
+	ln, stop, err := dpp.ServeService(svc, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	if maxWorkers <= 0 {
+		maxWorkers = 4
+	}
+	if minWorkers < 1 {
+		minWorkers = 1
+	}
+	launcher := &dpp.RPCFleetLauncher{
+		ServiceAddr: ln.Addr().String(),
+		WH:          wh,
+		OnError: func(id string, err error) {
+			log.Printf("dppd demo: worker %s failed: %v", id, err)
+		},
+	}
+	o := dpp.NewFleetOrchestrator(svc, launcher, dpp.NewAutoScaler(minWorkers, maxWorkers))
+	o.ScaleInterval = scaleInterval
+	if o.ScaleInterval > 50*time.Millisecond {
+		o.ScaleInterval = 50 * time.Millisecond // demo sessions are short
+	}
+	o.CheckpointEvery = 2 * o.ScaleInterval
+	o.OnError = func(err error) { log.Printf("dppd demo: %v", err) }
+	stopRun := make(chan struct{})
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run(stopRun) }()
+
+	rs, err := dpp.DialService(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rs.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if err := rs.CreateSession(id, tenantSpec(spec, pipeline, bufferDepth, dataplane, float64(i))); err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id string, weight int) {
+			defer wg.Done()
+			rows, batches, _ := consumeSession(rs, id, dataplane)
+			log.Printf("dppd demo: tenant %s (weight %d) trained on %d rows in %d batches", id, weight, rows, batches)
+		}(id, i)
+	}
+	wg.Wait()
+	close(stopRun)
+	if err := <-runDone; err != nil {
+		log.Fatal(err)
+	}
+	st := o.Status()
+	log.Printf("dppd demo: %d tenants shared one fleet over TCP in %v (peak %d workers, %d launched, %d drained)",
+		n, time.Since(start).Round(time.Millisecond), st.Peak, st.Launched, st.Drained)
 }
 
 // buildWorkload regenerates the deterministic synthetic dataset and
@@ -205,7 +410,19 @@ func runWorker(model string, seed int64, masterAddr, addr, id string) {
 	log.Printf("dppd worker %s: retired", id)
 }
 
-func runClient(masterAddr string, addrs []string, dataplane string) {
+func runClient(masterAddr string, addrs []string, dataplane, sessionID string) {
+	if sessionID != "" {
+		// Multi-tenant: join one session of a served Service.
+		rs, err := dpp.DialService(masterAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rs.Close()
+		log.Printf("dppd client: joining session %s via %s (%s data plane)", sessionID, masterAddr, dataplane)
+		rows, batches, bytes := consumeSession(rs, sessionID, dataplane)
+		log.Printf("dppd client: consumed %d rows in %d batches (%d bytes)", rows, batches, bytes)
+		return
+	}
 	dial, err := dpp.DataPlaneDialer(dataplane)
 	if err != nil {
 		log.Fatal(err)

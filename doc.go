@@ -51,6 +51,26 @@
 // the closed loop against fixed pools at both bounds (reference run:
 // BENCH_scale.json).
 //
+// The control plane is multi-tenant, as the paper's DPP actually is: a
+// dpp.Service hosts a session registry (CreateSession / CloseSession /
+// ListSessions, in process or over RPC) above one shared elastic fleet
+// of session-aware workers. Each FleetWorker runs one pipeline per
+// assigned session behind a single data-plane listener that
+// demultiplexes streams by the session ID in their hello, and the same
+// Orchestrator control law runs fleet-wide: pool size tracks
+// tenant-aggregated starvation while a weighted fair-share rebalance
+// (SessionSpec.Weight, largest-remainder apportionment) keeps every
+// tenant's worker allocation within one worker of its quota.
+// Exactly-once delivery is hardened against non-graceful worker death:
+// splits complete at the master only when their batches are consumed
+// (not merely buffered), every batch carries (Split, Seq) provenance,
+// and trainer clients deduplicate the redelivered overlap when a
+// crashed worker's requeued leases re-run — the crash fault-injection
+// harness (Worker.Crash, the fleet launchers' Crash) and the EndToEnd
+// crash/multi-tenant checksum tests pin the guarantee on both data
+// planes. The "multitenant" experiment measures weighted fair sharing
+// with real concurrent sessions over one fleet.
+//
 // The implementation lives under internal/; see README.md for the
 // architecture overview, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -169,12 +169,24 @@ func TestEndToEndPipelinedSessionChecksums(t *testing.T) {
 		t.Fatal("no batches delivered")
 	}
 
-	// The workers' per-stage accounting must cover the whole flow.
+	// The workers' per-stage accounting must cover the whole flow. A
+	// worker can legitimately process zero splits (its sibling leased
+	// them all first under slow -race scheduling), so the per-worker
+	// check applies only where work happened; at least one worker must
+	// have done some.
+	busyWorkers := 0
 	for _, w := range workers {
 		stage := w.Stats().Stage
-		if stage.Total() <= 0 {
-			t.Fatalf("worker %s reported no stage busy time: %+v", w.ID, stage)
+		if w.Report().SplitsDone == 0 {
+			continue
 		}
+		busyWorkers++
+		if stage.Total() <= 0 {
+			t.Fatalf("worker %s processed splits but reported no stage busy time: %+v", w.ID, stage)
+		}
+	}
+	if busyWorkers == 0 {
+		t.Fatal("no worker reported any processed splits")
 	}
 
 	// A trainer over a fresh identical session observes the same row

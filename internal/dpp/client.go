@@ -21,9 +21,18 @@ type WorkerAPI interface {
 // localWorker adapts *Worker to WorkerAPI.
 type localWorker struct{ w *Worker }
 
-// FetchBatch implements WorkerAPI.
+// FetchBatch implements WorkerAPI. An in-process pop is irrevocable, so
+// it acks the batch's split ledger immediately. A crashed worker errors
+// like a dead TCP peer would, so fault-injection tests exercise the
+// same client recovery path in-process and over the wire.
 func (l localWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
+	if l.w.Crashed() {
+		return nil, false, false, fmt.Errorf("dpp: worker %s crashed", l.w.ID)
+	}
 	b, ok, done := l.w.TryGetBatch()
+	if ok {
+		l.w.ackConsumed(b)
+	}
 	return b, ok, done, nil
 }
 
@@ -93,6 +102,20 @@ type Client struct {
 	// (default 2ms). Only meaningful for master-resolved clients.
 	RefreshEvery time.Duration
 
+	// seen is the exactly-once deduplication ledger, keyed by split:
+	// the (Split, Seq) provenance of every tagged batch this client has
+	// handed to the trainer. When a worker crashes after a client
+	// consumed part of a split, the master requeues the lease and
+	// another worker re-runs the whole split; the re-delivered overlap
+	// is dropped here (split slicing is deterministic, so equal tags
+	// name equal rows). Once a split has been consumed in full (every
+	// seq up to the batch tags' SeqCount), its per-seq set collapses to
+	// a complete marker, so the ledger stays O(splits), not O(batches),
+	// over a long session. The ledger assumes one logical consumer per
+	// session — the paper's model, where a session feeds one training
+	// job.
+	seen map[int32]*splitSeen
+
 	// orphans holds batches rescued from dropped streaming connections
 	// (see drainable); they are served before any worker is swept so
 	// exactly-once delivery survives membership churn. detached counts
@@ -125,6 +148,22 @@ func NewClient(workers []WorkerAPI, maxConnections, clientIndex int) (*Client, e
 		c.conns = append(c.conns, workerConn{id: fmt.Sprintf("static-%d", idx), api: workers[idx]})
 	}
 	return c, nil
+}
+
+// NewTenantClient builds a client for one session of a multi-tenant
+// service: the session's control plane comes from
+// ctrl.SessionMaster(sessionID) and dial must be bound to the same
+// session (SessionWorkerDialer, or a fleet launcher's SessionDialer) so
+// the data plane lands on that session's pipelines.
+func NewTenantClient(ctrl FleetControl, sessionID string, dial WorkerDialer, maxConnections, clientIndex int) (*Client, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("dpp: tenant client needs a service control plane")
+	}
+	master, err := ctrl.SessionMaster(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return NewSessionClient(master, dial, maxConnections, clientIndex)
 }
 
 // NewSessionClient builds a client whose worker membership is resolved
@@ -324,16 +363,20 @@ func (c *Client) masterErr(allDone bool, err error) error {
 // and drained (vacuously true with no connections). For master-resolved
 // clients a fetch error drops the broken connection instead of failing
 // the sweep: a live worker is re-dialed on a later refresh, and a dead
-// one is reaped by the master, which requeues its unacknowledged leases
-// — one worker's failure must not become session failure. (Batches a
-// crashed worker had already buffered for acknowledged splits are lost
-// either way — acknowledgement happens at buffer insert — propagating
-// the error could not recover them.) Frozen worker sets have no
-// recovery path, so their fetch errors still propagate.
+// one is reaped by the master, which requeues every lease whose
+// batches were not fully consumed — splits complete only on
+// consumption, so a crashed worker's undelivered rows re-run elsewhere
+// and admitLocked drops the redelivered overlap; one worker's failure
+// must not become session failure. Frozen worker sets have no recovery
+// path, so their fetch errors still propagate.
 func (c *Client) sweepLocked() (b *tensor.Batch, ok, allDone bool, err error) {
-	if len(c.orphans) > 0 {
+	for len(c.orphans) > 0 {
 		b = c.orphans[0]
 		c.orphans = c.orphans[1:]
+		if !c.admitLocked(b) {
+			b.Release()
+			continue
+		}
 		c.BatchesFetched++
 		c.BytesFetched += b.SizeBytes()
 		return b, true, false, nil
@@ -342,23 +385,33 @@ func (c *Client) sweepLocked() (b *tensor.Batch, ok, allDone bool, err error) {
 	var broken []string
 	for i := 0; i < len(c.conns); i++ {
 		w := c.conns[(c.next+i)%len(c.conns)]
-		b, ok, wDone, err := w.api.FetchBatch()
-		if err != nil {
-			if c.master == nil {
-				return nil, false, false, err
+		for {
+			b, ok, wDone, err := w.api.FetchBatch()
+			if err != nil {
+				if c.master == nil {
+					return nil, false, false, err
+				}
+				broken = append(broken, w.id)
+				allDone = false // its buffer may hold rows; resolve via refresh
+				break
 			}
-			broken = append(broken, w.id)
-			allDone = false // its buffer may hold rows; resolve via refresh
-			continue
-		}
-		if ok {
+			if !ok {
+				if !wDone {
+					allDone = false
+				}
+				break
+			}
+			if !c.admitLocked(b) {
+				// A re-run redelivered rows this client already handed
+				// to the trainer; drop the duplicate and keep sweeping
+				// the same worker for fresh batches.
+				b.Release()
+				continue
+			}
 			c.next = (c.next + i + 1) % len(c.conns)
 			c.BatchesFetched++
 			c.BytesFetched += b.SizeBytes()
 			return b, true, false, nil
-		}
-		if !wDone {
-			allDone = false
 		}
 	}
 	for _, id := range broken {
@@ -367,6 +420,48 @@ func (c *Client) sweepLocked() (b *tensor.Batch, ok, allDone bool, err error) {
 	// A rescue still in flight may land orphans; the sweep cannot be
 	// "all done" until every detached drain has resolved.
 	return nil, false, allDone && c.detached == 0, nil
+}
+
+// splitSeen is one split's dedup record: the seqs consumed so far, or
+// — once every seq up to the split's SeqCount has been consumed — a
+// compact complete marker (nil seqs).
+type splitSeen struct {
+	seqs  map[int32]struct{}
+	count int32
+}
+
+// admitLocked records a tagged batch's (Split, Seq) provenance in the
+// dedup ledger, reporting false when the client already consumed it.
+// Untagged batches (synthetic sources, pre-provenance workers) are
+// always admitted.
+func (c *Client) admitLocked(b *tensor.Batch) bool {
+	if b.Split == 0 {
+		return true
+	}
+	sl := c.seen[b.Split]
+	if sl == nil {
+		sl = &splitSeen{seqs: make(map[int32]struct{})}
+		if c.seen == nil {
+			c.seen = make(map[int32]*splitSeen)
+		}
+		c.seen[b.Split] = sl
+	}
+	if sl.seqs == nil {
+		// Split already consumed in full; everything further is a
+		// re-delivery.
+		return false
+	}
+	if _, dup := sl.seqs[b.Seq]; dup {
+		return false
+	}
+	sl.seqs[b.Seq] = struct{}{}
+	if b.SeqCount > 0 {
+		sl.count = b.SeqCount
+	}
+	if sl.count > 0 && int32(len(sl.seqs)) >= sl.count {
+		sl.seqs = nil // compact: the complete marker is all that's needed
+	}
+	return true
 }
 
 // Next returns the next tensor batch. It returns ok=false only when the

@@ -40,11 +40,23 @@ import (
 // Wire protocol, after the client connects:
 //
 //	client hello : "DSI1" | u8 version | u32 credit window
-//	server hello : "DSI1" | u8 version
+//	               version 2 adds: | u8 session length | session bytes
+//	server hello : "DSI1" | u8 version (the negotiated stream version)
 //	server frame : u8 kind | u32 payload length | payload
-//	               kind 1 = batch (payload is one tensor frame)
+//	               kind 1 = batch; version 1 payload is one tensor
+//	               frame, version 2 prefixes it with u32 split | u32 seq
+//	               (the batch's delivery provenance, see tensor.Batch)
 //	               kind 2 = done  (worker finished and drained; len 0)
 //	client grant : u32 credit delta (any time after the hello)
+//
+// Version 2 makes the stream session-aware (a fleet worker's single
+// listener demultiplexes per-session pipelines by the hello's session
+// ID) and tags every batch with its (split, seq) provenance so clients
+// can deduplicate redelivery after a worker crash. A version-1 hello is
+// still served — untagged frames, routed to the default session — so
+// old clients keep working against new workers; a version-2 hello to an
+// old worker is rejected at the handshake and the dialer falls back to
+// gob.
 //
 // Both transports share the worker's listener: the accept path sniffs
 // the first four bytes and routes "DSI1" to the framed server,
@@ -55,11 +67,22 @@ import (
 const (
 	// dataPlaneMagic opens both hellos of the framed protocol.
 	dataPlaneMagic = "DSI1"
-	// dataPlaneVersion is the protocol version spoken by this package.
-	dataPlaneVersion = 1
+	// dataPlaneVersion is the newest protocol version spoken by this
+	// package; dataPlaneVersionLegacy streams are still served for old
+	// clients (untagged frames, default session).
+	dataPlaneVersion       = 2
+	dataPlaneVersionLegacy = 1
 
 	frameKindBatch = 1
 	frameKindDone  = 2
+
+	// batchTagLen is the length of the version-2 batch frame's
+	// provenance prefix (u32 split | u32 seq | u32 seq count).
+	batchTagLen = 12
+
+	// maxSessionIDLen bounds the session ID carried in a version-2
+	// hello (length-prefixed with one byte).
+	maxSessionIDLen = 255
 
 	// defaultCreditWindow is the per-stream in-flight batch budget.
 	defaultCreditWindow = 8
@@ -110,6 +133,39 @@ type ungetter interface {
 	UngetBatches(batches []*tensor.Batch)
 }
 
+// consumeAcker is the optional BatchSource extension through which the
+// data plane reports irrevocable consumption (a framed credit grant, a
+// gracefully rescued stream window, a gob-unary pop). Worker implements
+// it to drive the deferred split-completion ledger.
+type consumeAcker interface {
+	ackConsumed(batches ...*tensor.Batch)
+}
+
+// ackAll reports consumption to sources that track it.
+func ackAll(src BatchSource, batches []*tensor.Batch) {
+	if ca, ok := src.(consumeAcker); ok && len(batches) > 0 {
+		ca.ackConsumed(batches...)
+	}
+}
+
+// crashSignaler is the optional BatchSource extension fault-injection
+// uses: when the returned channel closes, every serving stream severs
+// its connection immediately — without the abnormal-break requeue, as a
+// killed process would — and the gob handler starts erroring. Worker
+// implements it via Crash.
+type crashSignaler interface {
+	crashedCh() <-chan struct{}
+}
+
+// crashChOf returns the source's crash channel, or nil (which blocks
+// forever in a select) when the source is not crashable.
+func crashChOf(src BatchSource) <-chan struct{} {
+	if cs, ok := src.(crashSignaler); ok {
+		return cs.crashedCh()
+	}
+	return nil
+}
+
 // outstandingTracker is the optional BatchSource extension that counts
 // batches sent into stream windows but not yet granted (consumed) by a
 // client. Worker implements it so Retire does not deregister while a
@@ -130,11 +186,14 @@ func serveDataPlaneOn(svc *WorkerService, ln net.Listener) (func(), error) {
 	}
 	done := make(chan struct{})
 	go acceptLoop(ln, done, func(conn net.Conn) {
-		go sniffDataPlaneConn(srv, svc.src, conn)
+		go sniffDataPlaneConn(srv, svc, conn)
 	})
+	var once sync.Once
 	stop := func() {
-		close(done)
-		ln.Close()
+		once.Do(func() {
+			close(done)
+			ln.Close()
+		})
 	}
 	return stop, nil
 }
@@ -158,7 +217,7 @@ func ServeBatchSource(src BatchSource, addr string) (net.Listener, func(), error
 // sniffDataPlaneConn routes one accepted connection by its first bytes:
 // the framed protocol announces itself with dataPlaneMagic; anything
 // else is a gob net/rpc client.
-func sniffDataPlaneConn(srv *rpc.Server, src BatchSource, conn net.Conn) {
+func sniffDataPlaneConn(srv *rpc.Server, svc *WorkerService, conn net.Conn) {
 	br := bufio.NewReader(conn)
 	magic, err := br.Peek(len(dataPlaneMagic))
 	if err != nil {
@@ -167,7 +226,7 @@ func sniffDataPlaneConn(srv *rpc.Server, src BatchSource, conn net.Conn) {
 	}
 	if string(magic) == dataPlaneMagic {
 		br.Discard(len(dataPlaneMagic))
-		serveFramedStream(src, conn, br)
+		serveFramedStream(svc, conn, br)
 		return
 	}
 	srv.ServeConn(sniffedConn{Conn: conn, r: br})
@@ -183,31 +242,57 @@ type sniffedConn struct {
 func (c sniffedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
 
 // serveFramedStream runs the server half of one framed stream: finish
-// the hello, track the client's credit, and push batch frames until the
-// source drains or the connection breaks. The protocol magic has
+// the hello (negotiating the stream version and resolving the session's
+// batch source), track the client's credit, and push batch frames until
+// the source drains or the connection breaks. The protocol magic has
 // already been consumed from br.
-func serveFramedStream(src BatchSource, conn net.Conn, br *bufio.Reader) {
+func serveFramedStream(svc *WorkerService, conn net.Conn, br *bufio.Reader) {
 	defer conn.Close()
 
-	var hello [5]byte // version + credit window; magic already consumed
 	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
-	if _, err := io.ReadFull(br, hello[:]); err != nil {
+	version, err := br.ReadByte()
+	if err != nil {
 		return
 	}
-	conn.SetReadDeadline(time.Time{})
-	if hello[0] != dataPlaneVersion {
+	if version != dataPlaneVersion && version != dataPlaneVersionLegacy {
 		return
 	}
-	window := int64(binary.LittleEndian.Uint32(hello[1:5]))
+	var wbuf [4]byte
+	if _, err := io.ReadFull(br, wbuf[:]); err != nil {
+		return
+	}
+	window := int64(binary.LittleEndian.Uint32(wbuf[:]))
 	if window <= 0 {
 		window = defaultCreditWindow
 	}
+	session := ""
+	if version >= 2 {
+		slen, err := br.ReadByte()
+		if err != nil {
+			return
+		}
+		if slen > 0 {
+			sbuf := make([]byte, slen)
+			if _, err := io.ReadFull(br, sbuf); err != nil {
+				return
+			}
+			session = string(sbuf)
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+	src, _, err := svc.source(session)
+	if err != nil {
+		// Unknown session: refuse before the server hello so the dialer
+		// reports a handshake failure instead of a hung stream.
+		return
+	}
 	var shello [len(dataPlaneMagic) + 1]byte
 	copy(shello[:], dataPlaneMagic)
-	shello[len(dataPlaneMagic)] = dataPlaneVersion
+	shello[len(dataPlaneMagic)] = version
 	if _, err := conn.Write(shello[:]); err != nil {
 		return
 	}
+	crashCh := crashChOf(src)
 
 	// Credit reader: accumulate grants until the client goes away, and
 	// retire granted batches from the un-granted window. A half-closed
@@ -256,9 +341,13 @@ func serveFramedStream(src BatchSource, conn net.Conn, br *bufio.Reader) {
 			if granted > len(unacked) {
 				granted = len(unacked)
 			}
+			retired := append([]*tensor.Batch(nil), unacked[:granted]...)
 			unacked = append(unacked[:0], unacked[granted:]...)
 			creditMu.Unlock()
 			track(-granted)
+			// A grant is the client's irrevocable consumption receipt;
+			// it drives the worker's deferred split completion.
+			ackAll(src, retired)
 			select {
 			case creditCh <- struct{}{}:
 			default:
@@ -292,8 +381,10 @@ func serveFramedStream(src BatchSource, conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		// Graceful half-close: the client keeps and consumes (or
-		// rescues) the window, so it only leaves the outstanding count.
-		takeWindow()
+		// rescues) the window, so the un-granted batches count as
+		// consumed — the rescue path (StreamWorker.Drain) delivers them
+		// through the orphan queue.
+		ackAll(src, takeWindow())
 	}
 
 	frame := tensor.GetFrameBuf()
@@ -309,6 +400,12 @@ func serveFramedStream(src BatchSource, conn net.Conn, br *bufio.Reader) {
 			}
 			select {
 			case <-creditCh:
+			case <-crashCh:
+				// Fault injection: die like a killed process — sever
+				// the conn, requeue nothing, ack nothing. The master's
+				// ReapDead recovers the leases.
+				takeWindow()
+				return
 			case <-connGone:
 				connGoneExit()
 				return
@@ -329,10 +426,13 @@ func serveFramedStream(src BatchSource, conn net.Conn, br *bufio.Reader) {
 				hdr[0] = frameKindDone
 				conn.Write(hdr[:])
 				// The remaining window belongs to the client now.
-				takeWindow()
+				ackAll(src, takeWindow())
 				return
 			}
 			select {
+			case <-crashCh:
+				takeWindow()
+				return
 			case <-connGone:
 				connGoneExit()
 				return
@@ -348,9 +448,15 @@ func serveFramedStream(src BatchSource, conn net.Conn, br *bufio.Reader) {
 		unacked = append(unacked, b)
 		creditMu.Unlock()
 		track(1)
-		// One encode, one write: header and payload share the pooled
-		// buffer, so a batch costs a single syscall and no garbage.
+		// One encode, one write: header, provenance tags (version 2),
+		// and payload share the pooled buffer, so a batch costs a
+		// single syscall and no garbage.
 		frame = append(frame[:0], frameKindBatch, 0, 0, 0, 0)
+		if version >= 2 {
+			frame = binary.LittleEndian.AppendUint32(frame, uint32(b.Split))
+			frame = binary.LittleEndian.AppendUint32(frame, uint32(b.Seq))
+			frame = binary.LittleEndian.AppendUint32(frame, uint32(b.SeqCount))
+		}
 		frame = b.AppendBinary(frame)
 		binary.LittleEndian.PutUint32(frame[1:5], uint32(len(frame)-5))
 		if _, err := conn.Write(frame); err != nil {
@@ -368,6 +474,9 @@ func serveFramedStream(src BatchSource, conn net.Conn, br *bufio.Reader) {
 type StreamWorker struct {
 	conn    net.Conn
 	batches chan *tensor.Batch
+	// version is the negotiated stream version (2 = session-aware,
+	// provenance-tagged frames; 1 = legacy untagged).
+	version byte
 
 	// wmu serializes credit-grant writes from consumer goroutines.
 	wmu sync.Mutex
@@ -382,36 +491,52 @@ type StreamWorker struct {
 }
 
 // DialWorkerFramed opens a framed stream to a worker's data-plane
-// address. When the remote side does not speak the framed protocol (an
-// old gob-only worker), it transparently falls back to the unary gob
-// transport, so mixed fleets keep working during rollout.
+// address for the default session. When the remote side does not speak
+// the framed protocol (an old gob-only worker), it transparently falls
+// back to the unary gob transport, so mixed fleets keep working during
+// rollout.
 func DialWorkerFramed(addr string) (WorkerAPI, error) {
+	return DialWorkerFramedSession(addr, "")
+}
+
+// DialWorkerFramedSession opens a framed stream to one session's
+// pipeline on a (fleet) worker's shared data-plane listener. An old
+// worker that rejects the session-aware hello is retried over the gob
+// transport, which carries the session ID per fetch.
+func DialWorkerFramedSession(addr, session string) (WorkerAPI, error) {
+	if len(session) > maxSessionIDLen {
+		return nil, fmt.Errorf("dpp: session ID %q exceeds %d bytes", session, maxSessionIDLen)
+	}
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: dial worker %s: %w", addr, err)
 	}
-	hello := make([]byte, 0, len(dataPlaneMagic)+5)
+	hello := make([]byte, 0, len(dataPlaneMagic)+6+len(session))
 	hello = append(hello, dataPlaneMagic...)
 	hello = append(hello, dataPlaneVersion)
 	hello = binary.LittleEndian.AppendUint32(hello, defaultCreditWindow)
+	hello = append(hello, byte(len(session)))
+	hello = append(hello, session...)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	if _, err := conn.Write(hello); err != nil {
 		conn.Close()
-		return DialWorker(addr)
+		return DialWorkerSession(addr, session)
 	}
 	var shello [len(dataPlaneMagic) + 1]byte
 	if _, err := io.ReadFull(conn, shello[:]); err != nil ||
 		string(shello[:len(dataPlaneMagic)]) != dataPlaneMagic ||
-		shello[len(dataPlaneMagic)] != dataPlaneVersion {
+		(shello[len(dataPlaneMagic)] != dataPlaneVersion &&
+			shello[len(dataPlaneMagic)] != dataPlaneVersionLegacy) {
 		// A gob-only worker reads our hello as a broken gob stream and
 		// hangs up; fall back to the transport it does speak.
 		conn.Close()
-		return DialWorker(addr)
+		return DialWorkerSession(addr, session)
 	}
 	conn.SetDeadline(time.Time{})
 	s := &StreamWorker{
 		conn:       conn,
 		batches:    make(chan *tensor.Batch, defaultCreditWindow),
+		version:    shello[len(dataPlaneMagic)],
 		readerDone: make(chan struct{}),
 	}
 	go s.readLoop()
@@ -422,6 +547,24 @@ func DialWorkerFramed(addr string) (WorkerAPI, error) {
 // workers (with gob fallback per endpoint).
 func DialWorkerEndpointFramed(ep WorkerEndpoint) (WorkerAPI, error) {
 	return DialWorkerFramed(ep.Endpoint)
+}
+
+// SessionWorkerDialer resolves a -dataplane mode to a WorkerDialer
+// bound to one session of a multi-tenant fleet: framed streams carry
+// the session in their hello, gob fetches carry it per call.
+func SessionWorkerDialer(mode, session string) (WorkerDialer, error) {
+	switch mode {
+	case DataPlaneFramed:
+		return func(ep WorkerEndpoint) (WorkerAPI, error) {
+			return DialWorkerFramedSession(ep.Endpoint, session)
+		}, nil
+	case "", DataPlaneGob:
+		return func(ep WorkerEndpoint) (WorkerAPI, error) {
+			return DialWorkerSession(ep.Endpoint, session)
+		}, nil
+	default:
+		return nil, fmt.Errorf("dpp: unknown data plane %q (want %s or %s)", mode, DataPlaneFramed, DataPlaneGob)
+	}
 }
 
 // readLoop receives frames into the local window. The channel's
@@ -444,6 +587,10 @@ func (s *StreamWorker) readLoop() {
 			s.done = true
 			return
 		case frameKindBatch:
+			if s.version >= 2 && n < batchTagLen {
+				s.err = fmt.Errorf("dpp: framed stream: short batch frame (%d bytes)", n)
+				return
+			}
 			buf := tensor.GetFrameBuf()
 			if cap(buf) < int(n) {
 				buf = make([]byte, n)
@@ -454,12 +601,21 @@ func (s *StreamWorker) readLoop() {
 				s.err = err
 				return
 			}
-			b, _, err := tensor.DecodeBinary(buf)
+			payload := buf
+			var split, seq, seqCount int32
+			if s.version >= 2 {
+				split = int32(binary.LittleEndian.Uint32(payload[0:4]))
+				seq = int32(binary.LittleEndian.Uint32(payload[4:8]))
+				seqCount = int32(binary.LittleEndian.Uint32(payload[8:12]))
+				payload = payload[batchTagLen:]
+			}
+			b, _, err := tensor.DecodeBinary(payload)
 			tensor.PutFrameBuf(buf)
 			if err != nil {
 				s.err = err
 				return
 			}
+			b.Split, b.Seq, b.SeqCount = split, seq, seqCount
 			s.batches <- b
 		default:
 			s.err = fmt.Errorf("dpp: framed stream: unknown frame kind %d", kind)

@@ -105,6 +105,7 @@ type Master struct {
 	splits []warehouse.Split
 
 	mu        sync.Mutex
+	closed    bool
 	pending   []int
 	inflight  map[int]*lease
 	completed []bool
@@ -182,10 +183,32 @@ func (m *Master) Spec() SessionSpec { return m.spec }
 // SplitCount reports the total number of splits in the session.
 func (m *Master) SplitCount() int { return len(m.splits) }
 
+// Close marks the session's control plane closed: every subsequent
+// worker-facing call fails with a closed-session error. Pipelines that
+// kept direct in-process pointers to a Master after its Service
+// registry entry was removed (CloseSession) therefore learn about the
+// closure exactly like RPC workers of an unknown session do — their
+// fetch loops abort and their heartbeat loops treat the rejection as
+// disownment and abandon the now-unconsumable buffered work.
+func (m *Master) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+}
+
+// errClosed is the worker-facing rejection of a closed session;
+// isDisownedErr matches it.
+func (m *Master) errClosed() error {
+	return fmt.Errorf("dpp: session closed")
+}
+
 // RegisterWorker implements MasterAPI.
 func (m *Master) RegisterWorker(workerID, endpoint string) (SessionSpec, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return SessionSpec{}, m.errClosed()
+	}
 	m.workers[workerID] = &workerInfo{endpoint: endpoint, lastSeen: m.now()}
 	return m.spec, nil
 }
@@ -213,6 +236,9 @@ func (m *Master) DeregisterWorker(workerID string) error {
 func (m *Master) NextSplit(workerID string) (warehouse.Split, int, bool, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return warehouse.Split{}, 0, false, false, m.errClosed()
+	}
 	w, ok := m.workers[workerID]
 	if !ok {
 		return warehouse.Split{}, 0, false, false, fmt.Errorf("dpp: unregistered worker %q", workerID)
@@ -261,6 +287,9 @@ func (m *Master) CompleteSplit(workerID string, splitID int) error {
 func (m *Master) Heartbeat(workerID string, stats WorkerStats) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return m.errClosed()
+	}
 	w, ok := m.workers[workerID]
 	if !ok {
 		return fmt.Errorf("dpp: unregistered worker %q", workerID)
@@ -364,6 +393,10 @@ func (m *Master) WorkerCount() int {
 	}
 	return n
 }
+
+// PolicyStats implements the Orchestrator's ControlPlane surface: the
+// scaling policy evaluates the session's live worker stats.
+func (m *Master) PolicyStats() []WorkerStats { return m.WorkerStatsSnapshot() }
 
 // WorkerStatsSnapshot returns the latest stats of live workers.
 func (m *Master) WorkerStatsSnapshot() []WorkerStats {

@@ -186,6 +186,31 @@ type managedWorker struct {
 	draining bool
 }
 
+// ControlPlane is the surface the Orchestrator's loop steers: the
+// single-session Master implements it directly, and the multi-tenant
+// Service implements it fleet-wide (Done = every session done, Drain =
+// drain a fleet member, PolicyStats = tenant-aggregated utilization),
+// so one control law serves both deployments.
+type ControlPlane interface {
+	// ReapDead requeues the leases of silent workers.
+	ReapDead() int
+	// Done reports whether all work has completed.
+	Done() (bool, error)
+	// PolicyStats snapshots the utilization the scaling policy evaluates.
+	PolicyStats() []WorkerStats
+	// Drain marks one launched worker for graceful removal.
+	Drain(workerID string) error
+	// Checkpoint serializes reader state for replica takeover.
+	Checkpoint() ([]byte, error)
+}
+
+// rebalancer is the optional ControlPlane extension the fleet control
+// plane implements: every Step re-divides capacity among tenants by
+// weighted fair share.
+type rebalancer interface {
+	Rebalance()
+}
+
 // OrchestratorStatus is a snapshot of the control loop's state.
 type OrchestratorStatus struct {
 	// Live is the number of tracked workers not yet fully retired.
@@ -231,8 +256,13 @@ type Orchestrator struct {
 	// launch hiccup must not abandon workers' buffered batches, whose
 	// splits are already acknowledged.
 	OnError func(err error)
+	// Persistent keeps Run alive after all current work completes: a
+	// multi-tenant service outlives any one session, so its fleet
+	// controller only exits when stopped. Single-session loops leave it
+	// false and Run returns at completion.
+	Persistent bool
 
-	master   *Master
+	plane    ControlPlane
 	launcher WorkerLauncher
 	scaler   *AutoScaler
 
@@ -256,11 +286,29 @@ type Orchestrator struct {
 // workers with launcher under scaler's policy. Interval and cooldown
 // defaults suit the cmd/dppd deployment; tests shrink them.
 func NewOrchestrator(master *Master, launcher WorkerLauncher, scaler *AutoScaler) *Orchestrator {
+	return newOrchestrator(master, launcher, scaler)
+}
+
+// NewFleetOrchestrator assembles the fleet-level control loop of a
+// multi-tenant Service: the same law as the single-session loop, but
+// the pool is sized from tenant-aggregated signals, scale-down drains
+// whole fleet members, and every Step re-runs the weighted fair-share
+// rebalance that divides the fleet among live sessions. The launcher
+// must launch fleet workers (InProcessFleetLauncher, RPCFleetLauncher).
+// The loop is Persistent by default — a service outlives its sessions.
+func NewFleetOrchestrator(svc *Service, launcher WorkerLauncher, scaler *AutoScaler) *Orchestrator {
+	o := newOrchestrator(svc, launcher, scaler)
+	o.IDPrefix = "dpp-fw"
+	o.Persistent = true
+	return o
+}
+
+func newOrchestrator(plane ControlPlane, launcher WorkerLauncher, scaler *AutoScaler) *Orchestrator {
 	return &Orchestrator{
 		IDPrefix:      "dpp-w",
 		ScaleInterval: 250 * time.Millisecond,
 		Clock:         clock.New(),
-		master:        master,
+		plane:         plane,
 		launcher:      launcher,
 		scaler:        scaler,
 		handles:       make(map[string]*managedWorker),
@@ -319,16 +367,25 @@ func (o *Orchestrator) LastCheckpoint() []byte {
 // next Step; the returned error is reserved for master failures. Step
 // is the deterministic unit Run ticks and tests call directly.
 func (o *Orchestrator) Step() error {
-	o.master.ReapDead()
+	o.plane.ReapDead()
 	o.reapRetired()
+	if rb, ok := o.plane.(rebalancer); ok {
+		// Fleet mode: re-divide the live fleet among tenants by
+		// weighted fair share before sizing the pool.
+		rb.Rebalance()
+	}
 	now := o.Clock.Now()
 	o.maybeCheckpoint(now)
-	if done, err := o.master.Done(); err != nil || done {
-		// Scaling a finished session is moot; remaining workers notice
-		// Done on their own and retire.
+	if done, err := o.plane.Done(); err != nil {
 		return err
+	} else if done && !o.Persistent {
+		// Scaling a finished session is moot; remaining workers notice
+		// Done on their own and retire. A Persistent (fleet) loop keeps
+		// evaluating instead: its idle members must still drain back to
+		// the minimum between sessions rather than sit at the last peak.
+		return nil
 	}
-	stats := o.master.WorkerStatsSnapshot()
+	stats := o.plane.PolicyStats()
 	delta := o.scaler.Evaluate(stats)
 	if o.OnEvaluate != nil {
 		o.OnEvaluate(stats, delta)
@@ -372,7 +429,7 @@ func (o *Orchestrator) maybeCheckpoint(now time.Duration) {
 	if !due {
 		return
 	}
-	ckpt, err := o.master.Checkpoint()
+	ckpt, err := o.plane.Checkpoint()
 	if err != nil {
 		o.notify(fmt.Errorf("dpp: checkpoint: %w", err))
 		return
@@ -469,7 +526,7 @@ func (o *Orchestrator) scaleDown(now time.Duration, delta int) {
 		}
 		// An unknown-worker error means the victim retired concurrently;
 		// reapRetired collects it next Step either way.
-		_ = o.master.Drain(victim.handle.ID())
+		_ = o.plane.Drain(victim.handle.ID())
 		victim.draining = true
 		o.drained++
 		o.downEver, o.lastDown = true, now
@@ -477,9 +534,12 @@ func (o *Orchestrator) scaleDown(now time.Duration, delta int) {
 }
 
 // Finished reports whether the session has completed and every launched
-// worker has retired.
+// worker has retired. A Persistent loop never finishes on its own.
 func (o *Orchestrator) Finished() bool {
-	done, err := o.master.Done()
+	if o.Persistent {
+		return false
+	}
+	done, err := o.plane.Done()
 	if err != nil || !done {
 		return false
 	}

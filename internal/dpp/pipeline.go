@@ -83,19 +83,24 @@ func (w *Worker) runPipelined(stop <-chan struct{}) error {
 	pl := w.spec.Pipeline
 	abort := newPipelineAbort()
 
-	// Translate the external stop signal into an orderly abort.
-	if stop != nil {
-		stopDone := make(chan struct{})
-		defer close(stopDone)
-		go func() {
-			select {
-			case <-stop:
-				abort.fail(nil)
-			case <-abort.ch:
-			case <-stopDone:
-			}
-		}()
-	}
+	// Translate the external stop signal — and the fault-injection
+	// crash — into an orderly abort of the stage goroutines.
+	stopDone := make(chan struct{})
+	defer close(stopDone)
+	go func() {
+		var stopCh <-chan struct{}
+		if stop != nil {
+			stopCh = stop
+		}
+		select {
+		case <-stopCh:
+			abort.fail(nil)
+		case <-w.crashCh:
+			abort.fail(nil)
+		case <-abort.ch:
+		case <-stopDone:
+		}
+	}()
 
 	fetched := make(chan fetchedSplit, pl.PrefetchDepth)
 	xformed := make(chan transformedSplit, pl.PrefetchDepth)
@@ -144,24 +149,22 @@ func (w *Worker) runPipelined(stop <-chan struct{}) error {
 	}()
 
 	// Deliver stage, on the caller's goroutine: account, buffer with
-	// backpressure, acknowledge the split, heartbeat.
+	// backpressure, heartbeat. The split itself is acknowledged by the
+	// consumption ledger (finishSplit / ackConsumed) once clients have
+	// consumed every batch, not when the buffer accepts them — see
+	// splitAcct in worker.go.
 	for t := range xformed {
 		w.accountSplit(t.stats, t.tr)
-		if err := w.deliverAll(t.tr.batches, abort.ch); err != nil {
+		tagBatches(t.splitID, t.tr.batches)
+		w.beginSplit(t.splitID)
+		err := w.deliverAll(t.tr.batches, abort.ch)
+		w.finishSplit(t.splitID, err == nil)
+		if err != nil {
 			// Delivery is canceled only by an abort already in flight
-			// (external stop or a stage failure); fold into it.
+			// (external stop, crash, or a stage failure); fold into it.
 			abort.fail(nil)
 			break
 		}
-		if err := w.master.CompleteSplit(w.ID, t.splitID); err != nil {
-			abort.fail(err)
-			break
-		}
-		w.mu.Lock()
-		w.report.SplitsDone++
-		close(w.splitDone) // wake fetchers waiting to re-check Done
-		w.splitDone = make(chan struct{})
-		w.mu.Unlock()
 		if err := w.master.Heartbeat(w.ID, w.heartbeatStats()); err != nil {
 			abort.fail(err)
 			break

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"sync"
 	"time"
 
 	"dsi/internal/tensor"
@@ -16,15 +17,26 @@ import (
 // Thrift RPC. The in-process transport remains the default for
 // simulations; cmd/dppd uses this one.
 
-// MasterService is the RPC wrapper around a Master.
+// MasterService is the RPC wrapper around the control plane: every
+// method is session-scoped by its args' SessionID, with the empty ID
+// addressing the default session — so workers and clients from before
+// multi-tenancy (whose args carry no session field) keep working
+// against a Service hosting their session as the default.
 type MasterService struct {
-	master *Master
+	svc *Service
 }
 
-// RegisterArgs identifies the calling worker and its data-plane address.
+// master resolves one session's control plane.
+func (s *MasterService) master(sessionID string) (*Master, error) {
+	return s.svc.Master(sessionID)
+}
+
+// RegisterArgs identifies the calling worker, its data-plane address,
+// and the session it joins.
 type RegisterArgs struct {
-	WorkerID string
-	Endpoint string
+	WorkerID  string
+	Endpoint  string
+	SessionID string
 }
 
 // RegisterReply carries the session spec.
@@ -32,7 +44,11 @@ type RegisterReply struct{ Spec SessionSpec }
 
 // Register handles worker registration.
 func (s *MasterService) Register(args *RegisterArgs, reply *RegisterReply) error {
-	spec, err := s.master.RegisterWorker(args.WorkerID, args.Endpoint)
+	m, err := s.master(args.SessionID)
+	if err != nil {
+		return err
+	}
+	spec, err := m.RegisterWorker(args.WorkerID, args.Endpoint)
 	if err != nil {
 		return err
 	}
@@ -41,15 +57,25 @@ func (s *MasterService) Register(args *RegisterArgs, reply *RegisterReply) error
 }
 
 // DeregisterArgs identifies the departing worker.
-type DeregisterArgs struct{ WorkerID string }
+type DeregisterArgs struct {
+	WorkerID  string
+	SessionID string
+}
 
 // Deregister removes a drained worker from the session's membership.
 func (s *MasterService) Deregister(args *DeregisterArgs, reply *struct{}) error {
-	return s.master.DeregisterWorker(args.WorkerID)
+	m, err := s.master(args.SessionID)
+	if err != nil {
+		return err
+	}
+	return m.DeregisterWorker(args.WorkerID)
 }
 
 // NextSplitArgs identifies the calling worker.
-type NextSplitArgs struct{ WorkerID string }
+type NextSplitArgs struct {
+	WorkerID  string
+	SessionID string
+}
 
 // NextSplitReply carries one leased split, or the drain signal.
 type NextSplitReply struct {
@@ -61,7 +87,11 @@ type NextSplitReply struct {
 
 // NextSplit leases a split.
 func (s *MasterService) NextSplit(args *NextSplitArgs, reply *NextSplitReply) error {
-	split, id, ok, draining, err := s.master.NextSplit(args.WorkerID)
+	m, err := s.master(args.SessionID)
+	if err != nil {
+		return err
+	}
+	split, id, ok, draining, err := m.NextSplit(args.WorkerID)
 	if err != nil {
 		return err
 	}
@@ -69,12 +99,22 @@ func (s *MasterService) NextSplit(args *NextSplitArgs, reply *NextSplitReply) er
 	return nil
 }
 
+// ListWorkersArgs scopes a membership resolution to one session (the
+// zero value — what old clients send — addresses the default session).
+type ListWorkersArgs struct {
+	SessionID string
+}
+
 // ListWorkersReply carries the session's resolved worker membership.
 type ListWorkersReply struct{ Workers []WorkerEndpoint }
 
 // ListWorkers resolves current worker membership for clients.
-func (s *MasterService) ListWorkers(args *struct{}, reply *ListWorkersReply) error {
-	workers, err := s.master.ListWorkers()
+func (s *MasterService) ListWorkers(args *ListWorkersArgs, reply *ListWorkersReply) error {
+	m, err := s.master(args.SessionID)
+	if err != nil {
+		return err
+	}
+	workers, err := m.ListWorkers()
 	if err != nil {
 		return err
 	}
@@ -84,34 +124,137 @@ func (s *MasterService) ListWorkers(args *struct{}, reply *ListWorkersReply) err
 
 // CompleteArgs acknowledges a split.
 type CompleteArgs struct {
-	WorkerID string
-	SplitID  int
+	WorkerID  string
+	SplitID   int
+	SessionID string
 }
 
 // Complete acknowledges a finished split.
 func (s *MasterService) Complete(args *CompleteArgs, reply *struct{}) error {
-	return s.master.CompleteSplit(args.WorkerID, args.SplitID)
+	m, err := s.master(args.SessionID)
+	if err != nil {
+		return err
+	}
+	return m.CompleteSplit(args.WorkerID, args.SplitID)
 }
 
 // HeartbeatArgs carries a worker utilization snapshot.
 type HeartbeatArgs struct {
-	WorkerID string
-	Stats    WorkerStats
+	WorkerID  string
+	Stats     WorkerStats
+	SessionID string
 }
 
 // Heartbeat records worker liveness.
 func (s *MasterService) Heartbeat(args *HeartbeatArgs, reply *struct{}) error {
-	return s.master.Heartbeat(args.WorkerID, args.Stats)
+	m, err := s.master(args.SessionID)
+	if err != nil {
+		return err
+	}
+	return m.Heartbeat(args.WorkerID, args.Stats)
+}
+
+// DoneArgs scopes a completion check to one session.
+type DoneArgs struct {
+	SessionID string
 }
 
 // Done reports session completion.
-func (s *MasterService) Done(args *struct{}, reply *bool) error {
-	done, err := s.master.Done()
+func (s *MasterService) Done(args *DoneArgs, reply *bool) error {
+	m, err := s.master(args.SessionID)
+	if err != nil {
+		return err
+	}
+	done, err := m.Done()
 	if err != nil {
 		return err
 	}
 	*reply = done
 	return nil
+}
+
+// ServiceRPC is the RPC wrapper around the multi-tenant registry and
+// fleet surface of a Service.
+type ServiceRPC struct {
+	svc *Service
+}
+
+// CreateSessionArgs registers a new tenant session.
+type CreateSessionArgs struct {
+	ID   string
+	Spec SessionSpec
+}
+
+// Create registers a new tenant session.
+func (s *ServiceRPC) Create(args *CreateSessionArgs, reply *struct{}) error {
+	return s.svc.CreateSession(args.ID, args.Spec)
+}
+
+// CloseSessionArgs removes a tenant session.
+type CloseSessionArgs struct {
+	ID string
+}
+
+// Close removes a tenant session from the registry.
+func (s *ServiceRPC) Close(args *CloseSessionArgs, reply *struct{}) error {
+	return s.svc.CloseSession(args.ID)
+}
+
+// ListSessionsReply carries the session registry.
+type ListSessionsReply struct {
+	Sessions []SessionInfo
+}
+
+// List reports the session registry.
+func (s *ServiceRPC) List(args *struct{}, reply *ListSessionsReply) error {
+	sessions, err := s.svc.ListSessions()
+	if err != nil {
+		return err
+	}
+	reply.Sessions = sessions
+	return nil
+}
+
+// FleetRegisterArgs announces a fleet worker.
+type FleetRegisterArgs struct {
+	WorkerID string
+	Endpoint string
+}
+
+// RegisterFleet handles fleet worker registration.
+func (s *ServiceRPC) RegisterFleet(args *FleetRegisterArgs, reply *struct{}) error {
+	return s.svc.RegisterFleetWorker(args.WorkerID, args.Endpoint)
+}
+
+// FleetHeartbeatArgs carries a fleet worker's aggregate snapshot.
+type FleetHeartbeatArgs struct {
+	WorkerID string
+	Stats    WorkerStats
+}
+
+// FleetHeartbeatReply carries the worker's assignment directive.
+type FleetHeartbeatReply struct {
+	Directive FleetDirective
+}
+
+// FleetHeartbeat records fleet liveness and returns assignments.
+func (s *ServiceRPC) FleetHeartbeat(args *FleetHeartbeatArgs, reply *FleetHeartbeatReply) error {
+	d, err := s.svc.FleetHeartbeat(args.WorkerID, args.Stats)
+	if err != nil {
+		return err
+	}
+	reply.Directive = d
+	return nil
+}
+
+// FleetDeregisterArgs identifies the departing fleet worker.
+type FleetDeregisterArgs struct {
+	WorkerID string
+}
+
+// DeregisterFleet removes a drained fleet worker.
+func (s *ServiceRPC) DeregisterFleet(args *FleetDeregisterArgs, reply *struct{}) error {
+	return s.svc.DeregisterFleetWorker(args.WorkerID)
 }
 
 // acceptBackoff bounds the retry delay after a transient Accept error.
@@ -153,12 +296,23 @@ func acceptLoop(ln net.Listener, done <-chan struct{}, handle func(net.Conn)) {
 	}
 }
 
-// ServeMaster listens on addr and serves the master over net/rpc. It
+// ServeMaster listens on addr and serves the master over net/rpc as a
+// single-session service (the master becomes the default session). It
 // returns the bound listener (use its Addr for clients) and a stop
 // function.
 func ServeMaster(master *Master, addr string) (net.Listener, func(), error) {
+	return ServeService(NewSingleSessionService(master), addr)
+}
+
+// ServeService listens on addr and serves the multi-tenant control
+// plane over net/rpc: the session-scoped Master surface plus the
+// Service registry and fleet surface.
+func ServeService(svc *Service, addr string) (net.Listener, func(), error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Master", &MasterService{master: master}); err != nil {
+	if err := srv.RegisterName("Master", &MasterService{svc: svc}); err != nil {
+		return nil, nil, err
+	}
+	if err := srv.RegisterName("Service", &ServiceRPC{svc: svc}); err != nil {
 		return nil, nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -169,34 +323,53 @@ func ServeMaster(master *Master, addr string) (net.Listener, func(), error) {
 	go acceptLoop(ln, done, func(conn net.Conn) {
 		go srv.ServeConn(conn)
 	})
+	var once sync.Once
 	stop := func() {
-		close(done)
-		ln.Close()
+		once.Do(func() {
+			close(done)
+			ln.Close()
+		})
 	}
 	return ln, stop, nil
 }
 
-// RemoteMaster is a MasterAPI backed by an RPC connection.
+// RemoteMaster is a MasterAPI backed by an RPC connection, scoped to
+// one session of the served control plane (the empty session is the
+// default).
 type RemoteMaster struct {
-	client *rpc.Client
+	client  *rpc.Client
+	session string
 }
 
-// DialMaster connects to a master served by ServeMaster.
+// DialMaster connects to the default session of a control plane served
+// by ServeMaster or ServeService.
 func DialMaster(addr string) (*RemoteMaster, error) {
+	return DialMasterSession(addr, "")
+}
+
+// DialMasterSession connects to one session's control plane.
+func DialMasterSession(addr, session string) (*RemoteMaster, error) {
 	client, err := rpc.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: dial master %s: %w", addr, err)
 	}
-	return &RemoteMaster{client: client}, nil
+	return &RemoteMaster{client: client, session: session}, nil
 }
 
-// Close releases the connection.
+// Session derives a MasterAPI for another session over the same
+// connection (fleet workers hold one control connection and scope it
+// per pipeline).
+func (r *RemoteMaster) Session(session string) *RemoteMaster {
+	return &RemoteMaster{client: r.client, session: session}
+}
+
+// Close releases the connection (shared by Session derivations).
 func (r *RemoteMaster) Close() error { return r.client.Close() }
 
 // RegisterWorker implements MasterAPI.
 func (r *RemoteMaster) RegisterWorker(workerID, endpoint string) (SessionSpec, error) {
 	var reply RegisterReply
-	if err := r.client.Call("Master.Register", &RegisterArgs{WorkerID: workerID, Endpoint: endpoint}, &reply); err != nil {
+	if err := r.client.Call("Master.Register", &RegisterArgs{WorkerID: workerID, Endpoint: endpoint, SessionID: r.session}, &reply); err != nil {
 		return SessionSpec{}, err
 	}
 	return reply.Spec, nil
@@ -204,13 +377,13 @@ func (r *RemoteMaster) RegisterWorker(workerID, endpoint string) (SessionSpec, e
 
 // DeregisterWorker implements MasterAPI.
 func (r *RemoteMaster) DeregisterWorker(workerID string) error {
-	return r.client.Call("Master.Deregister", &DeregisterArgs{WorkerID: workerID}, &struct{}{})
+	return r.client.Call("Master.Deregister", &DeregisterArgs{WorkerID: workerID, SessionID: r.session}, &struct{}{})
 }
 
 // NextSplit implements MasterAPI.
 func (r *RemoteMaster) NextSplit(workerID string) (warehouse.Split, int, bool, bool, error) {
 	var reply NextSplitReply
-	if err := r.client.Call("Master.NextSplit", &NextSplitArgs{WorkerID: workerID}, &reply); err != nil {
+	if err := r.client.Call("Master.NextSplit", &NextSplitArgs{WorkerID: workerID, SessionID: r.session}, &reply); err != nil {
 		return warehouse.Split{}, 0, false, false, err
 	}
 	return reply.Split, reply.SplitID, reply.OK, reply.Draining, nil
@@ -219,7 +392,7 @@ func (r *RemoteMaster) NextSplit(workerID string) (warehouse.Split, int, bool, b
 // ListWorkers implements MasterAPI.
 func (r *RemoteMaster) ListWorkers() ([]WorkerEndpoint, error) {
 	var reply ListWorkersReply
-	if err := r.client.Call("Master.ListWorkers", &struct{}{}, &reply); err != nil {
+	if err := r.client.Call("Master.ListWorkers", &ListWorkersArgs{SessionID: r.session}, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Workers, nil
@@ -227,42 +400,162 @@ func (r *RemoteMaster) ListWorkers() ([]WorkerEndpoint, error) {
 
 // CompleteSplit implements MasterAPI.
 func (r *RemoteMaster) CompleteSplit(workerID string, splitID int) error {
-	return r.client.Call("Master.Complete", &CompleteArgs{WorkerID: workerID, SplitID: splitID}, &struct{}{})
+	return r.client.Call("Master.Complete", &CompleteArgs{WorkerID: workerID, SplitID: splitID, SessionID: r.session}, &struct{}{})
 }
 
 // Heartbeat implements MasterAPI.
 func (r *RemoteMaster) Heartbeat(workerID string, stats WorkerStats) error {
-	return r.client.Call("Master.Heartbeat", &HeartbeatArgs{WorkerID: workerID, Stats: stats}, &struct{}{})
+	return r.client.Call("Master.Heartbeat", &HeartbeatArgs{WorkerID: workerID, Stats: stats, SessionID: r.session}, &struct{}{})
 }
 
 // Done implements MasterAPI.
 func (r *RemoteMaster) Done() (bool, error) {
 	var done bool
-	err := r.client.Call("Master.Done", &struct{}{}, &done)
+	err := r.client.Call("Master.Done", &DoneArgs{SessionID: r.session}, &done)
 	return done, err
 }
 
 var _ MasterAPI = (*RemoteMaster)(nil)
 
-// WorkerService is the gob-unary RPC wrapper around a data-plane batch
-// source (normally a Worker; benchmarks serve synthetic sources).
-type WorkerService struct {
-	src   BatchSource
-	stats func() WorkerStats
+// RemoteService is the client side of a served multi-tenant control
+// plane: the session registry (ServiceAPI) plus the fleet surface
+// (FleetControl), all over one connection.
+type RemoteService struct {
+	client *rpc.Client
 }
 
-// FetchReply carries one tensor batch.
+// DialService connects to a control plane served by ServeService.
+func DialService(addr string) (*RemoteService, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dpp: dial service %s: %w", addr, err)
+	}
+	return &RemoteService{client: client}, nil
+}
+
+// Close releases the connection (shared by SessionMaster derivations).
+func (r *RemoteService) Close() error { return r.client.Close() }
+
+// CreateSession implements ServiceAPI.
+func (r *RemoteService) CreateSession(id string, spec SessionSpec) error {
+	return r.client.Call("Service.Create", &CreateSessionArgs{ID: id, Spec: spec}, &struct{}{})
+}
+
+// CloseSession implements ServiceAPI.
+func (r *RemoteService) CloseSession(id string) error {
+	return r.client.Call("Service.Close", &CloseSessionArgs{ID: id}, &struct{}{})
+}
+
+// ListSessions implements ServiceAPI.
+func (r *RemoteService) ListSessions() ([]SessionInfo, error) {
+	var reply ListSessionsReply
+	if err := r.client.Call("Service.List", &struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Sessions, nil
+}
+
+// RegisterFleetWorker implements FleetControl.
+func (r *RemoteService) RegisterFleetWorker(workerID, endpoint string) error {
+	return r.client.Call("Service.RegisterFleet", &FleetRegisterArgs{WorkerID: workerID, Endpoint: endpoint}, &struct{}{})
+}
+
+// FleetHeartbeat implements FleetControl.
+func (r *RemoteService) FleetHeartbeat(workerID string, stats WorkerStats) (FleetDirective, error) {
+	var reply FleetHeartbeatReply
+	if err := r.client.Call("Service.FleetHeartbeat", &FleetHeartbeatArgs{WorkerID: workerID, Stats: stats}, &reply); err != nil {
+		return FleetDirective{}, err
+	}
+	return reply.Directive, nil
+}
+
+// DeregisterFleetWorker implements FleetControl.
+func (r *RemoteService) DeregisterFleetWorker(workerID string) error {
+	return r.client.Call("Service.DeregisterFleet", &FleetDeregisterArgs{WorkerID: workerID}, &struct{}{})
+}
+
+// SessionMaster implements FleetControl: one session's control plane
+// over the shared connection.
+func (r *RemoteService) SessionMaster(sessionID string) (MasterAPI, error) {
+	return &RemoteMaster{client: r.client, session: sessionID}, nil
+}
+
+var (
+	_ FleetControl = (*RemoteService)(nil)
+	_ ServiceAPI   = (*RemoteService)(nil)
+)
+
+// WorkerService is the gob-unary RPC wrapper around a data-plane batch
+// source (normally a Worker; benchmarks serve synthetic sources). A
+// fleet worker hosting one pipeline per session sets resolve; plain
+// single-session workers serve src directly.
+type WorkerService struct {
+	src     BatchSource
+	stats   func() WorkerStats
+	resolve func(session string) (BatchSource, func() WorkerStats, error)
+}
+
+// source routes a session ID to its batch source. The empty session is
+// the wire-compatible default: requests from old clients (which carry
+// no session) land on the single hosted source, or on the fleet
+// worker's default-session pipeline.
+func (s *WorkerService) source(session string) (BatchSource, func() WorkerStats, error) {
+	if s.resolve != nil {
+		return s.resolve(session)
+	}
+	if session != "" {
+		return nil, nil, fmt.Errorf("dpp: worker hosts no session %q", session)
+	}
+	return s.src, s.stats, nil
+}
+
+// FetchArgs identifies the session the client fetches from. The zero
+// value (what pre-session clients send) addresses the default session.
+type FetchArgs struct {
+	SessionID string
+}
+
+// FetchReply carries one tensor batch. The batch's (Split, Seq,
+// SeqCount) provenance tags are exported fields of tensor.Batch, so
+// gob transports them with the batch itself.
 type FetchReply struct {
 	Batch *tensor.Batch
 	OK    bool
 	Done  bool
 }
 
-// Fetch pops one buffered batch.
-func (s *WorkerService) Fetch(args *struct{}, reply *FetchReply) error {
-	b, ok, done := s.src.TryGetBatch()
+// Fetch pops one buffered batch. The pop is this transport's
+// consumption acknowledgement, which covers every fault the worker
+// side can observe (worker death, stream breaks). The residual hazard
+// is a reply lost in flight to a client that survives: the popped
+// batch was acked but never arrived, and its split completes without
+// those rows. The framed plane closes this window with explicit credit
+// grants; gob unary accepts it as part of its role as the measured
+// legacy baseline.
+func (s *WorkerService) Fetch(args *FetchArgs, reply *FetchReply) error {
+	src, _, err := s.source(args.SessionID)
+	if err != nil {
+		return err
+	}
+	if cs, ok := src.(crashSignaler); ok {
+		select {
+		case <-cs.crashedCh():
+			return fmt.Errorf("dpp: worker crashed")
+		default:
+		}
+	}
+	b, ok, done := src.TryGetBatch()
+	if ok {
+		ackAll(src, []*tensor.Batch{b})
+	}
 	reply.Batch, reply.OK, reply.Done = b, ok, done
 	return nil
+}
+
+// StatsArgs identifies the session whose pipeline stats are wanted (the
+// zero value addresses the default session).
+type StatsArgs struct {
+	SessionID string
 }
 
 // StatsReply carries a worker utilization snapshot, including the
@@ -272,9 +565,13 @@ type StatsReply struct {
 }
 
 // Stats reports the worker's live utilization snapshot.
-func (s *WorkerService) Stats(args *struct{}, reply *StatsReply) error {
-	if s.stats != nil {
-		reply.Stats = s.stats()
+func (s *WorkerService) Stats(args *StatsArgs, reply *StatsReply) error {
+	_, stats, err := s.source(args.SessionID)
+	if err != nil {
+		return err
+	}
+	if stats != nil {
+		reply.Stats = stats()
 	}
 	return nil
 }
@@ -331,18 +628,27 @@ func ServeWorkerOn(worker *Worker, ln net.Listener) (func(), error) {
 	return serveDataPlaneOn(&WorkerService{src: worker, stats: worker.Stats}, ln)
 }
 
-// RemoteWorker is a WorkerAPI backed by an RPC connection.
+// RemoteWorker is a WorkerAPI backed by an RPC connection, addressing
+// one session's pipeline (the empty session is the default).
 type RemoteWorker struct {
-	client *rpc.Client
+	client  *rpc.Client
+	session string
 }
 
-// DialWorker connects to a worker served by ServeWorker.
+// DialWorker connects to a worker served by ServeWorker (default
+// session).
 func DialWorker(addr string) (*RemoteWorker, error) {
+	return DialWorkerSession(addr, "")
+}
+
+// DialWorkerSession connects to one session's pipeline on a worker's
+// data-plane listener over the gob-unary transport.
+func DialWorkerSession(addr, session string) (*RemoteWorker, error) {
 	client, err := rpc.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: dial worker %s: %w", addr, err)
 	}
-	return &RemoteWorker{client: client}, nil
+	return &RemoteWorker{client: client, session: session}, nil
 }
 
 // Close releases the connection.
@@ -351,7 +657,7 @@ func (r *RemoteWorker) Close() error { return r.client.Close() }
 // FetchBatch implements WorkerAPI.
 func (r *RemoteWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
 	var reply FetchReply
-	if err := r.client.Call("Worker.Fetch", &struct{}{}, &reply); err != nil {
+	if err := r.client.Call("Worker.Fetch", &FetchArgs{SessionID: r.session}, &reply); err != nil {
 		if errors.Is(err, rpc.ErrShutdown) {
 			return nil, false, true, nil
 		}
@@ -364,7 +670,7 @@ func (r *RemoteWorker) FetchBatch() (*tensor.Batch, bool, bool, error) {
 // per-stage pipeline breakdown.
 func (r *RemoteWorker) Stats() (WorkerStats, error) {
 	var reply StatsReply
-	if err := r.client.Call("Worker.Stats", &struct{}{}, &reply); err != nil {
+	if err := r.client.Call("Worker.Stats", &StatsArgs{SessionID: r.session}, &reply); err != nil {
 		return WorkerStats{}, err
 	}
 	return reply.Stats, nil

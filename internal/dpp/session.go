@@ -33,6 +33,36 @@
 //     mid-session; NewClient keeps the frozen-set behaviour for static
 //     fleets.
 //
+// Above the single-session Master sits the multi-tenant Service — the
+// paper's actual deployment shape, one shared preprocessing fleet
+// multiplexed across many simultaneous training jobs:
+//
+//   - The Service hosts a session registry (CreateSession /
+//     CloseSession / ListSessions) with one Master per session, and a
+//     fleet registry of session-aware FleetWorkers. Every control
+//     Step it re-divides the live fleet among active sessions by
+//     weighted fair share (SessionSpec.Weight, largest-remainder
+//     apportionment, within one worker of each tenant's quota);
+//     assignments reach workers with their fleet heartbeats.
+//   - A FleetWorker runs one pipeline (a Worker) per assigned session
+//     behind one shared data-plane listener; framed hellos and gob
+//     fetches carry a session ID that routes to the right pipeline,
+//     with the empty session as the wire-compatible default for old
+//     clients. Revoking an assignment drains the pipeline through the
+//     ordinary drain protocol, so rebalancing never loses rows.
+//   - The same Orchestrator control law runs fleet-wide
+//     (NewFleetOrchestrator): pool size follows tenant-aggregated
+//     starvation and oversupply, scale-down drains whole fleet
+//     members, and checkpoints cover every session.
+//
+// Delivery is exactly-once even across non-graceful worker death: a
+// split is acknowledged to its master only when every batch it
+// produced has been consumed by a client (framed credit grants,
+// gob/in-process pops), every batch carries (Split, Seq) provenance,
+// and clients deduplicate redelivery when a crashed worker's requeued
+// leases re-run. Worker.Crash and the launchers' Crash methods are the
+// fault-injection harness that pins this down in tests.
+//
 // The package supports two transports: direct in-process calls (used by
 // simulations and tests) and TCP (cmd/dppd), exercising the same
 // Master/Worker/Client/Orchestrator logic.
@@ -103,6 +133,12 @@ type SessionSpec struct {
 	// Pipeline sizes the worker's pipelined data plane; the zero value
 	// enables it with default parallelism.
 	Pipeline PipelineOptions
+	// Weight is the session's share of the fleet under multi-tenant
+	// operation: the Service divides worker capacity among live
+	// sessions in proportion to their weights (weighted fair share,
+	// §3.2.1's per-job capacity assignment). Zero or negative defaults
+	// to 1; single-session deployments ignore it.
+	Weight float64
 	// DataPlane selects the worker→trainer wire encoding the session is
 	// modelled (and, via cmd/dppd, operated) on: DataPlaneFramed for the
 	// streaming flat-binary transport or DataPlaneGob for unary net/rpc

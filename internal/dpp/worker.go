@@ -3,6 +3,7 @@ package dpp
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -171,19 +172,34 @@ type Worker struct {
 	graph  *transforms.Graph
 	proj   *schema.Projection
 
-	mu        sync.Mutex
-	buffer    []*tensor.Batch
-	bufBytes  int64
+	mu       sync.Mutex
+	buffer   []*tensor.Batch
+	bufBytes int64
 	// outstanding counts batches sent into framed stream windows but not
 	// yet granted by a client (see dataplane.go); Retire waits for it to
 	// reach zero so a worker never deregisters while rows are in flight.
 	outstanding int
 	finished    bool
 	draining    bool
-	report    ResourceReport
-	notEmpty  chan struct{} // closed-and-replaced signal for consumers
-	notFull   chan struct{} // closed-and-replaced signal for producers
-	splitDone chan struct{} // closed-and-replaced after each CompleteSplit
+	crashed     bool
+	// splits tracks per-split delivery progress. A split is acknowledged
+	// to the master (CompleteSplit) only once every batch it produced has
+	// been consumed by a client — not when it lands in the buffer — so a
+	// worker that crashes with buffered or in-window batches leaves its
+	// splits leased, ReapDead requeues them, and another worker re-runs
+	// them. Clients deduplicate the partially-consumed overlap by the
+	// batches' (Split, Seq) provenance tags, which together makes
+	// delivery exactly-once even across non-graceful worker death.
+	splits map[int]*splitAcct
+	// completing counts CompleteSplit RPCs in flight off-lock, so Retire
+	// does not deregister (requeueing leases) a moment before their acks
+	// land at the master.
+	completing int
+	crashCh    chan struct{}
+	report     ResourceReport
+	notEmpty   chan struct{} // closed-and-replaced signal for consumers
+	notFull    chan struct{} // closed-and-replaced signal for producers
+	splitDone  chan struct{} // closed-and-replaced after each CompleteSplit
 
 	// BusyFrac window: the last Stats() sample point, so each heartbeat
 	// reports the live busy fraction since the previous one.
@@ -247,13 +263,25 @@ func NewWorkerWithEndpoint(id, endpoint string, master MasterAPI, wh *warehouse.
 		spec:        spec,
 		graph:       graph,
 		proj:        spec.Projection(),
+		splits:      make(map[int]*splitAcct),
 		notEmpty:    make(chan struct{}),
 		notFull:     make(chan struct{}),
 		splitDone:   make(chan struct{}),
+		crashCh:     make(chan struct{}),
 		lastStatsAt: time.Now(),
 		Node:        hw.CV1,
 		ClockGHz:    2.5,
 	}, nil
+}
+
+// splitAcct is one split's delivery ledger: how many batches entered the
+// buffer, how many a client has consumed, and whether production is
+// still running. The split completes at the master when producing is
+// over and every produced batch was consumed.
+type splitAcct struct {
+	produced  int
+	consumed  int
+	producing bool
 }
 
 // Spec returns the session spec the worker pulled from the master.
@@ -273,21 +301,17 @@ func (w *Worker) ProcessOneSplit() (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	if err := w.processSplit(split); err != nil {
+	if err := w.processSplit(split, splitID); err != nil {
 		return false, fmt.Errorf("dpp: worker %s split %d: %w", w.ID, splitID, err)
 	}
-	if err := w.master.CompleteSplit(w.ID, splitID); err != nil {
-		return false, err
-	}
-	w.mu.Lock()
-	w.report.SplitsDone++
-	w.mu.Unlock()
 	return true, nil
 }
 
 // processSplit runs the extract → transform → load stages for one split
-// serially (the baseline data plane) and accounts resources.
-func (w *Worker) processSplit(split warehouse.Split) error {
+// serially (the baseline data plane) and accounts resources. The split
+// is acknowledged to the master by the consumption ledger (see
+// splitAcct), not here.
+func (w *Worker) processSplit(split warehouse.Split, splitID int) error {
 	batch, readStats, err := w.fetchSplit(split, false)
 	if err != nil {
 		return err
@@ -297,7 +321,115 @@ func (w *Worker) processSplit(split warehouse.Split) error {
 		return err
 	}
 	w.accountSplit(readStats, tr)
-	return w.deliverAll(tr.batches, nil)
+	tagBatches(splitID, tr.batches)
+	w.beginSplit(splitID)
+	err = w.deliverAll(tr.batches, nil)
+	w.finishSplit(splitID, err == nil)
+	return err
+}
+
+// tagBatches stamps one split's batches with their delivery provenance:
+// 1-based split ID and 1-based position. Slicing is deterministic, so a
+// re-run of the same split reproduces the same tags over the same rows
+// and clients can deduplicate redelivery.
+func tagBatches(splitID int, batches []*tensor.Batch) {
+	for i, b := range batches {
+		b.Split = int32(splitID) + 1
+		b.Seq = int32(i) + 1
+		b.SeqCount = int32(len(batches))
+	}
+}
+
+// beginSplit opens the delivery ledger for one split.
+func (w *Worker) beginSplit(splitID int) {
+	w.mu.Lock()
+	w.splits[splitID] = &splitAcct{producing: true}
+	w.mu.Unlock()
+}
+
+// finishSplit closes a split's production ledger. delivered=true means
+// every batch reached the buffer (or the sink): the split completes at
+// the master once everything produced is consumed — immediately for a
+// sink-mode split, whose produced == consumed == 0. delivered=false
+// means delivery was cut short (crash or stop): the ledger is dropped
+// WITHOUT completing, so the lease stays in flight, the master
+// eventually requeues it, and the re-run redelivers the missing tail
+// while client-side (Split, Seq) dedup drops the overlap.
+func (w *Worker) finishSplit(splitID int, delivered bool) {
+	w.mu.Lock()
+	a := w.splits[splitID]
+	complete := false
+	if a != nil {
+		if !delivered {
+			delete(w.splits, splitID)
+		} else {
+			a.producing = false
+			if a.consumed >= a.produced {
+				delete(w.splits, splitID)
+				complete = true
+			}
+		}
+	}
+	if complete {
+		w.completing++
+	}
+	w.mu.Unlock()
+	if complete {
+		w.completeSplit(splitID)
+	}
+}
+
+// ackConsumed records that a client irrevocably consumed a batch (an
+// in-process or gob-unary pop, a framed credit grant, or a gracefully
+// rescued stream window) and completes any split whose batches have now
+// all been consumed. Untagged batches and batches of unknown splits
+// (double acks after a requeue race) are ignored.
+func (w *Worker) ackConsumed(batches ...*tensor.Batch) {
+	var complete []int
+	w.mu.Lock()
+	for _, b := range batches {
+		if b == nil || b.Split == 0 {
+			continue
+		}
+		splitID := int(b.Split) - 1
+		a := w.splits[splitID]
+		if a == nil {
+			continue
+		}
+		a.consumed++
+		if !a.producing && a.consumed >= a.produced {
+			delete(w.splits, splitID)
+			complete = append(complete, splitID)
+		}
+	}
+	w.completing += len(complete)
+	w.mu.Unlock()
+	for _, splitID := range complete {
+		w.completeSplit(splitID)
+	}
+}
+
+// completeSplit acknowledges one fully consumed split to the master.
+// Errors are dropped: a failed ack leaves the lease in flight, the
+// master eventually requeues it, and client-side (Split, Seq)
+// deduplication absorbs the re-run — correctness never depends on this
+// call landing.
+func (w *Worker) completeSplit(splitID int) {
+	_ = w.master.CompleteSplit(w.ID, splitID)
+	w.mu.Lock()
+	w.completing--
+	w.report.SplitsDone++
+	close(w.splitDone) // wake fetchers waiting to re-check Done
+	w.splitDone = make(chan struct{})
+	w.mu.Unlock()
+}
+
+// pendingSplits reports splits whose consumption ledger is still open,
+// plus completion acks in flight to the master.
+func (w *Worker) pendingSplits() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.splits) + w.completing
 }
 
 // fetchSplit reads and decodes one split, crediting the fetch and
@@ -421,6 +553,11 @@ func (w *Worker) deliver(b *tensor.Batch, cancel <-chan struct{}) error {
 			if w.bufBytes > w.report.ResidentPeak {
 				w.report.ResidentPeak = w.bufBytes
 			}
+			if b.Split != 0 {
+				if a := w.splits[int(b.Split)-1]; a != nil {
+					a.produced++
+				}
+			}
 			close(w.notEmpty)
 			w.notEmpty = make(chan struct{})
 			w.mu.Unlock()
@@ -432,33 +569,28 @@ func (w *Worker) deliver(b *tensor.Batch, cancel <-chan struct{}) error {
 		case <-wait:
 		case <-cancel:
 			return errCanceled
+		case <-w.crashCh:
+			return errCanceled
 		case <-time.After(2 * time.Millisecond):
 			// Fallback poll so a missed signal can never wedge delivery.
 		}
 	}
 }
 
-// GetBatch pops one buffered batch. ok=false means the worker has
-// finished and the buffer is drained.
+// GetBatch pops one buffered batch for direct local consumption (the
+// pop counts as consumed for the split ledger). ok=false means the
+// worker has finished and the buffer is drained.
 func (w *Worker) GetBatch() (*tensor.Batch, bool) {
 	for {
-		w.mu.Lock()
-		if len(w.buffer) > 0 {
-			b := w.buffer[0]
-			w.buffer = w.buffer[1:]
-			w.bufBytes -= b.SizeBytes()
-			if len(w.buffer) < w.minBuffered {
-				w.minBuffered = len(w.buffer)
-			}
-			close(w.notFull)
-			w.notFull = make(chan struct{})
-			w.mu.Unlock()
+		b, ok, done := w.TryGetBatch()
+		if ok {
+			w.ackConsumed(b)
 			return b, true
 		}
-		if w.finished {
-			w.mu.Unlock()
+		if done {
 			return nil, false
 		}
+		w.mu.Lock()
 		wait := w.notEmpty
 		w.mu.Unlock()
 		select {
@@ -469,10 +601,18 @@ func (w *Worker) GetBatch() (*tensor.Batch, bool) {
 }
 
 // TryGetBatch pops a buffered batch without blocking. done=true means
-// the worker has finished and drained.
+// the worker has finished and drained. The pop is NOT a consumption
+// acknowledgement: transports that can still lose the batch (a framed
+// stream's in-flight window) ack later, while direct local consumers
+// (GetBatch, LocalWorkerAPI, the gob Fetch handler) ack immediately
+// after the pop. A crashed worker serves nothing and never reports
+// done — it is simply unreachable, like a dead process.
 func (w *Worker) TryGetBatch() (b *tensor.Batch, ok, done bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.crashed {
+		return nil, false, false
+	}
 	if len(w.buffer) > 0 {
 		b = w.buffer[0]
 		w.buffer = w.buffer[1:]
@@ -554,6 +694,37 @@ func (w *Worker) setDraining() {
 	w.mu.Lock()
 	w.draining = true
 	w.mu.Unlock()
+}
+
+// Crash is the fault-injection hook: it kills the worker as a process
+// death would, with no drain and no deregistration. The data plane goes
+// dark immediately (framed streams sever, gob fetches error, the buffer
+// stops serving), heartbeats stop as soon as Run unwinds, and nothing is
+// acknowledged or handed off — the master discovers the death through
+// ReapDead's heartbeat staleness, requeues the leases of every split the
+// crashed worker had not fully delivered, and the session re-runs them
+// elsewhere. Idempotent. The worker also crashes itself when the master
+// disowns it (heartbeatLoop's consecutive-failure rule): a reaped
+// worker's buffered work is unreachable by any client, so abandoning it
+// is the only exit that cannot wedge.
+func (w *Worker) Crash() {
+	w.mu.Lock()
+	if !w.crashed {
+		w.crashed = true
+		close(w.crashCh)
+	}
+	w.mu.Unlock()
+}
+
+// crashedCh implements the data plane's crashSignaler: serving streams
+// sever when it closes.
+func (w *Worker) crashedCh() <-chan struct{} { return w.crashCh }
+
+// Crashed reports whether the fault-injection hook fired.
+func (w *Worker) Crashed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.crashed
 }
 
 // Report snapshots the worker's cumulative resource accounting,
@@ -701,19 +872,56 @@ func (w *Worker) heartbeatEvery() time.Duration {
 // heartbeatLoop renews liveness — and, at the master, the worker's
 // in-flight leases — during stretches where no split completes, e.g.
 // delivery blocked on a stalled trainer for longer than the lease
-// timeout. Errors are ignored: a reaped worker finds out on its next
-// data-plane call to the master.
+// timeout. Three consecutive *rejections* — the master answering that
+// it no longer knows this worker — mean it was disowned (reaped after
+// a transient heartbeat lapse): its leases are requeued and it has
+// left the membership, so no client will ever be routed here to
+// relieve backpressure. Serving on could wedge the delivery stage
+// forever on a full buffer; instead the worker abandons its work
+// through the crash path — the requeued leases re-run elsewhere and
+// client-side dedup keeps delivery exactly-once, exactly as after a
+// real death. Transport failures (a master restart, a network blip)
+// are NOT disownment and are simply retried: membership and leases are
+// intact at the master, so abandoning the fleet's buffered work over a
+// brief control-plane hiccup would turn it all into needless re-runs.
 func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
 	t := time.NewTicker(w.heartbeatEvery())
 	defer t.Stop()
+	rejections := 0
 	for {
 		select {
 		case <-stop:
 			return
+		case <-w.crashCh:
+			return
 		case <-t.C:
-			_ = w.master.Heartbeat(w.ID, w.heartbeatStats())
+			err := w.master.Heartbeat(w.ID, w.heartbeatStats())
+			switch {
+			case err == nil:
+				rejections = 0
+			case isDisownedErr(err):
+				if rejections++; rejections >= 3 {
+					w.Crash()
+					return
+				}
+			}
 		}
 	}
+}
+
+// isDisownedErr reports whether a control-plane error is the master
+// actively rejecting this worker (reaped, deregistered, or its whole
+// session closed), as opposed to a transport failure. The check is
+// textual because the error crosses net/rpc, which flattens error
+// values to strings.
+func isDisownedErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "unregistered worker") ||
+		strings.Contains(msg, "unknown session") ||
+		strings.Contains(msg, "session closed")
 }
 
 // runSequential is the strictly serial data plane: one split is fetched,
@@ -723,6 +931,8 @@ func (w *Worker) runSequential(stop <-chan struct{}) error {
 	for {
 		select {
 		case <-stop:
+			return nil
+		case <-w.crashCh:
 			return nil
 		default:
 		}
@@ -764,6 +974,12 @@ func (w *Worker) runSequential(stop <-chan struct{}) error {
 // treated as abandonment. Call after Run returns; the pair is the
 // worker half of the graceful drain protocol.
 func (w *Worker) Retire(abandon <-chan struct{}) error {
+	if w.Crashed() {
+		// A crashed worker is a dead process: it neither serves its
+		// buffer nor deregisters. The master reaps it and requeues its
+		// leases.
+		return nil
+	}
 	hb := time.NewTicker(w.heartbeatEvery())
 	defer hb.Stop()
 	hbFails := 0
@@ -771,11 +987,17 @@ drain:
 	// Undelivered (not merely Buffered): batches pushed into a framed
 	// stream's un-granted window still belong to this worker — if the
 	// stream broke abnormally after deregistration they would be
-	// requeued into a worker no client can resolve, losing rows.
-	for w.Undelivered() > 0 {
+	// requeued into a worker no client can resolve, losing rows. The
+	// pendingSplits term additionally holds deregistration until every
+	// consumed split's CompleteSplit ack has landed at the master, so
+	// DeregisterWorker does not requeue a lease whose rows were already
+	// delivered in full.
+	for w.Undelivered() > 0 || w.pendingSplits() > 0 {
 		select {
 		case <-abandon:
 			break drain
+		case <-w.crashCh:
+			return nil
 		case <-hb.C:
 			if err := w.master.Heartbeat(w.ID, w.heartbeatStats()); err != nil {
 				if hbFails++; hbFails >= 3 {

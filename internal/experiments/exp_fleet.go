@@ -13,7 +13,14 @@ import (
 	"dsi/internal/transforms"
 )
 
+// The fleet-scale figures below model the paper's aggregate numbers;
+// the "multitenant" experiment (exp_multitenant.go) is the part of the
+// fleet story that now runs for real — concurrent sessions contending
+// for one shared elastic worker fleet under weighted fair share, with
+// measured per-tenant allocation error and stall rather than simulated
+// utilization curves.
 func init() {
+	register("multitenant", "Multi-tenant DPP service: weighted fair sharing of one elastic fleet (§3.2.1)", runMultitenant)
 	register("fig1", "Power split across storage/preprocessing/training (Figure 1)", runFig1)
 	register("fig2", "Dataset and bandwidth growth (Figure 2)", runFig2)
 	register("table2", "Feature lifecycle churn (Table 2)", runTable2)

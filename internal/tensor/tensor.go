@@ -42,6 +42,21 @@ type Batch struct {
 	Sparse          []*SparseTensor
 	Labels          []float32
 
+	// Split and Seq are the batch's delivery provenance: the 1-based
+	// split it was materialized from and its 1-based position within
+	// that split's batch sequence. Split == 0 means untagged (synthetic
+	// or legacy batches). SeqCount is the total number of batches the
+	// split sliced into, letting consumers compact their dedup ledgers
+	// once a split has been seen in full. They are not part of the
+	// content codec (AppendBinary/DecodeBinary); the DPP data plane
+	// transports them alongside the frame so trainers can deduplicate
+	// re-deliveries when a crashed worker's splits are reprocessed —
+	// split slicing is deterministic, so (Split, Seq) names the same
+	// rows on every run.
+	Split    int32
+	Seq      int32
+	SeqCount int32
+
 	// pooled marks a batch whose slices were drawn from the wire codec's
 	// pools (DecodeBinary); Release recycles them. Unexported, so gob and
 	// struct literals leave it false and Release stays a no-op for
