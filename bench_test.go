@@ -225,6 +225,122 @@ func BenchmarkTransformLogit(b *testing.B) {
 	benchOp(b, &transforms.Logit{In: 1, Out: 100})
 }
 
+// arenaBatchFrom copies a template batch into an arena-owned one with
+// distinct columns (arena batches must not alias), so compiled-plan
+// benches run the worker's real recycle loop: outputs published into
+// the batch are reclaimed by the next run's publish.
+func arenaBatchFrom(arena *dwrf.Arena, template *dwrf.Batch) *dwrf.Batch {
+	out := arena.NewBatch(template.Rows)
+	out.Labels = arena.Labels(len(template.Labels))
+	copy(out.Labels, template.Labels)
+	for id, c := range template.Dense {
+		nc := arena.Dense(template.Rows)
+		copy(nc.Present, c.Present)
+		copy(nc.Values, c.Values)
+		out.Dense[id] = nc
+	}
+	for id, c := range template.Sparse {
+		nc := arena.Sparse(template.Rows)
+		copy(nc.Offsets, c.Offsets)
+		nc.Values = append(nc.Values, c.Values...)
+		out.Sparse[id] = nc
+	}
+	return out
+}
+
+// BenchmarkTransformGraph runs the representative preprocessing DAG
+// through the legacy interpreter (fresh columns and map lookups per op
+// per batch) and through the compiled slot-indexed plan with a column
+// arena. BENCH_transform.json records a reference run; the headline is
+// allocs/op.
+func BenchmarkTransformGraph(b *testing.B) {
+	newGraph := func(b *testing.B) *transforms.Graph {
+		b.Helper()
+		g := transforms.StandardGraph([]schema.FeatureID{1}, []schema.FeatureID{2, 3}, 6, 1000)
+		if err := g.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	b.Run("interpreter", func(b *testing.B) {
+		g := newGraph(b)
+		batch := benchBatch(512)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Run(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		g := newGraph(b)
+		plan, err := g.CompilePlan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		arena := dwrf.NewArena()
+		batch := arenaBatchFrom(arena, benchBatch(512))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Run(batch, arena); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStripeToTensor measures the worker's whole per-split hot
+// path — stripe decode → preprocessing graph → tensor materialization —
+// as the interpreter ran it (plain decode, interpreted graph, batches
+// left for the GC) and as the compiled path runs it (arena decode,
+// compiled plan, release after materialization).
+func BenchmarkStripeToTensor(b *testing.B) {
+	run := func(b *testing.B, compiled bool) {
+		wh, _, splits := benchDataset(b, true)
+		spec := benchSessionSpec(dpp.PipelineOptions{})
+		g := transforms.NewGraph().Add(spec.Ops...)
+		if err := g.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		var plan *transforms.Plan
+		var arena *dwrf.Arena
+		if compiled {
+			var err error
+			if plan, err = g.CompilePlan(); err != nil {
+				b.Fatal(err)
+			}
+			arena = dwrf.NewArena()
+		}
+		proj := spec.Projection()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, sp := range splits {
+				batch, _, err := wh.ReadSplitBatchCachedArena(sp, proj, spec.Read, arena)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if compiled {
+					_, err = plan.Run(batch, arena)
+				} else {
+					_, err = g.Run(batch)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tensor.Materialize(batch, spec.DenseOut, spec.SparseOut); err != nil {
+					b.Fatal(err)
+				}
+				batch.Release()
+			}
+		}
+	}
+	b.Run("interpreter", func(b *testing.B) { run(b, false) })
+	b.Run("compiled-arena", func(b *testing.B) { run(b, true) })
+}
+
 func BenchmarkStandardGraphRM1Style(b *testing.B) {
 	g := transforms.StandardGraph([]schema.FeatureID{1}, []schema.FeatureID{2, 3}, 6, 1000)
 	if err := g.Compile(); err != nil {

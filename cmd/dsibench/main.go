@@ -6,36 +6,80 @@
 //	dsibench            # run every experiment
 //	dsibench -list      # list experiment IDs
 //	dsibench -exp ID    # run one experiment (e.g. table12, fig7)
+//
+// Perf PRs attach pprof evidence with the profiling flags:
+//
+//	dsibench -exp table12 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dsi/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main behind an exit code so the profile-stopping defers always
+// execute (os.Exit in main would skip them and truncate the profiles).
+func run() int {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	exp := flag.String("exp", "", "run a single experiment by ID (default: all)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-10s %s\n", id, experiments.Title(id))
 		}
-		return
+		return 0
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsibench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dsibench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsibench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dsibench:", err)
+		}
+	}()
 
 	if *exp != "" {
 		res, err := experiments.Run(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsibench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(res)
-		return
+		return 0
 	}
 
 	results, err := experiments.RunAll()
@@ -44,6 +88,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsibench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -20,6 +20,21 @@
 // BenchmarkDPPWorkerSession vs BenchmarkDPPPipelinedSession measures
 // the delta (reference run: BENCH_dpp.json).
 //
+// The transform stage itself runs compiled: transforms.Graph lowers its
+// topo-sorted op DAG into a slot-indexed transforms.Plan
+// (Graph.CompilePlan) that resolves every feature ID to a dense/sparse
+// slot once per session, fuses chains of elementwise dense ops into
+// single passes, and draws output columns from a per-worker pooled
+// column arena (dwrf.Arena). Stripes decode straight into arena batches
+// through streaming column decoders, and the worker releases each batch
+// (dwrf.Batch.Release) once tensors are materialized, so steady-state
+// preprocessing recycles the same buffers split after split. A golden
+// parity suite pins compiled plans to byte-identical outputs with the
+// legacy interpreter, which remains the fallback for unknown ops.
+// BenchmarkTransformGraph and BenchmarkStripeToTensor measure the delta
+// (reference run: BENCH_transform.json — the transform stage drops from
+// 9365 to 5 allocations per batch).
+//
 // The worker→trainer hot path is a zero-copy framed streaming data
 // plane: tensor.Batch has an explicit wire codec (AppendBinary /
 // DecodeBinary — length-prefixed little-endian frames with pooled

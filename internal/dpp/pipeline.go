@@ -178,6 +178,12 @@ func (w *Worker) runPipelined(stop <-chan struct{}) error {
 	}
 	fetchWG.Wait()
 	xformWG.Wait()
+	// On an aborted run decoded splits may still sit in the fetch queue
+	// with no transform stage left to consume them; recycle their arena
+	// buffers. (The channel is closed once the fetch pool exits.)
+	for f := range fetched {
+		f.batch.Release()
+	}
 
 	return abort.firstErr()
 }

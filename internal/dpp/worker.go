@@ -170,7 +170,16 @@ type Worker struct {
 	wh     *warehouse.Warehouse
 	spec   SessionSpec
 	graph  *transforms.Graph
-	proj   *schema.Projection
+	// plan is the graph compiled into the slot-indexed execution form;
+	// nil when the graph contains ops the compiler does not know (the
+	// transform stage then falls back to the interpreter).
+	plan *transforms.Plan
+	// arena recycles decoded and transformed column buffers across the
+	// worker's splits: the fetch stage decodes stripes into arena
+	// batches, the transform plan draws output columns from it, and
+	// transformBatch releases each batch once tensors are materialized.
+	arena *dwrf.Arena
+	proj  *schema.Projection
 
 	mu       sync.Mutex
 	buffer   []*tensor.Batch
@@ -255,6 +264,15 @@ func NewWorkerWithEndpoint(id, endpoint string, master MasterAPI, wh *warehouse.
 	if err != nil {
 		return nil, fmt.Errorf("dpp: worker %s graph: %w", id, err)
 	}
+	// Compile the preprocessing graph into the slot-indexed plan once
+	// per session. Compilation fails only for op configurations Apply
+	// would reject per batch (those keep failing identically through
+	// the interpreter) or for op implementations without a compiled
+	// kernel; either way the worker still runs, interpreted.
+	plan, err := graph.CompilePlan()
+	if err != nil {
+		plan = nil
+	}
 	return &Worker{
 		ID:          id,
 		Endpoint:    endpoint,
@@ -262,6 +280,8 @@ func NewWorkerWithEndpoint(id, endpoint string, master MasterAPI, wh *warehouse.
 		wh:          wh,
 		spec:        spec,
 		graph:       graph,
+		plan:        plan,
+		arena:       dwrf.NewArena(),
 		proj:        spec.Projection(),
 		splits:      make(map[int]*splitAcct),
 		notEmpty:    make(chan struct{}),
@@ -438,12 +458,12 @@ func (w *Worker) pendingSplits() int {
 // baseline keeps the seed behaviour of opening the file per split, so
 // the paper's baseline measurements are unchanged.
 func (w *Worker) fetchSplit(split warehouse.Split, cached bool) (*dwrf.Batch, dwrf.ReadStats, error) {
-	read := w.wh.ReadSplitBatch
+	read := w.wh.ReadSplitBatchArena
 	if cached {
-		read = w.wh.ReadSplitBatchCached
+		read = w.wh.ReadSplitBatchCachedArena
 	}
 	start := time.Now()
-	batch, readStats, err := read(split, w.proj, w.spec.Read)
+	batch, readStats, err := read(split, w.proj, w.spec.Read, w.arena)
 	wall := time.Since(start)
 	// The read's own instrumentation splits storage wait from decode
 	// work; everything else (footer cache hits, planning) counts as
@@ -461,13 +481,23 @@ type transformed struct {
 	txBytes int64
 }
 
-// transformBatch runs the preprocessing graph and materializes tensors,
-// crediting the transform stage stopwatch.
+// transformBatch runs the preprocessing graph — through the compiled
+// slot-indexed plan when it compiled, the interpreter otherwise — and
+// materializes tensors, crediting the transform stage stopwatch. The
+// columnar batch is released back to the worker's arena once the
+// tensors (which copy every value) are built, so the next split's
+// decode and transform reuse its buffers.
 func (w *Worker) transformBatch(batch *dwrf.Batch) (transformed, error) {
 	start := time.Now()
 	defer func() { w.stageTransform.Add(time.Since(start)) }()
 
-	xformStats, err := w.graph.Run(batch)
+	var xformStats transforms.Stats
+	var err error
+	if w.plan != nil {
+		xformStats, err = w.plan.Run(batch, w.arena)
+	} else {
+		xformStats, err = w.graph.Run(batch)
+	}
 	if err != nil {
 		return transformed{}, err
 	}
@@ -475,6 +505,7 @@ func (w *Worker) transformBatch(batch *dwrf.Batch) (transformed, error) {
 	if err != nil {
 		return transformed{}, err
 	}
+	batch.Release()
 	batches := sliceBatches(full, w.spec.BatchSize)
 	var txBytes int64
 	for _, b := range batches {

@@ -1,0 +1,225 @@
+package dwrf
+
+import (
+	"sync"
+
+	"dsi/internal/schema"
+)
+
+// Arena recycles the columnar buffers behind decoded and transformed
+// batches. The DPP worker's hot path — decode a stripe into a Batch,
+// run the transform plan (which adds derived columns), materialize
+// tensors, Release — allocated fresh Present/Values/Offsets slices for
+// every column of every batch; with an arena the same buffers cycle
+// through that loop, sized by the largest batch seen, so steady-state
+// preprocessing costs a handful of pool hits instead of a per-batch
+// allocation storm (the transform-stage analogue of the tensor wire
+// codec's pools).
+//
+// Ownership rules:
+//
+//   - A batch created by Arena.NewBatch (every batch decoded through a
+//     *Arena read path) owns its columns; calling Batch.Release hands
+//     them all back. The batch and its columns must not be used after
+//     Release — consumers that need data longer (tensor.Materialize,
+//     row-view samples) copy it out first.
+//   - Ops and plans must not retain column slices across batches: a
+//     released column's backing arrays are reused for the next batch.
+//   - Columns placed into an arena batch must not alias each other:
+//     Release returns each map entry once, so an aliased column would
+//     be pooled twice and handed to two future callers.
+//
+// All methods are safe for concurrent use (the worker's prefetch and
+// transform pools share one arena) and tolerate a nil receiver, which
+// degrades to plain allocation so call sites need no branching.
+type Arena struct {
+	batches sync.Pool // *Batch
+	dense   sync.Pool // *DenseColumn
+	sparse  sync.Pool // *SparseColumn
+	score   sync.Pool // *ScoreListColumn
+	labels  sync.Pool // *[]float32
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// NewBatch returns an empty batch for rows rows whose columns will be
+// recycled by Release.
+func (a *Arena) NewBatch(rows int) *Batch {
+	if a == nil {
+		return newBatch(rows)
+	}
+	b, _ := a.batches.Get().(*Batch)
+	if b == nil {
+		b = newBatch(rows)
+	}
+	b.Rows = rows
+	b.arena = a
+	return b
+}
+
+// Dense returns a zeroed dense column for rows rows.
+func (a *Arena) Dense(rows int) *DenseColumn {
+	var c *DenseColumn
+	if a != nil {
+		c, _ = a.dense.Get().(*DenseColumn)
+	}
+	if c == nil {
+		c = &DenseColumn{}
+	}
+	c.Present = resizeBools(c.Present, rows)
+	c.Values = resizeF32(c.Values, rows)
+	return c
+}
+
+// Sparse returns a sparse column with zeroed offsets for rows rows and
+// an empty values slice whose capacity carries over from the previous
+// batch (append into it).
+func (a *Arena) Sparse(rows int) *SparseColumn {
+	var c *SparseColumn
+	if a != nil {
+		c, _ = a.sparse.Get().(*SparseColumn)
+	}
+	if c == nil {
+		c = &SparseColumn{}
+	}
+	c.Offsets = resizeI32(c.Offsets, rows+1)
+	if c.Values == nil {
+		c.Values = []int64{}
+	} else {
+		c.Values = c.Values[:0]
+	}
+	return c
+}
+
+// ScoreList returns a score-list column with zeroed offsets for rows
+// rows and an empty values slice.
+func (a *Arena) ScoreList(rows int) *ScoreListColumn {
+	var c *ScoreListColumn
+	if a != nil {
+		c, _ = a.score.Get().(*ScoreListColumn)
+	}
+	if c == nil {
+		c = &ScoreListColumn{}
+	}
+	c.Offsets = resizeI32(c.Offsets, rows+1)
+	if c.Values == nil {
+		c.Values = []schema.ScoredValue{}
+	} else {
+		c.Values = c.Values[:0]
+	}
+	return c
+}
+
+// Labels returns a label slice of length n (contents unspecified; the
+// caller overwrites every entry).
+func (a *Arena) Labels(n int) []float32 {
+	if a == nil {
+		return make([]float32, n)
+	}
+	sp, _ := a.labels.Get().(*[]float32)
+	if sp == nil || cap(*sp) < n {
+		return make([]float32, n)
+	}
+	return (*sp)[:n]
+}
+
+// PutDense recycles a dense column no longer referenced anywhere.
+func (a *Arena) PutDense(c *DenseColumn) {
+	if a == nil || c == nil {
+		return
+	}
+	a.dense.Put(c)
+}
+
+// PutSparse recycles a sparse column no longer referenced anywhere.
+func (a *Arena) PutSparse(c *SparseColumn) {
+	if a == nil || c == nil {
+		return
+	}
+	a.sparse.Put(c)
+}
+
+// PutScoreList recycles a score-list column no longer referenced
+// anywhere.
+func (a *Arena) PutScoreList(c *ScoreListColumn) {
+	if a == nil || c == nil {
+		return
+	}
+	a.score.Put(c)
+}
+
+// putLabels recycles a label slice.
+func (a *Arena) putLabels(s []float32) {
+	if a == nil || s == nil {
+		return
+	}
+	a.labels.Put(&s)
+}
+
+// Arena reports the arena that owns the batch's columns, nil for
+// ordinary batches. The transform plan uses it to decide whether a
+// column it replaces can be recycled immediately.
+func (b *Batch) Arena() *Arena { return b.arena }
+
+// Release returns an arena-backed batch's columns, labels, and the
+// batch itself to its arena. It is a no-op for batches not created by
+// Arena.NewBatch (BatchFromSamples, struct literals), so callers on
+// mixed paths can release unconditionally; releasing twice is also
+// safe. The batch must not be used after Release.
+func (b *Batch) Release() {
+	if b == nil || b.arena == nil {
+		return
+	}
+	a := b.arena
+	b.arena = nil
+	for _, c := range b.Dense {
+		a.PutDense(c)
+	}
+	clear(b.Dense)
+	for _, c := range b.Sparse {
+		a.PutSparse(c)
+	}
+	clear(b.Sparse)
+	for _, c := range b.ScoreList {
+		a.PutScoreList(c)
+	}
+	clear(b.ScoreList)
+	a.putLabels(b.Labels)
+	b.Labels = nil
+	b.Rows = 0
+	a.batches.Put(b)
+}
+
+// resizeBools returns a zeroed bool slice of length n reusing s's
+// backing array when it fits.
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resizeF32 returns a zeroed float32 slice of length n reusing s's
+// backing array when it fits.
+func resizeF32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resizeI32 returns a zeroed int32 slice of length n reusing s's
+// backing array when it fits.
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

@@ -108,6 +108,23 @@ func readAllRows(t testing.TB, r *Reader, proj *schema.Projection, opts ReadOpti
 	return out
 }
 
+// copySample deep-copies a sample so tests can filter or mutate it
+// without touching the written fixture.
+func copySample(s *schema.Sample) *schema.Sample {
+	out := schema.NewSample()
+	out.Label = s.Label
+	for id, v := range s.DenseFeatures {
+		out.DenseFeatures[id] = v
+	}
+	for id, vals := range s.SparseFeatures {
+		out.SparseFeatures[id] = append([]int64(nil), vals...)
+	}
+	for id, vals := range s.ScoreListFeatures {
+		out.ScoreListFeatures[id] = append([]schema.ScoredValue(nil), vals...)
+	}
+	return out
+}
+
 func sampleEqual(a, b *schema.Sample) bool {
 	if a.Label != b.Label {
 		return false
@@ -366,6 +383,17 @@ func TestBatchDecodeMatchesRowDecode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// ReadStripe is a view over the batch decoder for flattened
+		// files, so anchor it against the originally written rows (the
+		// independent ground truth) before comparing the batch against
+		// it.
+		for i, row := range rowDecoded {
+			want := copySample(rows[stripe*48+i])
+			filterSample(want, proj)
+			if !sampleEqual(want, row) {
+				t.Fatalf("stripe %d row %d differs from written row", stripe, i)
+			}
+		}
 		batch, _, err := r.ReadStripeBatch(stripe, proj, ReadOptions{Flatmap: true})
 		if err != nil {
 			t.Fatal(err)
@@ -597,5 +625,166 @@ func TestPlanIOCoversProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestArenaDecodeReleaseRoundTrip cycles stripes through the arena
+// decode path — decode, compare against a plain decode, release —
+// several times, so recycled buffers that leak stale rows, offsets, or
+// labels across batches fail loudly. Together with
+// TestBatchDecodeMatchesRowDecode this keeps ReadStripe (the row view)
+// and ReadStripeBatch honest against each other.
+func TestArenaDecodeReleaseRoundTrip(t *testing.T) {
+	ts := buildSchema(t, 4, 4)
+	rows := genRows(ts, 96, 0.6, 11)
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, rows, WriterOptions{Flatten: true, RowsPerStripe: 32})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	proj := schema.NewProjection(1, 2, 5, 6, 9)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < r.Stripes(); i++ {
+			plain, _, err := r.ReadStripeBatch(i, proj, ReadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, _, err := r.ReadStripeBatchArena(i, proj, ReadOptions{}, arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameBatch(t, plain, pooled)
+			pooled.Release()
+		}
+	}
+}
+
+// requireSameBatch compares two decoded batches element-wise (nil and
+// empty slices compare equal).
+func requireSameBatch(t *testing.T, a, b *Batch) {
+	t.Helper()
+	if a.Rows != b.Rows || !eqSlice(a.Labels, b.Labels) {
+		t.Fatalf("rows/labels differ: %d/%d", a.Rows, b.Rows)
+	}
+	if len(a.Dense) != len(b.Dense) || len(a.Sparse) != len(b.Sparse) || len(a.ScoreList) != len(b.ScoreList) {
+		t.Fatal("column sets differ")
+	}
+	for id, ca := range a.Dense {
+		cb := b.Dense[id]
+		if cb == nil || !eqSlice(ca.Present, cb.Present) || !eqSlice(ca.Values, cb.Values) {
+			t.Fatalf("dense %d differs", id)
+		}
+	}
+	for id, ca := range a.Sparse {
+		cb := b.Sparse[id]
+		if cb == nil || !eqSlice(ca.Offsets, cb.Offsets) || !eqSlice(ca.Values, cb.Values) {
+			t.Fatalf("sparse %d differs", id)
+		}
+	}
+	for id, ca := range a.ScoreList {
+		cb := b.ScoreList[id]
+		if cb == nil || !eqSlice(ca.Offsets, cb.Offsets) || !eqSlice(ca.Values, cb.Values) {
+			t.Fatalf("score-list %d differs", id)
+		}
+	}
+}
+
+func eqSlice[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamingDecodeRejectsBadRows pins the streaming column decoders'
+// defensive checks: out-of-range and out-of-order row indices error
+// instead of panicking or silently dropping data (the old buffered
+// decoder dropped every entry after an out-of-order one).
+func TestStreamingDecodeRejectsBadRows(t *testing.T) {
+	mk := func(entries ...[2]uint32) []byte {
+		var p payloadWriter
+		p.u32(uint32(len(entries)))
+		for _, e := range entries {
+			p.u32(e[0]) // row
+			p.u32(e[1]) // count
+			for j := uint32(0); j < e[1]; j++ {
+				p.i64(int64(j))
+			}
+		}
+		return p.buf.Bytes()
+	}
+	arena := NewArena()
+	// Out of range.
+	col := arena.Sparse(4)
+	if err := decodeSparseInto(mk([2]uint32{9, 1}), 4, col); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	// Out of order.
+	col = arena.Sparse(4)
+	if err := decodeSparseInto(mk([2]uint32{2, 1}, [2]uint32{1, 1}), 4, col); err == nil {
+		t.Fatal("out-of-order row accepted")
+	}
+	// Count larger than payload.
+	col = arena.Sparse(4)
+	if err := decodeSparseInto(mk([2]uint32{0, 0}), 4, col); err != nil {
+		t.Fatalf("valid empty entry rejected: %v", err)
+	}
+	var p payloadWriter
+	p.u32(1)
+	p.u32(0)
+	p.u32(1 << 30) // claims 2^30 values with nothing behind them
+	if err := decodeSparseInto(p.buf.Bytes(), 4, arena.Sparse(4)); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+	// Dense out of range.
+	var pd payloadWriter
+	pd.u32(1)
+	pd.u32(7)
+	pd.f32(1)
+	if err := decodeDenseInto(pd.buf.Bytes(), 4, arena.Dense(4)); err == nil {
+		t.Fatal("dense out-of-range row accepted")
+	}
+}
+
+// TestReadStripeNormalizesEmptyLists pins an intentional semantics
+// change of the row-view refactor: a sample written with a PRESENT but
+// EMPTY sparse/score-list feature decodes through the columnar batch,
+// where empty and absent are indistinguishable, so the flattened
+// ReadStripe omits the feature from the sample entirely (the
+// unflattened row-data path is unaffected). Values, labels, and
+// non-empty lists round-trip exactly.
+func TestReadStripeNormalizesEmptyLists(t *testing.T) {
+	ts := buildSchema(t, 1, 1)
+	s := schema.NewSample()
+	s.Label = 1
+	s.DenseFeatures[1] = 0.5
+	s.SparseFeatures[2] = []int64{} // present but empty
+	s2 := schema.NewSample()
+	s2.SparseFeatures[2] = []int64{7, 8}
+	c := newCluster(t)
+	writeFile(t, c, "f", ts, []*schema.Sample{s, s2}, WriterOptions{Flatten: true, RowsPerStripe: 4})
+	r, err := OpenReader(c, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := r.ReadStripe(0, nil, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Label != 1 || rows[0].DenseFeatures[1] != 0.5 {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if _, ok := rows[0].SparseFeatures[2]; ok {
+		t.Fatal("empty sparse list survived the columnar view; update the ReadStripe normalization docs")
+	}
+	if got := rows[1].SparseFeatures[2]; len(got) != 2 || got[0] != 7 {
+		t.Fatalf("non-empty list corrupted: %v", got)
 	}
 }

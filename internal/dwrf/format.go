@@ -14,6 +14,13 @@
 // paper's co-designed optimizations: coalesced reads (CR), feature
 // reordering (FR), and large stripes (LS); the reader can decode into
 // either row maps or the in-memory flatmap (FM) columnar batch.
+//
+// The batch decode path is pooled end to end: stream staging buffers,
+// flate decompressor state, and decompressed payloads recycle through
+// sync.Pools, and the column decoders stream values directly into
+// Arena-recycled columns (ReadStripeBatchArena). An arena-owned Batch
+// hands every buffer back via Release once its consumer has copied the
+// data out — see Arena for the ownership rules.
 package dwrf
 
 import (
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"dsi/internal/schema"
 )
@@ -78,17 +86,27 @@ type FileFooter struct {
 // at-rest encryption; the cost of the pass matters here, not the secrecy.
 var encryptionKey = []byte("dsi-repro-aes-16")
 
+// encBlock caches the AES block cipher: the key is fixed, so expanding
+// the key schedule per stream was pure per-stream garbage.
+var (
+	encBlock     cipher.Block
+	encBlockErr  error
+	encBlockOnce sync.Once
+)
+
 // cryptStream applies AES-CTR in place, with the IV derived from the
 // stream's absolute file offset so every stream is independently
 // decryptable.
 func cryptStream(data []byte, fileOffset int64) error {
-	block, err := aes.NewCipher(encryptionKey)
-	if err != nil {
-		return fmt.Errorf("dwrf: cipher: %w", err)
+	encBlockOnce.Do(func() {
+		encBlock, encBlockErr = aes.NewCipher(encryptionKey)
+	})
+	if encBlockErr != nil {
+		return fmt.Errorf("dwrf: cipher: %w", encBlockErr)
 	}
-	iv := make([]byte, aes.BlockSize)
-	binary.LittleEndian.PutUint64(iv, uint64(fileOffset))
-	cipher.NewCTR(block, iv).XORKeyStream(data, data)
+	var iv [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(iv[:], uint64(fileOffset))
+	cipher.NewCTR(encBlock, iv[:]).XORKeyStream(data, data)
 	return nil
 }
 
@@ -108,17 +126,37 @@ func compress(data []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// flateDecoder pairs a reusable bytes.Reader with a flate decompressor
+// so a stream decode costs no reader-machinery allocations (the flate
+// reader's Huffman state was the dominant residual garbage of the
+// stripe decode path); both reset per stream.
+type flateDecoder struct {
+	br bytes.Reader
+	fr io.ReadCloser
+}
+
+var flateDecoders = sync.Pool{New: func() any { return new(flateDecoder) }}
+
 // decompress inflates data. rawLen is the decoded length promised by
 // the stream's metadata (StreamMeta.RawLength): when positive the
-// output buffer is sized once up front, eliminating io.ReadAll's
-// regrowth copies on every stream decode; zero or negative falls back
-// to incremental reading. A stream that decodes shorter than promised
-// is returned truncated (payload decoders bounds-check), and one that
-// decodes longer keeps its tail so corrupt metadata degrades to the
-// unsized path rather than silently dropping bytes.
+// output buffer is drawn from the payload pool and sized once up
+// front, eliminating io.ReadAll's regrowth copies on every stream
+// decode; zero or negative falls back to incremental reading. Return
+// the buffer with putPayloadBuf once its decoded values are parsed
+// out. A stream that decodes shorter than promised is returned
+// truncated (payload decoders bounds-check), and one that decodes
+// longer keeps its tail so corrupt metadata degrades to the unsized
+// path rather than silently dropping bytes.
 func decompress(data []byte, rawLen int64) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(data))
-	defer r.Close()
+	d := flateDecoders.Get().(*flateDecoder)
+	defer flateDecoders.Put(d)
+	d.br.Reset(data)
+	if d.fr == nil {
+		d.fr = flate.NewReader(&d.br)
+	} else if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
+		return nil, fmt.Errorf("dwrf: flate reset: %w", err)
+	}
+	r := d.fr
 	if rawLen <= 0 {
 		out, err := io.ReadAll(r)
 		if err != nil {
@@ -126,17 +164,19 @@ func decompress(data []byte, rawLen int64) ([]byte, error) {
 		}
 		return out, nil
 	}
-	out := make([]byte, rawLen)
+	out := getPayloadBuf(rawLen)
 	n, err := io.ReadFull(r, out)
 	switch err {
 	case nil:
 	case io.EOF, io.ErrUnexpectedEOF:
 		return out[:n], nil
 	default:
+		putPayloadBuf(out)
 		return nil, fmt.Errorf("dwrf: decompress: %w", err)
 	}
 	tail, err := io.ReadAll(r)
 	if err != nil {
+		putPayloadBuf(out)
 		return nil, fmt.Errorf("dwrf: decompress: %w", err)
 	}
 	if len(tail) > 0 {
@@ -221,7 +261,10 @@ func encodeDense(rows []*schema.Sample, id schema.FeatureID) []byte {
 	return p.buf.Bytes()
 }
 
-func decodeDense(data []byte, apply func(row int, v float32)) error {
+// decodeDenseInto decodes a dense stream directly into a zeroed column
+// of rows rows. Row indices are validated against the stripe's row
+// count so corrupt payloads error instead of writing out of bounds.
+func decodeDenseInto(data []byte, rows int, col *DenseColumn) error {
 	r := payloadReader{data: data}
 	count, err := r.u32()
 	if err != nil {
@@ -236,7 +279,11 @@ func decodeDense(data []byte, apply func(row int, v float32)) error {
 		if err != nil {
 			return err
 		}
-		apply(int(row), v)
+		if int(row) >= rows {
+			return fmt.Errorf("dwrf: dense row %d outside stripe of %d rows", row, rows)
+		}
+		col.Present[row] = true
+		col.Values[row] = v
 	}
 	return nil
 }
@@ -263,12 +310,18 @@ func encodeSparse(rows []*schema.Sample, id schema.FeatureID) []byte {
 	return p.buf.Bytes()
 }
 
-func decodeSparse(data []byte, apply func(row int, vals []int64)) error {
+// decodeSparseInto decodes a sparse stream directly into a column of
+// rows rows, building the CSR offsets as it streams: no per-row value
+// slices, no entry buffering. Encoders emit entries in ascending row
+// order; an out-of-order or out-of-range row errors (the old buffered
+// decoder silently dropped everything after an out-of-order entry).
+func decodeSparseInto(data []byte, rows int, col *SparseColumn) error {
 	r := payloadReader{data: data}
 	count, err := r.u32()
 	if err != nil {
 		return err
 	}
+	next := 0 // next row index whose offset is unwritten
 	for i := uint32(0); i < count; i++ {
 		row, err := r.u32()
 		if err != nil {
@@ -278,13 +331,25 @@ func decodeSparse(data []byte, apply func(row int, vals []int64)) error {
 		if err != nil {
 			return err
 		}
-		vals := make([]int64, n)
-		for j := range vals {
-			if vals[j], err = r.i64(); err != nil {
+		if int(row) >= rows || int(row) < next {
+			return fmt.Errorf("dwrf: sparse row %d out of order in stripe of %d rows", row, rows)
+		}
+		if int64(n)*8 > int64(r.remaining()) {
+			return io.ErrUnexpectedEOF
+		}
+		for ; next <= int(row); next++ {
+			col.Offsets[next] = int32(len(col.Values))
+		}
+		for j := uint32(0); j < n; j++ {
+			v, err := r.i64()
+			if err != nil {
 				return err
 			}
+			col.Values = append(col.Values, v)
 		}
-		apply(int(row), vals)
+	}
+	for ; next <= rows; next++ {
+		col.Offsets[next] = int32(len(col.Values))
 	}
 	return nil
 }
@@ -312,12 +377,14 @@ func encodeScoreList(rows []*schema.Sample, id schema.FeatureID) []byte {
 	return p.buf.Bytes()
 }
 
-func decodeScoreList(data []byte, apply func(row int, vals []schema.ScoredValue)) error {
+// decodeScoreListInto is decodeSparseInto for score-list streams.
+func decodeScoreListInto(data []byte, rows int, col *ScoreListColumn) error {
 	r := payloadReader{data: data}
 	count, err := r.u32()
 	if err != nil {
 		return err
 	}
+	next := 0
 	for i := uint32(0); i < count; i++ {
 		row, err := r.u32()
 		if err != nil {
@@ -327,8 +394,16 @@ func decodeScoreList(data []byte, apply func(row int, vals []schema.ScoredValue)
 		if err != nil {
 			return err
 		}
-		vals := make([]schema.ScoredValue, n)
-		for j := range vals {
+		if int(row) >= rows || int(row) < next {
+			return fmt.Errorf("dwrf: score-list row %d out of order in stripe of %d rows", row, rows)
+		}
+		if int64(n)*12 > int64(r.remaining()) {
+			return io.ErrUnexpectedEOF
+		}
+		for ; next <= int(row); next++ {
+			col.Offsets[next] = int32(len(col.Values))
+		}
+		for j := uint32(0); j < n; j++ {
 			v, err := r.i64()
 			if err != nil {
 				return err
@@ -337,9 +412,11 @@ func decodeScoreList(data []byte, apply func(row int, vals []schema.ScoredValue)
 			if err != nil {
 				return err
 			}
-			vals[j] = schema.ScoredValue{Value: v, Score: s}
+			col.Values = append(col.Values, schema.ScoredValue{Value: v, Score: s})
 		}
-		apply(int(row), vals)
+	}
+	for ; next <= rows; next++ {
+		col.Offsets[next] = int32(len(col.Values))
 	}
 	return nil
 }
@@ -354,13 +431,18 @@ func encodeLabels(rows []*schema.Sample) []byte {
 	return p.buf.Bytes()
 }
 
-func decodeLabels(data []byte) ([]float32, error) {
+// decodeLabels decodes a label stream into an arena-recycled slice
+// (arena may be nil).
+func decodeLabels(data []byte, arena *Arena) ([]float32, error) {
 	r := payloadReader{data: data}
 	count, err := r.u32()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float32, count)
+	if int64(count)*4 > int64(r.remaining()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := arena.Labels(int(count))
 	for i := range out {
 		if out[i], err = r.f32(); err != nil {
 			return nil, err

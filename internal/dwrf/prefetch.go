@@ -19,6 +19,10 @@ type PrefetchOptions struct {
 	// Parallelism is the number of concurrent fetch+decode goroutines.
 	// Default 2.
 	Parallelism int
+	// Arena, when set, decodes stripes into arena-recycled columns: the
+	// consumer owns each batch Next returns and should Release it when
+	// finished so the next stripes reuse its buffers.
+	Arena *Arena
 }
 
 // withDefaults fills zero fields.
@@ -114,7 +118,7 @@ func (r *Reader) StreamBatches(stripes []int, proj *schema.Projection, opts Read
 		go func() { // fetch+decode pool
 			defer s.wg.Done()
 			for j := range work {
-				b, stats, err := r.ReadStripeBatch(j.stripe, proj, opts)
+				b, stats, err := r.ReadStripeBatchArena(j.stripe, proj, opts, pf.Arena)
 				j.slot <- stripeResult{batch: b, stats: stats, err: err}
 			}
 		}()

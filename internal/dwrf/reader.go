@@ -77,6 +77,11 @@ type Batch struct {
 	Sparse map[schema.FeatureID]*SparseColumn
 	// ScoreList maps feature ID -> ragged scored values.
 	ScoreList map[schema.FeatureID]*ScoreListColumn
+
+	// arena, when non-nil, owns the batch's columns; Release returns
+	// them (see Arena). Unexported so struct literals and gob leave it
+	// nil and Release stays a no-op for ordinary batches.
+	arena *Arena
 }
 
 // DenseColumn is one dense feature across a batch's rows.
@@ -270,6 +275,37 @@ func planIO(selected []StreamMeta, coalesce int64) []ioPlan {
 // slice header off the heap on Put.
 var encPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// payloadPool recycles decompressed stream payloads: the column
+// decoders parse every value out of them, so once a stripe is decoded
+// into a batch (or row samples) its payload buffers go straight back.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getPayloadBuf returns a pooled buffer of length n.
+func getPayloadBuf(n int64) []byte {
+	bp := payloadPool.Get().(*[]byte)
+	if int64(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+// putPayloadBuf recycles one payload buffer.
+func putPayloadBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	payloadPool.Put(&b)
+}
+
+// releasePayloads recycles every fetched stream payload of a stripe.
+// Callers must have finished parsing: column and row decoders copy
+// values out, never alias the payload bytes.
+func releasePayloads(payloads map[int64][]byte) {
+	for _, p := range payloads {
+		putPayloadBuf(p)
+	}
+}
+
 // getEncBuf returns a pooled buffer of length n.
 func getEncBuf(n int64) *[]byte {
 	bp := encPool.Get().(*[]byte)
@@ -325,70 +361,91 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 }
 
 // ReadStripe decodes stripe i under the projection into row-map samples.
-// For unflattened files the whole stripe is decoded and unselected
-// features are dropped afterwards — the paper's "over read" baseline.
+// For flattened files it is a row-oriented view over ReadStripeBatch:
+// the stripe decodes once into the columnar batch and the samples are
+// copied out of it (a sparse or score-list row that decoded to an empty
+// list is indistinguishable from an absent one in the columnar form and
+// is omitted from its sample). For unflattened files the whole stripe
+// is decoded and unselected features are dropped afterwards — the
+// paper's "over read" baseline.
 func (r *Reader) ReadStripe(i int, proj *schema.Projection, opts ReadOptions) ([]*schema.Sample, ReadStats, error) {
 	if i < 0 || i >= len(r.footer.Stripes) {
 		return nil, ReadStats{}, fmt.Errorf("dwrf: stripe %d out of range [0,%d)", i, len(r.footer.Stripes))
+	}
+	if r.footer.Flattened {
+		b, stats, err := r.ReadStripeBatch(i, proj, opts)
+		if err != nil {
+			return nil, stats, err
+		}
+		rows := samplesFromBatch(b)
+		b.Release()
+		return rows, stats, nil
 	}
 	meta := &r.footer.Stripes[i]
 	payloads, selected, stats, err := r.fetchStripe(meta, proj, opts)
 	if err != nil {
 		return nil, stats, err
 	}
-
-	if !r.footer.Flattened {
-		rows, err := decodeRowData(payloads[selected[0].Offset])
-		if err != nil {
-			return nil, stats, err
-		}
-		if proj != nil {
-			for _, row := range rows {
-				filterSample(row, proj)
-			}
-		}
-		return rows, stats, nil
+	rows, err := decodeRowData(payloads[selected[0].Offset])
+	releasePayloads(payloads)
+	if err != nil {
+		return nil, stats, err
 	}
-
-	rows := make([]*schema.Sample, meta.Rows)
-	for j := range rows {
-		rows[j] = schema.NewSample()
-	}
-	for _, s := range selected {
-		payload := payloads[s.Offset]
-		switch s.Kind {
-		case streamLabel:
-			labels, err := decodeLabels(payload)
-			if err != nil {
-				return nil, stats, err
-			}
-			for j, l := range labels {
-				rows[j].Label = l
-			}
-		case streamDense:
-			err = decodeDense(payload, func(row int, v float32) {
-				rows[row].DenseFeatures[s.Feature] = v
-			})
-		case streamSparse:
-			err = decodeSparse(payload, func(row int, vals []int64) {
-				rows[row].SparseFeatures[s.Feature] = vals
-			})
-		case streamScoreList:
-			err = decodeScoreList(payload, func(row int, vals []schema.ScoredValue) {
-				rows[row].ScoreListFeatures[s.Feature] = vals
-			})
-		}
-		if err != nil {
-			return nil, stats, fmt.Errorf("dwrf: decode feature %d: %w", s.Feature, err)
+	if proj != nil {
+		for _, row := range rows {
+			filterSample(row, proj)
 		}
 	}
 	return rows, stats, nil
+}
+
+// samplesFromBatch materializes row-map samples from a columnar batch,
+// copying every value out so the batch may be released afterwards.
+func samplesFromBatch(b *Batch) []*schema.Sample {
+	rows := make([]*schema.Sample, b.Rows)
+	for i := range rows {
+		rows[i] = schema.NewSample()
+		if i < len(b.Labels) {
+			rows[i].Label = b.Labels[i]
+		}
+	}
+	for id, col := range b.Dense {
+		for i := 0; i < b.Rows; i++ {
+			if col.Present[i] {
+				rows[i].DenseFeatures[id] = col.Values[i]
+			}
+		}
+	}
+	for id, col := range b.Sparse {
+		for i := 0; i < b.Rows; i++ {
+			if vals := col.RowValues(i); len(vals) > 0 {
+				rows[i].SparseFeatures[id] = append([]int64(nil), vals...)
+			}
+		}
+	}
+	for id, col := range b.ScoreList {
+		for i := 0; i < b.Rows; i++ {
+			if vals := col.RowValues(i); len(vals) > 0 {
+				rows[i].ScoreListFeatures[id] = append([]schema.ScoredValue(nil), vals...)
+			}
+		}
+	}
+	return rows
 }
 
 // ReadStripeBatch decodes stripe i under the projection into the columnar
 // Batch representation (the FM optimization). Only flattened files
 // support batch decoding.
 func (r *Reader) ReadStripeBatch(i int, proj *schema.Projection, opts ReadOptions) (*Batch, ReadStats, error) {
+	return r.ReadStripeBatchArena(i, proj, opts, nil)
+}
+
+// ReadStripeBatchArena is ReadStripeBatch decoding into arena-recycled
+// columns: the returned batch owns them and hands them back on Release.
+// A nil arena degrades to plain allocation. The arena is a call-site
+// argument rather than a ReadOptions field because ReadOptions travels
+// inside gob-encoded session specs; an arena is strictly node-local.
+func (r *Reader) ReadStripeBatchArena(i int, proj *schema.Projection, opts ReadOptions, arena *Arena) (*Batch, ReadStats, error) {
 	if !r.footer.Flattened {
 		return nil, ReadStats{}, fmt.Errorf("dwrf: flatmap decode requires a flattened file")
 	}
@@ -401,7 +458,8 @@ func (r *Reader) ReadStripeBatch(i int, proj *schema.Projection, opts ReadOption
 		return nil, stats, err
 	}
 	decodeStart := time.Now()
-	b, err := decodeStripeBatch(meta, payloads, selected)
+	b, err := decodeStripeBatch(meta, payloads, selected, arena)
+	releasePayloads(payloads)
 	stats.DecodeWall += time.Since(decodeStart)
 	if err != nil {
 		return nil, stats, err
@@ -410,76 +468,32 @@ func (r *Reader) ReadStripeBatch(i int, proj *schema.Projection, opts ReadOption
 }
 
 // decodeStripeBatch assembles the columnar batch from decoded stream
-// payloads.
-func decodeStripeBatch(meta *StripeMeta, payloads map[int64][]byte, selected []StreamMeta) (*Batch, error) {
-	b := newBatch(meta.Rows)
+// payloads, streaming each stream straight into its (arena-recycled)
+// column — no per-row slices, no entry buffering. On error the partial
+// batch is released back to the arena.
+func decodeStripeBatch(meta *StripeMeta, payloads map[int64][]byte, selected []StreamMeta, arena *Arena) (*Batch, error) {
+	b := arena.NewBatch(meta.Rows)
 	var err error
 	for _, s := range selected {
 		payload := payloads[s.Offset]
 		switch s.Kind {
 		case streamLabel:
-			if b.Labels, err = decodeLabels(payload); err != nil {
-				return nil, err
-			}
+			b.Labels, err = decodeLabels(payload, arena)
 		case streamDense:
-			col := &DenseColumn{Present: make([]bool, meta.Rows), Values: make([]float32, meta.Rows)}
-			err = decodeDense(payload, func(row int, v float32) {
-				col.Present[row] = true
-				col.Values[row] = v
-			})
+			col := arena.Dense(meta.Rows)
+			err = decodeDenseInto(payload, meta.Rows, col)
 			b.Dense[s.Feature] = col
 		case streamSparse:
-			col := &SparseColumn{}
-			type entry struct {
-				row  int
-				vals []int64
-			}
-			var entries []entry
-			err = decodeSparse(payload, func(row int, vals []int64) {
-				entries = append(entries, entry{row, vals})
-			})
-			if err == nil {
-				col.Offsets = make([]int32, meta.Rows+1)
-				idx := 0
-				var off int32
-				for row := 0; row < meta.Rows; row++ {
-					col.Offsets[row] = off
-					if idx < len(entries) && entries[idx].row == row {
-						col.Values = append(col.Values, entries[idx].vals...)
-						off += int32(len(entries[idx].vals))
-						idx++
-					}
-				}
-				col.Offsets[meta.Rows] = off
-			}
+			col := arena.Sparse(meta.Rows)
+			err = decodeSparseInto(payload, meta.Rows, col)
 			b.Sparse[s.Feature] = col
 		case streamScoreList:
-			col := &ScoreListColumn{}
-			type entry struct {
-				row  int
-				vals []schema.ScoredValue
-			}
-			var entries []entry
-			err = decodeScoreList(payload, func(row int, vals []schema.ScoredValue) {
-				entries = append(entries, entry{row, vals})
-			})
-			if err == nil {
-				col.Offsets = make([]int32, meta.Rows+1)
-				idx := 0
-				var off int32
-				for row := 0; row < meta.Rows; row++ {
-					col.Offsets[row] = off
-					if idx < len(entries) && entries[idx].row == row {
-						col.Values = append(col.Values, entries[idx].vals...)
-						off += int32(len(entries[idx].vals))
-						idx++
-					}
-				}
-				col.Offsets[meta.Rows] = off
-			}
+			col := arena.ScoreList(meta.Rows)
+			err = decodeScoreListInto(payload, meta.Rows, col)
 			b.ScoreList[s.Feature] = col
 		}
 		if err != nil {
+			b.Release()
 			return nil, fmt.Errorf("dwrf: decode feature %d: %w", s.Feature, err)
 		}
 	}

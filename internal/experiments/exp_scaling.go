@@ -106,7 +106,7 @@ func buildScalingFixture() (*warehouse.Warehouse, dpp.SessionSpec, int64, error)
 				s.DenseFeatures[id] = rng.Float32()
 			}
 			for id := schema.FeatureID(5); id <= 8; id++ {
-				n := 4 + rng.Intn(13)
+				n := 8 + rng.Intn(17)
 				vals := make([]int64, n)
 				for j := range vals {
 					vals[j] = rng.Int63n(1 << 20)
@@ -125,18 +125,23 @@ func buildScalingFixture() (*warehouse.Warehouse, dpp.SessionSpec, int64, error)
 	// n-grams on every sparse input) so a single worker's supply falls
 	// short of a full-speed trainer's demand — the §3.2.1 situation the
 	// auto-scaler exists to fix. With cheap transforms one worker keeps
-	// up and there is no stall to eliminate.
+	// up and there is no stall to eliminate; the compiled-plan engine
+	// (transforms.Plan + the column arena) made the original graph
+	// exactly that cheap, so the crosses are wider and the n-gram
+	// chains deeper than they were under the interpreter.
 	spec := dpp.SessionSpec{
 		Table:    "elastic",
 		Features: []schema.FeatureID{1, 2, 5, 6, 7, 8},
 		Ops: []transforms.Op{
-			&transforms.Cartesian{A: 5, B: 6, Out: 100, MaxOutput: 192},
-			&transforms.Cartesian{A: 7, B: 8, Out: 101, MaxOutput: 192},
+			&transforms.Cartesian{A: 5, B: 6, Out: 100, MaxOutput: 448},
+			&transforms.Cartesian{A: 7, B: 8, Out: 101, MaxOutput: 448},
 			&transforms.NGram{In: 100, Out: 102, N: 3},
 			&transforms.NGram{In: 101, Out: 103, N: 2},
+			&transforms.NGram{In: 102, Out: 108, N: 2},
 			&transforms.SigridHash{In: 102, Out: 104, Salt: 1, MaxValue: 1 << 16},
 			&transforms.SigridHash{In: 103, Out: 105, Salt: 2, MaxValue: 1 << 16},
 			&transforms.SigridHash{In: 5, Out: 106, Salt: 3, MaxValue: 1 << 16},
+			&transforms.SigridHash{In: 108, Out: 109, Salt: 4, MaxValue: 1 << 16},
 			&transforms.Logit{In: 1, Out: 107},
 		},
 		DenseOut:    []schema.FeatureID{107, 2},

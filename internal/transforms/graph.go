@@ -86,7 +86,9 @@ func (g *Graph) Ops() []Op { return g.ops }
 //   - row ops (Sampling) run first.
 //
 // Inputs with no producer are assumed to come from the batch (raw
-// features).
+// features). CompilePlan lowers the compiled order further into the
+// slot-indexed execution Plan the DPP worker's hot path runs (see
+// plan.go); Run interprets it.
 func (g *Graph) Compile() error {
 	producers := make(map[schema.FeatureID]Op)
 	for _, op := range g.ops {

@@ -10,11 +10,20 @@
 // paper's ≈5% dense-norm / 20% sparse-norm / 75% feature-generation
 // breakdown, and an accelerator speedup factor from §7.2's GPU
 // measurements.
+//
+// The graph executes two ways: Graph.Run interprets the ops (each Apply
+// resolves features through the batch maps and allocates fresh output
+// columns — the measurable baseline), while Graph.CompilePlan lowers
+// the DAG into a slot-indexed Plan whose kernels walk flat slot arrays
+// and write into dwrf.Arena-recycled columns (see plan.go). The two
+// paths are byte-identical by construction: the per-value math lives in
+// kernels shared between Apply and the Plan, pinned by the parity suite
+// in plan_test.go. Ops must never retain column slices across batches —
+// arena-backed batches recycle their buffers on Release.
 package transforms
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 
 	"dsi/internal/dwrf"
@@ -107,17 +116,57 @@ func buildSparse(rows int, perRow func(i int) []int64) *dwrf.SparseColumn {
 	return col
 }
 
-// hash64 hashes a byte-free pair of ints (used by Cartesian/NGram).
+// FNV-1a 64-bit parameters (matching hash/fnv).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hash64 hashes ints with FNV-1a over their little-endian bytes (used
+// by SigridHash/Cartesian/NGram). Inlined rather than hash/fnv because
+// the digest object escaped to the heap, making every hashed value an
+// allocation in the feature-generation hot loops.
 func hash64(parts ...int64) int64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	h := fnvOffset64
 	for _, p := range parts {
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(p >> (8 * i))
+			h ^= uint64(byte(p >> (8 * i)))
+			h *= fnvPrime64
 		}
-		h.Write(buf[:])
 	}
-	return int64(h.Sum64() & 0x7fffffffffffffff)
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// denseMapper is an elementwise dense→dense op: output presence mirrors
+// input presence and each present value maps through a scalar kernel.
+// The compiled Plan fuses chains of these into a single pass over the
+// rows (see plan.go); the interpreter runs them through applyDenseMap.
+type denseMapper interface {
+	Op
+	// mapIn is the single dense input feature.
+	mapIn() schema.FeatureID
+	// mapValue transforms one present value.
+	mapValue(float32) float32
+	// validateMap checks the op's configuration.
+	validateMap() error
+}
+
+// applyDenseMap is the interpreter's executor for denseMapper ops.
+func applyDenseMap(b *dwrf.Batch, o denseMapper, out schema.FeatureID) (int64, error) {
+	if err := o.validateMap(); err != nil {
+		return 0, err
+	}
+	in := denseInput(b, o.mapIn())
+	col := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
+	for i := 0; i < b.Rows; i++ {
+		if !in.Present[i] {
+			continue
+		}
+		col.Present[i] = true
+		col.Values[i] = o.mapValue(in.Values[i])
+	}
+	b.Dense[out] = col
+	return int64(b.Rows), nil
 }
 
 // --- dense normalization ops ---------------------------------------------
@@ -146,30 +195,31 @@ func (o *Logit) Cost() CostModel {
 	return CostModel{CyclesPerValue: 24, MemBytesPerValue: 8, AccelSpeedup: 4}
 }
 
-// Apply implements Op.
-func (o *Logit) Apply(b *dwrf.Batch) (int64, error) {
-	in := denseInput(b, o.In)
+// mapValue is the op's scalar kernel, shared by Apply and the compiled
+// Plan (which fuses chains of these elementwise maps into one pass).
+func (o *Logit) mapValue(p float32) float32 {
 	eps := o.Eps
 	if eps <= 0 {
 		eps = 1e-6
 	}
-	out := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
-	for i := 0; i < b.Rows; i++ {
-		if !in.Present[i] {
-			continue
-		}
-		p := in.Values[i]
-		if p < eps {
-			p = eps
-		}
-		if p > 1-eps {
-			p = 1 - eps
-		}
-		out.Present[i] = true
-		out.Values[i] = float32(math.Log(float64(p) / float64(1-p)))
+	if p < eps {
+		p = eps
 	}
-	b.Dense[o.Out] = out
-	return int64(b.Rows), nil
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return float32(math.Log(float64(p) / float64(1-p)))
+}
+
+// mapIn implements denseMapper.
+func (o *Logit) mapIn() schema.FeatureID { return o.In }
+
+// validateMap implements denseMapper.
+func (o *Logit) validateMap() error { return nil }
+
+// Apply implements Op.
+func (o *Logit) Apply(b *dwrf.Batch) (int64, error) {
+	return applyDenseMap(b, o, o.Out)
 }
 
 // BoxCox applies the Box-Cox power transform for normalization.
@@ -195,27 +245,28 @@ func (o *BoxCox) Cost() CostModel {
 	return CostModel{CyclesPerValue: 40, MemBytesPerValue: 8, AccelSpeedup: 5}
 }
 
+// mapValue is the op's scalar kernel, shared by Apply and the compiled
+// Plan.
+func (o *BoxCox) mapValue(v float32) float32 {
+	x := float64(v)
+	if x <= 0 {
+		x = 1e-9
+	}
+	if o.Lambda == 0 {
+		return float32(math.Log(x))
+	}
+	return float32((math.Pow(x, o.Lambda) - 1) / o.Lambda)
+}
+
+// mapIn implements denseMapper.
+func (o *BoxCox) mapIn() schema.FeatureID { return o.In }
+
+// validateMap implements denseMapper.
+func (o *BoxCox) validateMap() error { return nil }
+
 // Apply implements Op.
 func (o *BoxCox) Apply(b *dwrf.Batch) (int64, error) {
-	in := denseInput(b, o.In)
-	out := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
-	for i := 0; i < b.Rows; i++ {
-		if !in.Present[i] {
-			continue
-		}
-		x := float64(in.Values[i])
-		if x <= 0 {
-			x = 1e-9
-		}
-		out.Present[i] = true
-		if o.Lambda == 0 {
-			out.Values[i] = float32(math.Log(x))
-		} else {
-			out.Values[i] = float32((math.Pow(x, o.Lambda) - 1) / o.Lambda)
-		}
-	}
-	b.Dense[o.Out] = out
-	return int64(b.Rows), nil
+	return applyDenseMap(b, o, o.Out)
 }
 
 // Onehot encodes a dense feature into a categorical bucket index.
@@ -243,29 +294,35 @@ func (o *Onehot) Cost() CostModel {
 	return CostModel{CyclesPerValue: 16, MemBytesPerValue: 12, AccelSpeedup: 6}
 }
 
+// bucketIndex is the op's scalar kernel, shared by Apply and the
+// compiled Plan.
+func (o *Onehot) bucketIndex(v float32) int64 {
+	span := o.Max - o.Min
+	if span <= 0 {
+		span = 1
+	}
+	f := (v - o.Min) / span
+	idx := int64(f * float32(o.Buckets))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= int64(o.Buckets) {
+		idx = int64(o.Buckets) - 1
+	}
+	return idx
+}
+
 // Apply implements Op.
 func (o *Onehot) Apply(b *dwrf.Batch) (int64, error) {
 	if o.Buckets <= 0 {
 		return 0, fmt.Errorf("transforms: Onehot needs positive bucket count")
 	}
 	in := denseInput(b, o.In)
-	span := o.Max - o.Min
-	if span <= 0 {
-		span = 1
-	}
 	col := buildSparse(b.Rows, func(i int) []int64 {
 		if !in.Present[i] {
 			return nil
 		}
-		f := (in.Values[i] - o.Min) / span
-		idx := int64(f * float32(o.Buckets))
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= int64(o.Buckets) {
-			idx = int64(o.Buckets) - 1
-		}
-		return []int64{idx}
+		return []int64{o.bucketIndex(in.Values[i])}
 	})
 	b.Sparse[o.Out] = col
 	return int64(b.Rows), nil
@@ -294,29 +351,32 @@ func (o *Clamp) Cost() CostModel {
 	return CostModel{CyclesPerValue: 6, MemBytesPerValue: 8, AccelSpeedup: 3}
 }
 
+// mapValue is the op's scalar kernel, shared by Apply and the compiled
+// Plan.
+func (o *Clamp) mapValue(v float32) float32 {
+	if v < o.Lo {
+		v = o.Lo
+	}
+	if v > o.Hi {
+		v = o.Hi
+	}
+	return v
+}
+
+// mapIn implements denseMapper.
+func (o *Clamp) mapIn() schema.FeatureID { return o.In }
+
+// validateMap implements denseMapper.
+func (o *Clamp) validateMap() error {
+	if o.Lo > o.Hi {
+		return fmt.Errorf("transforms: Clamp lo %v > hi %v", o.Lo, o.Hi)
+	}
+	return nil
+}
+
 // Apply implements Op.
 func (o *Clamp) Apply(b *dwrf.Batch) (int64, error) {
-	if o.Lo > o.Hi {
-		return 0, fmt.Errorf("transforms: Clamp lo %v > hi %v", o.Lo, o.Hi)
-	}
-	in := denseInput(b, o.In)
-	out := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
-	for i := 0; i < b.Rows; i++ {
-		if !in.Present[i] {
-			continue
-		}
-		v := in.Values[i]
-		if v < o.Lo {
-			v = o.Lo
-		}
-		if v > o.Hi {
-			v = o.Hi
-		}
-		out.Present[i] = true
-		out.Values[i] = v
-	}
-	b.Dense[o.Out] = out
-	return int64(b.Rows), nil
+	return applyDenseMap(b, o, o.Out)
 }
 
 // GetLocalHour converts a unix-seconds dense feature into the local hour
@@ -343,22 +403,24 @@ func (o *GetLocalHour) Cost() CostModel {
 	return CostModel{CyclesPerValue: 30, MemBytesPerValue: 8, AccelSpeedup: 2}
 }
 
+// mapValue is the op's scalar kernel, shared by Apply and the compiled
+// Plan.
+func (o *GetLocalHour) mapValue(v float32) float32 {
+	secs := int64(v) + int64(o.OffsetMinutes)*60
+	hour := (secs / 3600) % 24
+	if hour < 0 {
+		hour += 24
+	}
+	return float32(hour)
+}
+
+// mapIn implements denseMapper.
+func (o *GetLocalHour) mapIn() schema.FeatureID { return o.In }
+
+// validateMap implements denseMapper.
+func (o *GetLocalHour) validateMap() error { return nil }
+
 // Apply implements Op.
 func (o *GetLocalHour) Apply(b *dwrf.Batch) (int64, error) {
-	in := denseInput(b, o.In)
-	out := &dwrf.DenseColumn{Present: make([]bool, b.Rows), Values: make([]float32, b.Rows)}
-	for i := 0; i < b.Rows; i++ {
-		if !in.Present[i] {
-			continue
-		}
-		secs := int64(in.Values[i]) + int64(o.OffsetMinutes)*60
-		hour := (secs / 3600) % 24
-		if hour < 0 {
-			hour += 24
-		}
-		out.Present[i] = true
-		out.Values[i] = float32(hour)
-	}
-	b.Dense[o.Out] = out
-	return int64(b.Rows), nil
+	return applyDenseMap(b, o, o.Out)
 }

@@ -1,0 +1,673 @@
+package transforms
+
+import (
+	"fmt"
+	"sync"
+
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+)
+
+// This file is the compiled execution engine for the preprocessing
+// graph. Graph.Run interprets: every Apply resolves its features
+// through the batch's map[FeatureID] columns and allocates fresh output
+// columns, so a steady-state DPP worker pays a map hash per op per
+// batch and an allocation storm per batch — on the layer where the
+// paper says the worker's cycles actually go (Figure 9: transformation
+// dominates DPP CPU). Graph.CompilePlan instead lowers the topo-sorted
+// ops once per session into a Plan:
+//
+//   - Every input and output FeatureID is resolved to a dense / sparse
+//     / score-list slot index at compile time. Per-batch execution
+//     walks flat slot arrays; the only map touches left are one bind
+//     per raw input feature and one publish per output feature per
+//     batch (not per op per row).
+//   - Op configuration is validated at compile time, so kernels run
+//     branch-light.
+//   - Chains of elementwise dense ops (Logit, BoxCox, Clamp,
+//     GetLocalHour — the denseMapper interface) fuse into a single
+//     pass over the rows that still materializes every intermediate
+//     column, keeping outputs byte-identical to the interpreter.
+//   - Output columns come from a dwrf.Arena, sized by the previous
+//     batch, so a worker's transform stage recycles the same buffers
+//     split after split (the transform-stage analogue of PR 3's wire
+//     pools).
+//
+// Plan.Run produces byte-identical columns and identical Stats to
+// Graph.Run (plan_test.go pins this for every op); ops the compiler
+// does not recognize make CompilePlan fail, and callers (the DPP
+// worker) fall back to the interpreter.
+
+// Plan is a compiled Graph. Compile once per session with
+// Graph.CompilePlan; Run is safe for concurrent use (each call checks
+// out a pooled execution state), which is how the worker's transform
+// pool shares one Plan.
+type Plan struct {
+	rowOps []Op
+	steps  []planStep
+
+	// Raw features bound from the batch maps into slots once per run.
+	rawDense  []slotBind
+	rawSparse []slotBind
+
+	// Slot counts per column kind.
+	nDense, nSparse, nScore int
+
+	// Outputs published from slots back into the batch maps after the
+	// steps run.
+	pubDense  []slotBind
+	pubSparse []slotBind
+	pubScore  []slotBind
+
+	execs sync.Pool // *planExec
+}
+
+// slotBind associates a feature ID with a slot index, for raw-input
+// binding and output publishing.
+type slotBind struct {
+	id   schema.FeatureID
+	slot int
+}
+
+// planStep is one executable unit: a single op kernel or a fused chain
+// of elementwise dense ops.
+type planStep struct {
+	// op names the step in errors (the first member for fused chains).
+	op  Op
+	run func(e *planExec) error
+}
+
+// fusedDense is a chain of elementwise dense ops executed as one pass:
+// member k+1's input is member k's output, so the running value flows
+// through the scalar kernels while every intermediate column is still
+// materialized.
+type fusedDense struct {
+	in      int
+	members []fusedMember
+}
+
+type fusedMember struct {
+	op  denseMapper
+	out int
+}
+
+// Ops reports how many non-row ops the plan executes and Steps how many
+// executable steps they lowered into; Steps < Ops means dense chains
+// fused.
+func (p *Plan) Ops() int {
+	n := 0
+	for _, s := range p.steps {
+		if g, ok := s.fused(); ok {
+			n += len(g.members)
+		} else {
+			n++
+		}
+	}
+	return n + len(p.rowOps)
+}
+
+// Steps reports the number of executable steps (fused chains count
+// once), plus row ops.
+func (p *Plan) Steps() int { return len(p.steps) + len(p.rowOps) }
+
+// fused reports the step's fusion group, if it is one.
+func (s *planStep) fused() (*fusedDense, bool) {
+	g, ok := s.op.(*fusedStepMarker)
+	if !ok {
+		return nil, false
+	}
+	return g.group, true
+}
+
+// fusedStepMarker lets a fused step carry its group for introspection
+// (Ops/Steps, tests) while keeping planStep uniform. It is never
+// executed as an Op.
+type fusedStepMarker struct {
+	Op
+	group *fusedDense
+}
+
+// planExec is the per-run execution state: flat slot arrays plus
+// reusable scratch. One is checked out of the plan's pool per Run, so
+// concurrent runs never share state.
+type planExec struct {
+	rows   int
+	dense  []*dwrf.DenseColumn
+	sparse []*dwrf.SparseColumn
+	score  []*dwrf.ScoreListColumn
+
+	// Shared all-absent inputs for features missing from the batch
+	// (coverage < 1). Kernels only read inputs, so sharing is safe; the
+	// backing arrays are only ever zero, so resizing never re-clears.
+	emptyDense  dwrf.DenseColumn
+	emptySparse dwrf.SparseColumn
+
+	// scratch is IdListTransform's sorted membership buffer.
+	scratch []int64
+
+	arena *dwrf.Arena
+	stats *Stats
+}
+
+// reset prepares the exec for a run over rows rows.
+func (e *planExec) reset(p *Plan, rows int, arena *dwrf.Arena, stats *Stats) {
+	e.rows = rows
+	e.arena = arena
+	e.stats = stats
+	e.dense = resizeSlots(e.dense, p.nDense)
+	e.sparse = resizeSlots(e.sparse, p.nSparse)
+	e.score = resizeSlots(e.score, p.nScore)
+	e.emptyDense.Present = resizeNeverWritten(e.emptyDense.Present, rows)
+	e.emptyDense.Values = resizeNeverWritten(e.emptyDense.Values, rows)
+	e.emptySparse.Offsets = resizeNeverWritten(e.emptySparse.Offsets, rows+1)
+}
+
+// finish drops column references so a pooled exec never pins batch
+// memory between runs.
+func (e *planExec) finish() {
+	clear(e.dense)
+	clear(e.sparse)
+	clear(e.score)
+	e.arena = nil
+	e.stats = nil
+}
+
+// resizeSlots returns a nil-cleared slice of n column pointers.
+func resizeSlots[T any](s []*T, n int) []*T {
+	if cap(s) < n {
+		return make([]*T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resizeNeverWritten resizes a slice whose contents are only ever the
+// zero value, so no clearing is needed on reuse.
+func resizeNeverWritten[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// account folds one executed op into the run's stats, exactly as the
+// interpreter does.
+func (e *planExec) account(op Op, values int64) {
+	cost := op.Cost()
+	cls := op.Class()
+	e.stats.ValuesByClass[cls] += values
+	e.stats.CyclesByClass[cls] += float64(values) * cost.CyclesPerValue
+	e.stats.MemBytes += float64(values) * cost.MemBytesPerValue
+	e.stats.OpsRun++
+}
+
+// newSparse returns an arena-recycled output column; i64Values sizes a
+// values slice reusing the recycled capacity.
+func (e *planExec) newSparse() *dwrf.SparseColumn { return e.arena.Sparse(e.rows) }
+
+func i64Values(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// CompilePlan lowers the graph into a compiled Plan, compiling the
+// execution order first if needed. It fails for op configurations the
+// interpreter would reject at Apply time (surfaceing them per session
+// instead of per batch) and for Op implementations outside this
+// package, which have no compiled kernel — callers fall back to
+// Graph.Run.
+func (g *Graph) CompilePlan() (*Plan, error) {
+	if g.sorted == nil {
+		if err := g.Compile(); err != nil {
+			return nil, err
+		}
+	}
+	p := &Plan{}
+	c := &planCompiler{
+		p:           p,
+		denseSlots:  make(map[schema.FeatureID]int),
+		sparseSlots: make(map[schema.FeatureID]int),
+		rawDense:    make(map[schema.FeatureID]int),
+		rawSparse:   make(map[schema.FeatureID]int),
+	}
+	for _, op := range g.sorted {
+		if op.Class() == RowOp {
+			p.rowOps = append(p.rowOps, op)
+			continue
+		}
+		if err := c.lower(op); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// planCompiler holds the feature→slot resolution state during lowering.
+type planCompiler struct {
+	p *Plan
+	// denseSlots/sparseSlots map produced features to their output
+	// slots; rawDense/rawSparse map raw batch features to their bound
+	// slots. Producers always lower before their consumers (topo
+	// order), so a feature is raw-bound only if no op produces it.
+	denseSlots  map[schema.FeatureID]int
+	sparseSlots map[schema.FeatureID]int
+	rawDense    map[schema.FeatureID]int
+	rawSparse   map[schema.FeatureID]int
+	// lastFused is the still-extendable fusion group of the previous
+	// step, nil when the previous step is not a dense-map chain.
+	lastFused *fusedDense
+}
+
+// denseIn resolves a dense input feature to its slot, binding it from
+// the batch if no op produces it.
+func (c *planCompiler) denseIn(id schema.FeatureID) int {
+	if s, ok := c.denseSlots[id]; ok {
+		return s
+	}
+	if s, ok := c.rawDense[id]; ok {
+		return s
+	}
+	s := c.p.nDense
+	c.p.nDense++
+	c.rawDense[id] = s
+	c.p.rawDense = append(c.p.rawDense, slotBind{id, s})
+	return s
+}
+
+// sparseIn resolves a sparse input feature to its slot.
+func (c *planCompiler) sparseIn(id schema.FeatureID) int {
+	if s, ok := c.sparseSlots[id]; ok {
+		return s
+	}
+	if s, ok := c.rawSparse[id]; ok {
+		return s
+	}
+	s := c.p.nSparse
+	c.p.nSparse++
+	c.rawSparse[id] = s
+	c.p.rawSparse = append(c.p.rawSparse, slotBind{id, s})
+	return s
+}
+
+// denseOut allocates the output slot for a produced dense feature.
+func (c *planCompiler) denseOut(id schema.FeatureID) int {
+	s := c.p.nDense
+	c.p.nDense++
+	c.denseSlots[id] = s
+	c.p.pubDense = append(c.p.pubDense, slotBind{id, s})
+	return s
+}
+
+// sparseOut allocates the output slot for a produced sparse feature.
+func (c *planCompiler) sparseOut(id schema.FeatureID) int {
+	s := c.p.nSparse
+	c.p.nSparse++
+	c.sparseSlots[id] = s
+	c.p.pubSparse = append(c.p.pubSparse, slotBind{id, s})
+	return s
+}
+
+// scoreOut allocates the output slot for a produced score-list feature.
+func (c *planCompiler) scoreOut(id schema.FeatureID) int {
+	s := c.p.nScore
+	c.p.nScore++
+	c.p.pubScore = append(c.p.pubScore, slotBind{id, s})
+	return s
+}
+
+// step appends a non-fusable step and seals any open fusion chain.
+func (c *planCompiler) step(op Op, run func(e *planExec) error) {
+	c.lastFused = nil
+	c.p.steps = append(c.p.steps, planStep{op: op, run: run})
+}
+
+// lower compiles one op into a step (or extends the current fused
+// chain).
+func (c *planCompiler) lower(op Op) error {
+	switch o := op.(type) {
+	case *Logit:
+		return c.lowerDenseMap(o)
+	case *BoxCox:
+		return c.lowerDenseMap(o)
+	case *Clamp:
+		return c.lowerDenseMap(o)
+	case *GetLocalHour:
+		return c.lowerDenseMap(o)
+	case *Onehot:
+		if o.Buckets <= 0 {
+			return fmt.Errorf("transforms: Onehot needs positive bucket count")
+		}
+		in, out := c.denseIn(o.In), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.dense[in]
+			dst := e.newSparse()
+			for i := 0; i < e.rows; i++ {
+				dst.Offsets[i] = int32(len(dst.Values))
+				if src.Present[i] {
+					dst.Values = append(dst.Values, o.bucketIndex(src.Values[i]))
+				}
+			}
+			dst.Offsets[e.rows] = int32(len(dst.Values))
+			e.sparse[out] = dst
+			e.account(op, int64(e.rows))
+			return nil
+		})
+	case *Bucketize:
+		if err := o.validate(); err != nil {
+			return err
+		}
+		in, out := c.denseIn(o.In), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.dense[in]
+			dst := e.newSparse()
+			for i := 0; i < e.rows; i++ {
+				dst.Offsets[i] = int32(len(dst.Values))
+				if src.Present[i] {
+					dst.Values = append(dst.Values, o.bucketOf(src.Values[i]))
+				}
+			}
+			dst.Offsets[e.rows] = int32(len(dst.Values))
+			e.sparse[out] = dst
+			e.account(op, int64(e.rows))
+			return nil
+		})
+	case *SigridHash:
+		if o.MaxValue <= 0 {
+			return fmt.Errorf("transforms: SigridHash needs positive MaxValue")
+		}
+		in, out := c.sparseIn(o.In), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.sparse[in]
+			dst := e.newSparse()
+			dst.Offsets = append(dst.Offsets[:0], src.Offsets...)
+			dst.Values = i64Values(dst.Values, len(src.Values))
+			for i, v := range src.Values {
+				dst.Values[i] = hash64(v, o.Salt) % o.MaxValue
+			}
+			e.sparse[out] = dst
+			e.account(op, int64(len(src.Values)))
+			return nil
+		})
+	case *FirstX:
+		if o.X < 0 {
+			return fmt.Errorf("transforms: FirstX needs non-negative X")
+		}
+		in, out := c.sparseIn(o.In), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.sparse[in]
+			dst := e.newSparse()
+			for i := 0; i < e.rows; i++ {
+				dst.Offsets[i] = int32(len(dst.Values))
+				vals := src.RowValues(i)
+				if len(vals) > o.X {
+					vals = vals[:o.X]
+				}
+				dst.Values = append(dst.Values, vals...)
+			}
+			dst.Offsets[e.rows] = int32(len(dst.Values))
+			e.sparse[out] = dst
+			e.account(op, int64(len(src.Values)))
+			return nil
+		})
+	case *PositiveModulus:
+		if o.M <= 0 {
+			return fmt.Errorf("transforms: PositiveModulus needs positive modulus")
+		}
+		in, out := c.sparseIn(o.In), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.sparse[in]
+			dst := e.newSparse()
+			dst.Offsets = append(dst.Offsets[:0], src.Offsets...)
+			dst.Values = i64Values(dst.Values, len(src.Values))
+			for i, v := range src.Values {
+				dst.Values[i] = ((v % o.M) + o.M) % o.M
+			}
+			e.sparse[out] = dst
+			e.account(op, int64(len(src.Values)))
+			return nil
+		})
+	case *Enumerate:
+		in, out := c.sparseIn(o.In), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.sparse[in]
+			dst := e.newSparse()
+			for i := 0; i < e.rows; i++ {
+				dst.Offsets[i] = int32(len(dst.Values))
+				n := len(src.RowValues(i))
+				for j := 0; j < n; j++ {
+					dst.Values = append(dst.Values, int64(j))
+				}
+			}
+			dst.Offsets[e.rows] = int32(len(dst.Values))
+			e.sparse[out] = dst
+			e.account(op, int64(len(src.Values)))
+			return nil
+		})
+	case *MapId:
+		in, out := c.sparseIn(o.In), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.sparse[in]
+			dst := e.newSparse()
+			dst.Offsets = append(dst.Offsets[:0], src.Offsets...)
+			dst.Values = i64Values(dst.Values, len(src.Values))
+			for i, v := range src.Values {
+				if mapped, ok := o.Mapping[v]; ok {
+					dst.Values[i] = mapped
+				} else {
+					dst.Values[i] = o.Default
+				}
+			}
+			e.sparse[out] = dst
+			e.account(op, int64(len(src.Values)))
+			return nil
+		})
+	case *IdListTransform:
+		a, bb, out := c.sparseIn(o.A), c.sparseIn(o.B), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			sa, sb := e.sparse[a], e.sparse[bb]
+			dst := e.newSparse()
+			var processed int64
+			for i := 0; i < e.rows; i++ {
+				dst.Offsets[i] = int32(len(dst.Values))
+				av, bv := sa.RowValues(i), sb.RowValues(i)
+				processed += int64(len(av) + len(bv))
+				if len(av) == 0 || len(bv) == 0 {
+					continue
+				}
+				dst.Values, e.scratch = intersectInto(dst.Values, av, bv, e.scratch)
+			}
+			dst.Offsets[e.rows] = int32(len(dst.Values))
+			e.sparse[out] = dst
+			e.account(op, processed)
+			return nil
+		})
+	case *Cartesian:
+		a, bb, out := c.sparseIn(o.A), c.sparseIn(o.B), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			sa, sb := e.sparse[a], e.sparse[bb]
+			dst := e.newSparse()
+			for i := 0; i < e.rows; i++ {
+				dst.Offsets[i] = int32(len(dst.Values))
+				dst.Values = crossInto(dst.Values, sa.RowValues(i), sb.RowValues(i), o.MaxOutput)
+			}
+			dst.Offsets[e.rows] = int32(len(dst.Values))
+			e.sparse[out] = dst
+			e.account(op, int64(len(dst.Values)))
+			return nil
+		})
+	case *NGram:
+		if o.N <= 0 {
+			return fmt.Errorf("transforms: NGram needs positive N")
+		}
+		in, out := c.sparseIn(o.In), c.sparseOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.sparse[in]
+			dst := e.newSparse()
+			for i := 0; i < e.rows; i++ {
+				dst.Offsets[i] = int32(len(dst.Values))
+				dst.Values = ngramInto(dst.Values, src.RowValues(i), o.N)
+			}
+			dst.Offsets[e.rows] = int32(len(dst.Values))
+			e.sparse[out] = dst
+			e.account(op, int64(len(dst.Values))*int64(o.N))
+			return nil
+		})
+	case *ComputeScore:
+		in, out := c.sparseIn(o.In), c.scoreOut(o.Out)
+		c.step(op, func(e *planExec) error {
+			src := e.sparse[in]
+			dst := e.arena.ScoreList(e.rows)
+			dst.Offsets = append(dst.Offsets[:0], src.Offsets...)
+			if cap(dst.Values) < len(src.Values) {
+				dst.Values = make([]schema.ScoredValue, len(src.Values))
+			} else {
+				dst.Values = dst.Values[:len(src.Values)]
+			}
+			for i, v := range src.Values {
+				dst.Values[i] = o.scored(v)
+			}
+			e.score[out] = dst
+			e.account(op, int64(len(src.Values)))
+			return nil
+		})
+	default:
+		return fmt.Errorf("transforms: no compiled kernel for %T", op)
+	}
+	return nil
+}
+
+// lowerDenseMap compiles an elementwise dense op, extending the
+// previous step's fusion chain when this op consumes its last output.
+func (c *planCompiler) lowerDenseMap(o denseMapper) error {
+	if err := o.validateMap(); err != nil {
+		return err
+	}
+	if g := c.lastFused; g != nil {
+		last := g.members[len(g.members)-1]
+		if s, ok := c.denseSlots[o.mapIn()]; ok && s == last.out {
+			g.members = append(g.members, fusedMember{op: o, out: c.denseOut(o.Output())})
+			return nil
+		}
+	}
+	in := c.denseIn(o.mapIn())
+	g := &fusedDense{in: in, members: []fusedMember{{op: o, out: c.denseOut(o.Output())}}}
+	run := func(e *planExec) error {
+		src := e.dense[g.in]
+		for _, m := range g.members {
+			e.dense[m.out] = e.arena.Dense(e.rows)
+		}
+		for i := 0; i < e.rows; i++ {
+			if !src.Present[i] {
+				continue
+			}
+			v := src.Values[i]
+			for _, m := range g.members {
+				v = m.op.mapValue(v)
+				out := e.dense[m.out]
+				out.Present[i] = true
+				out.Values[i] = v
+			}
+		}
+		for _, m := range g.members {
+			e.account(m.op, int64(e.rows))
+		}
+		return nil
+	}
+	c.p.steps = append(c.p.steps, planStep{op: &fusedStepMarker{Op: o, group: g}, run: run})
+	c.lastFused = g
+	return nil
+}
+
+// Run executes the compiled plan on the batch: row ops first (they
+// rebuild the whole batch), then one map bind per raw input, the slot
+// kernels, and one map publish per output. Output columns come from
+// arena (nil degrades to plain allocation) and become part of the
+// batch: when the batch is arena-owned, Batch.Release recycles inputs
+// and outputs alike after tensors are materialized. Stats are
+// identical to Graph.Run's.
+//
+// Run is safe for concurrent use on distinct batches.
+func (p *Plan) Run(b *dwrf.Batch, arena *dwrf.Arena) (Stats, error) {
+	stats := newStats()
+	stats.RowsIn = b.Rows
+	for _, op := range p.rowOps {
+		values, err := op.Apply(b)
+		if err != nil {
+			return stats, fmt.Errorf("transforms: %s: %w", op.Name(), err)
+		}
+		cost := op.Cost()
+		cls := op.Class()
+		stats.ValuesByClass[cls] += values
+		stats.CyclesByClass[cls] += float64(values) * cost.CyclesPerValue
+		stats.MemBytes += float64(values) * cost.MemBytesPerValue
+		stats.OpsRun++
+	}
+
+	e, _ := p.execs.Get().(*planExec)
+	if e == nil {
+		e = &planExec{}
+	}
+	e.reset(p, b.Rows, arena, &stats)
+
+	for _, rb := range p.rawDense {
+		if col, ok := b.Dense[rb.id]; ok {
+			e.dense[rb.slot] = col
+		} else {
+			e.dense[rb.slot] = &e.emptyDense
+		}
+	}
+	for _, rb := range p.rawSparse {
+		if col, ok := b.Sparse[rb.id]; ok {
+			e.sparse[rb.slot] = col
+		} else {
+			e.sparse[rb.slot] = &e.emptySparse
+		}
+	}
+
+	for i := range p.steps {
+		if err := p.steps[i].run(e); err != nil {
+			e.finish()
+			p.execs.Put(e)
+			return stats, fmt.Errorf("transforms: %s: %w", p.steps[i].op.Name(), err)
+		}
+	}
+
+	// Publish outputs into the batch maps. A published feature is never
+	// raw-bound (its consumers resolve to the produced slot), so when
+	// the batch shares the run's arena the column being replaced — a
+	// previous run's output over the same batch — can be recycled
+	// immediately.
+	recycle := b.Arena() == arena && arena != nil
+	for _, pb := range p.pubDense {
+		if recycle {
+			if old, ok := b.Dense[pb.id]; ok && old != e.dense[pb.slot] {
+				arena.PutDense(old)
+			}
+		}
+		b.Dense[pb.id] = e.dense[pb.slot]
+	}
+	for _, pb := range p.pubSparse {
+		if recycle {
+			if old, ok := b.Sparse[pb.id]; ok && old != e.sparse[pb.slot] {
+				arena.PutSparse(old)
+			}
+		}
+		b.Sparse[pb.id] = e.sparse[pb.slot]
+	}
+	for _, pb := range p.pubScore {
+		if recycle {
+			if old, ok := b.ScoreList[pb.id]; ok && old != e.score[pb.slot] {
+				arena.PutScoreList(old)
+			}
+		}
+		b.ScoreList[pb.id] = e.score[pb.slot]
+	}
+
+	stats.RowsOut = b.Rows
+	e.finish()
+	p.execs.Put(e)
+	return stats, nil
+}

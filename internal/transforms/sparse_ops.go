@@ -3,10 +3,68 @@ package transforms
 import (
 	"fmt"
 	"math/rand"
+	"slices"
+	"sync"
 
 	"dsi/internal/dwrf"
 	"dsi/internal/schema"
 )
+
+// --- shared row kernels --------------------------------------------------
+//
+// The per-row value math of the generation ops lives in append-style
+// helpers used by both the legacy interpreter (Op.Apply) and the
+// compiled Plan, so the two execution paths are byte-identical by
+// construction: Apply feeds them per-row slices, the Plan's kernels
+// feed them the output column's values array directly.
+
+// crossInto appends the hashed Cartesian product of av×bv to dst,
+// capped at maxOut pairs when maxOut > 0.
+func crossInto(dst []int64, av, bv []int64, maxOut int) []int64 {
+	n := len(av) * len(bv)
+	if n == 0 {
+		return dst
+	}
+	if maxOut > 0 && n > maxOut {
+		n = maxOut
+	}
+	emitted := 0
+outer:
+	for _, x := range av {
+		for _, y := range bv {
+			if emitted >= n {
+				break outer
+			}
+			dst = append(dst, hash64(x, y))
+			emitted++
+		}
+	}
+	return dst
+}
+
+// ngramInto appends the hash of every n-length sliding window of vals
+// to dst.
+func ngramInto(dst []int64, vals []int64, n int) []int64 {
+	for j := 0; j+n <= len(vals); j++ {
+		dst = append(dst, hash64(vals[j:j+n]...))
+	}
+	return dst
+}
+
+// intersectInto appends av∩bv to dst — membership in bv, preserving
+// av's order and duplicates — using scratch as a reusable sorted
+// membership buffer (replacing a per-row map[int64]bool allocation).
+// It returns the extended dst and the possibly-regrown scratch.
+func intersectInto(dst, av, bv, scratch []int64) ([]int64, []int64) {
+	scratch = append(scratch[:0], bv...)
+	slices.Sort(scratch)
+	for _, v := range av {
+		if _, ok := slices.BinarySearch(scratch, v); ok {
+			dst = append(dst, v)
+		}
+	}
+	return dst, scratch
+}
 
 // SigridHash hashes every categorical value into [0, MaxValue), the
 // paper's canonical sparse normalization (and its headline GPU
@@ -216,6 +274,13 @@ func (o *MapId) Apply(b *dwrf.Batch) (int64, error) {
 // IdListTransform intersects two categorical lists row-wise.
 type IdListTransform struct {
 	A, B, Out schema.FeatureID
+
+	// scratch recycles the sorted membership buffer across Apply calls
+	// (one buffer per row used to cost a map[int64]bool allocation). A
+	// sync.Pool rather than a bare slice because the worker's transform
+	// pool runs the same op instance concurrently on different batches;
+	// unexported, so gob-transported specs carry an empty pool.
+	scratch sync.Pool
 }
 
 // Name implements Op.
@@ -239,6 +304,11 @@ func (o *IdListTransform) Cost() CostModel {
 func (o *IdListTransform) Apply(b *dwrf.Batch) (int64, error) {
 	a := sparseInput(b, o.A)
 	bb := sparseInput(b, o.B)
+	sp, _ := o.scratch.Get().(*[]int64)
+	if sp == nil {
+		sp = new([]int64)
+	}
+	scratch := *sp
 	var processed int64
 	out := buildSparse(b.Rows, func(i int) []int64 {
 		av, bv := a.RowValues(i), bb.RowValues(i)
@@ -246,18 +316,12 @@ func (o *IdListTransform) Apply(b *dwrf.Batch) (int64, error) {
 		if len(av) == 0 || len(bv) == 0 {
 			return nil
 		}
-		set := make(map[int64]bool, len(bv))
-		for _, v := range bv {
-			set[v] = true
-		}
 		var inter []int64
-		for _, v := range av {
-			if set[v] {
-				inter = append(inter, v)
-			}
-		}
+		inter, scratch = intersectInto(nil, av, bv, scratch)
 		return inter
 	})
+	*sp = scratch
+	o.scratch.Put(sp)
 	b.Sparse[o.Out] = out
 	return processed, nil
 }
@@ -295,24 +359,7 @@ func (o *Cartesian) Apply(b *dwrf.Batch) (int64, error) {
 	bb := sparseInput(b, o.B)
 	var processed int64
 	out := buildSparse(b.Rows, func(i int) []int64 {
-		av, bv := a.RowValues(i), bb.RowValues(i)
-		n := len(av) * len(bv)
-		if n == 0 {
-			return nil
-		}
-		if o.MaxOutput > 0 && n > o.MaxOutput {
-			n = o.MaxOutput
-		}
-		vals := make([]int64, 0, n)
-	outer:
-		for _, x := range av {
-			for _, y := range bv {
-				if len(vals) >= n {
-					break outer
-				}
-				vals = append(vals, hash64(x, y))
-			}
-		}
+		vals := crossInto(nil, a.RowValues(i), bb.RowValues(i), o.MaxOutput)
 		processed += int64(len(vals))
 		return vals
 	})
@@ -352,15 +399,8 @@ func (o *NGram) Apply(b *dwrf.Batch) (int64, error) {
 	in := sparseInput(b, o.In)
 	var processed int64
 	out := buildSparse(b.Rows, func(i int) []int64 {
-		vals := in.RowValues(i)
-		if len(vals) < o.N {
-			return nil
-		}
-		grams := make([]int64, 0, len(vals)-o.N+1)
-		for j := 0; j+o.N <= len(vals); j++ {
-			grams = append(grams, hash64(vals[j:j+o.N]...))
-			processed += int64(o.N)
-		}
+		grams := ngramInto(nil, in.RowValues(i), o.N)
+		processed += int64(len(grams) * o.N)
 		return grams
 	})
 	b.Sparse[o.Out] = out
@@ -392,16 +432,22 @@ func (o *ComputeScore) Cost() CostModel {
 	return CostModel{CyclesPerValue: 20, MemBytesPerValue: 28, AccelSpeedup: 8}
 }
 
+// scored is the op's per-value kernel, shared by Apply and the compiled
+// Plan.
+func (o *ComputeScore) scored(v int64) schema.ScoredValue {
+	return schema.ScoredValue{
+		Value: v,
+		Score: o.ScaleA*float32(v%1000)/1000 + o.BiasB,
+	}
+}
+
 // Apply implements Op.
 func (o *ComputeScore) Apply(b *dwrf.Batch) (int64, error) {
 	in := sparseInput(b, o.In)
 	col := &dwrf.ScoreListColumn{Offsets: append([]int32(nil), in.Offsets...)}
 	col.Values = make([]schema.ScoredValue, len(in.Values))
 	for i, v := range in.Values {
-		col.Values[i] = schema.ScoredValue{
-			Value: v,
-			Score: o.ScaleA*float32(v%1000)/1000 + o.BiasB,
-		}
+		col.Values[i] = o.scored(v)
 	}
 	b.ScoreList[o.Out] = col
 	return int64(len(in.Values)), nil
@@ -432,30 +478,43 @@ func (o *Bucketize) Cost() CostModel {
 	return CostModel{CyclesPerValue: 35, MemBytesPerValue: 12, AccelSpeedup: 1.3}
 }
 
-// Apply implements Op.
-func (o *Bucketize) Apply(b *dwrf.Batch) (int64, error) {
+// validate checks the border configuration (shared with plan compile).
+func (o *Bucketize) validate() error {
 	if len(o.Borders) == 0 {
-		return 0, fmt.Errorf("transforms: Bucketize needs borders")
+		return fmt.Errorf("transforms: Bucketize needs borders")
 	}
 	for i := 1; i < len(o.Borders); i++ {
 		if o.Borders[i] <= o.Borders[i-1] {
-			return 0, fmt.Errorf("transforms: Bucketize borders not strictly increasing")
+			return fmt.Errorf("transforms: Bucketize borders not strictly increasing")
 		}
+	}
+	return nil
+}
+
+// bucketOf is the op's scalar kernel, shared by Apply and the compiled
+// Plan.
+func (o *Bucketize) bucketOf(v float32) int64 {
+	bucket := int64(len(o.Borders)) // above all borders
+	for j, border := range o.Borders {
+		if v < border {
+			bucket = int64(j)
+			break
+		}
+	}
+	return bucket
+}
+
+// Apply implements Op.
+func (o *Bucketize) Apply(b *dwrf.Batch) (int64, error) {
+	if err := o.validate(); err != nil {
+		return 0, err
 	}
 	in := denseInput(b, o.In)
 	out := buildSparse(b.Rows, func(i int) []int64 {
 		if !in.Present[i] {
 			return nil
 		}
-		v := in.Values[i]
-		bucket := int64(len(o.Borders)) // above all borders
-		for j, border := range o.Borders {
-			if v < border {
-				bucket = int64(j)
-				break
-			}
-		}
-		return []int64{bucket}
+		return []int64{o.bucketOf(in.Values[i])}
 	})
 	b.Sparse[o.Out] = out
 	return int64(b.Rows), nil

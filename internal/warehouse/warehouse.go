@@ -308,15 +308,22 @@ func (w *Warehouse) ReadSplit(sp Split, proj *schema.Projection, opts dwrf.ReadO
 // whole row payload and converts to columns — the extra copy the flatmap
 // optimization removes.
 func (w *Warehouse) ReadSplitBatch(sp Split, proj *schema.Projection, opts dwrf.ReadOptions) (*dwrf.Batch, dwrf.ReadStats, error) {
+	return w.ReadSplitBatchArena(sp, proj, opts, nil)
+}
+
+// ReadSplitBatchArena is ReadSplitBatch decoding into arena-recycled
+// columns (nil arena degrades to plain allocation); release the batch
+// when done with it.
+func (w *Warehouse) ReadSplitBatchArena(sp Split, proj *schema.Projection, opts dwrf.ReadOptions, arena *dwrf.Arena) (*dwrf.Batch, dwrf.ReadStats, error) {
 	r, err := dwrf.OpenReader(w.cluster, sp.Path)
 	if err != nil {
 		return nil, dwrf.ReadStats{}, err
 	}
-	return readSplitBatch(r, sp, proj, opts)
+	return readSplitBatch(r, sp, proj, opts, arena)
 }
 
 // readSplitBatch decodes one stripe of an already open reader.
-func readSplitBatch(r *dwrf.Reader, sp Split, proj *schema.Projection, opts dwrf.ReadOptions) (*dwrf.Batch, dwrf.ReadStats, error) {
+func readSplitBatch(r *dwrf.Reader, sp Split, proj *schema.Projection, opts dwrf.ReadOptions, arena *dwrf.Arena) (*dwrf.Batch, dwrf.ReadStats, error) {
 	if !r.Flattened() {
 		rows, stats, err := r.ReadStripe(sp.Stripe, proj, opts)
 		if err != nil {
@@ -324,7 +331,7 @@ func readSplitBatch(r *dwrf.Reader, sp Split, proj *schema.Projection, opts dwrf
 		}
 		return dwrf.BatchFromSamples(rows), stats, nil
 	}
-	return r.ReadStripeBatch(sp.Stripe, proj, opts)
+	return r.ReadStripeBatchArena(sp.Stripe, proj, opts, arena)
 }
 
 // CachedReader returns a shared reader for path, opening (and footer-
@@ -356,11 +363,18 @@ func (w *Warehouse) CachedReader(path string) (*dwrf.Reader, error) {
 // the file footer is fetched and decoded once per file rather than once
 // per split. The DPP worker's pipelined fetch stage uses this path.
 func (w *Warehouse) ReadSplitBatchCached(sp Split, proj *schema.Projection, opts dwrf.ReadOptions) (*dwrf.Batch, dwrf.ReadStats, error) {
+	return w.ReadSplitBatchCachedArena(sp, proj, opts, nil)
+}
+
+// ReadSplitBatchCachedArena is ReadSplitBatchCached decoding into
+// arena-recycled columns; the DPP worker threads its per-worker arena
+// through here so stripe decode reuses the previous stripe's buffers.
+func (w *Warehouse) ReadSplitBatchCachedArena(sp Split, proj *schema.Projection, opts dwrf.ReadOptions, arena *dwrf.Arena) (*dwrf.Batch, dwrf.ReadStats, error) {
 	r, err := w.CachedReader(sp.Path)
 	if err != nil {
 		return nil, dwrf.ReadStats{}, err
 	}
-	return readSplitBatch(r, sp, proj, opts)
+	return readSplitBatch(r, sp, proj, opts, arena)
 }
 
 // ScanPartition re-reads one partition end to end through the stripe-
@@ -379,6 +393,11 @@ func (t *Table) ScanPartition(key string, proj *schema.Projection, opts dwrf.Rea
 	if err != nil {
 		return 0, dwrf.ReadStats{}, err
 	}
+	if pf.Arena == nil {
+		// The scan consumes batches internally, so it can always recycle
+		// their columns stripe over stripe.
+		pf.Arena = dwrf.NewArena()
+	}
 	stream, err := r.StreamBatches(nil, proj, opts, pf)
 	if err != nil {
 		return 0, dwrf.ReadStats{}, err
@@ -395,6 +414,7 @@ func (t *Table) ScanPartition(key string, proj *schema.Projection, opts dwrf.Rea
 			return rows, agg, nil
 		}
 		rows += b.Rows
+		b.Release()
 		agg.Merge(stats)
 	}
 }
