@@ -1,0 +1,144 @@
+package dsi_test
+
+import (
+	"testing"
+
+	"dsi/internal/dpp"
+	"dsi/internal/dwrf"
+	"dsi/internal/tensor"
+	"dsi/internal/transforms"
+	"dsi/internal/ware"
+	"dsi/internal/warehouse"
+)
+
+// cacheBenchEnv is the shared fixture of the fleet-cache benchmarks:
+// the 4-split bench table plus every split's content-addressed
+// identities under the standard session's projection and plan.
+type cacheBenchEnv struct {
+	wh     *warehouse.Warehouse
+	splits []warehouse.Split
+	spec   dpp.SessionSpec
+	plan   *transforms.Plan
+	arena  *dwrf.Arena
+	sids   []ware.WareID
+	xids   []ware.WareID
+}
+
+func newCacheBenchEnv(b *testing.B) *cacheBenchEnv {
+	b.Helper()
+	wh, _, splits := benchDataset(b, true)
+	spec := benchSessionSpec(dpp.PipelineOptions{})
+	g := transforms.NewGraph().Add(spec.Ops...)
+	plan, err := g.CompilePlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &cacheBenchEnv{
+		wh: wh, splits: splits, spec: spec, plan: plan,
+		arena: dwrf.NewArena(),
+		sids:  make([]ware.WareID, len(splits)),
+		xids:  make([]ware.WareID, len(splits)),
+	}
+	proj := spec.Projection()
+	for i, sp := range splits {
+		r, err := wh.CachedReader(sp.Path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.sids[i] = ware.StripeID(r.StripeContentHash(sp.Stripe), sp.Path, sp.Stripe, proj)
+		env.xids[i] = ware.XformID(env.sids[i], plan.Fingerprint())
+	}
+	return env
+}
+
+// decodeAndPublish is one split's miss path: decode, offer the stripe
+// ware, transform a view, offer the transformed ware. The returned
+// batch holds one reference owed a Release.
+func (env *cacheBenchEnv) decodeAndPublish(b *testing.B, j int, cache *ware.Cache, tenant string) *dwrf.Batch {
+	batch, _, err := env.wh.ReadSplitBatchCachedArena(env.splits[j], env.spec.Projection(), env.spec.Read, env.arena)
+	if err != nil {
+		b.Fatal(err)
+	}
+	work, shared := cache.Insert(env.sids[j], batch, tenant)
+	if shared {
+		work = work.Derive(env.arena)
+	}
+	if _, err := env.plan.Run(work, env.arena); err != nil {
+		b.Fatal(err)
+	}
+	work, _ = cache.Insert(env.xids[j], work, tenant)
+	return work
+}
+
+// BenchmarkFleetCache measures the per-split preprocessing path the
+// fleet cache changes — stripe decode → compiled plan → tensor
+// materialization — uncached, through a cold (always-miss) cache, and
+// through a warm (always-hit) cache. The hit/no-cache gap is the CPU a
+// second tenant over the same table saves; the miss/no-cache gap is
+// the publication overhead the first tenant pays.
+func BenchmarkFleetCache(b *testing.B) {
+	b.Run("no-cache", func(b *testing.B) {
+		env := newCacheBenchEnv(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, sp := range env.splits {
+				batch, _, err := env.wh.ReadSplitBatchCachedArena(sp, env.spec.Projection(), env.spec.Read, env.arena)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := env.plan.Run(batch, env.arena); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tensor.Materialize(batch, env.spec.DenseOut, env.spec.SparseOut); err != nil {
+					b.Fatal(err)
+				}
+				batch.Release()
+			}
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		env := newCacheBenchEnv(b)
+		cache := ware.NewCache(1 << 30)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range env.splits {
+				if cache.Get(env.xids[j], "t") != nil || cache.Get(env.sids[j], "t") != nil {
+					b.Fatal("miss benchmark hit the cache")
+				}
+				work := env.decodeAndPublish(b, j, cache, "t")
+				if _, err := tensor.Materialize(work, env.spec.DenseOut, env.spec.SparseOut); err != nil {
+					b.Fatal(err)
+				}
+				work.Release()
+			}
+			b.StopTimer()
+			cache.Flush() // next iteration must miss again
+			b.StartTimer()
+		}
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		env := newCacheBenchEnv(b)
+		cache := ware.NewCache(1 << 30)
+		for j := range env.splits {
+			env.decodeAndPublish(b, j, cache, "warmer").Release()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range env.splits {
+				batch := cache.Get(env.xids[j], "t")
+				if batch == nil {
+					b.Fatal("hit benchmark missed the cache")
+				}
+				if _, err := tensor.Materialize(batch, env.spec.DenseOut, env.spec.SparseOut); err != nil {
+					b.Fatal(err)
+				}
+				batch.Release()
+			}
+		}
+	})
+}

@@ -79,6 +79,13 @@ func main() {
 	bufferDepth := flag.Int("buffer", 0, "master/demo: delivered-tensor buffer capacity in batches (0 = default)")
 	bufferBytes := flag.Int64("buffer-bytes", 0, "master/demo: byte bound on the delivered-tensor buffer (0 = unbounded)")
 	sequential := flag.Bool("sequential", false, "master/demo: disable the pipelined data plane (serial baseline)")
+
+	// Cache sizing knobs (the fleet batch cache and the per-warehouse
+	// reader cache share this flag family).
+	flag.Int64Var(&fleetCacheBytes, "cache-bytes", 0,
+		"master/demo: per-worker content-addressed batch cache budget in bytes (0 = default, negative = disable)")
+	flag.IntVar(&readerCacheLimit, "reader-cache", 0,
+		"max open DWRF readers cached per warehouse (0 = default)")
 	flag.Parse()
 
 	pipeline := dpp.PipelineOptions{
@@ -153,6 +160,7 @@ func runServiceMaster(model string, seed int64, addr string, pipeline dpp.Pipeli
 	launcher := &dpp.RPCFleetLauncher{
 		ServiceAddr: ln.Addr().String(),
 		WH:          wh,
+		CacheBytes:  fleetCacheBytes,
 		OnError: func(id string, err error) {
 			log.Printf("dppd service: worker %s failed: %v", id, err)
 		},
@@ -250,6 +258,7 @@ func runServiceDemo(model string, seed int64, pipeline dpp.PipelineOptions, buff
 	launcher := &dpp.RPCFleetLauncher{
 		ServiceAddr: ln.Addr().String(),
 		WH:          wh,
+		CacheBytes:  fleetCacheBytes,
 		OnError: func(id string, err error) {
 			log.Printf("dppd demo: worker %s failed: %v", id, err)
 		},
@@ -294,6 +303,13 @@ func runServiceDemo(model string, seed int64, pipeline dpp.PipelineOptions, buff
 		n, time.Since(start).Round(time.Millisecond), st.Peak, st.Launched, st.Drained)
 }
 
+// Cache sizing, set from flags in main: the fleet workers' shared batch
+// cache budget and the warehouse's open-reader bound.
+var (
+	fleetCacheBytes  int64
+	readerCacheLimit int
+)
+
 // buildWorkload regenerates the deterministic synthetic dataset and
 // session spec for the chosen model.
 func buildWorkload(model string, seed int64) (*warehouse.Warehouse, dpp.SessionSpec) {
@@ -305,6 +321,7 @@ func buildWorkload(model string, seed int64) (*warehouse.Warehouse, dpp.SessionS
 	if err != nil {
 		log.Fatal(err)
 	}
+	d.SetReaderCacheLimit(readerCacheLimit)
 	return d, spec
 }
 

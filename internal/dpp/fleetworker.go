@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"dsi/internal/dwrf"
+	"dsi/internal/ware"
 	"dsi/internal/warehouse"
 )
 
@@ -36,13 +38,49 @@ type FleetWorker struct {
 	// the session master reaps the pipeline and requeues its leases).
 	OnError func(sessionID string, err error)
 
+	// CacheBytes sizes the node's shared content-addressed batch cache:
+	// 0 uses DefaultFleetCacheBytes, negative disables caching. Set
+	// before Run (the cache is created when the first pipeline starts).
+	CacheBytes int64
+
 	ctrl FleetControl
 	wh   *warehouse.Warehouse
+	// arena is the node-wide column arena every hosted pipeline decodes
+	// and transforms through — required for sharing, since a cached
+	// batch's columns outlive the pipeline that decoded them and may be
+	// freed (last reference dropped) by a different session's pipeline.
+	arena *dwrf.Arena
+
+	cacheOnce sync.Once
+	cache     *ware.Cache
 
 	mu        sync.Mutex
 	pipelines map[string]*fleetPipeline
 	crashed   bool
 	crashCh   chan struct{}
+}
+
+// DefaultFleetCacheBytes is the default per-node budget of the shared
+// content-addressed batch cache.
+const DefaultFleetCacheBytes = 256 << 20
+
+// wareListCap bounds how many resident ware digests a fleet heartbeat
+// ships to the service's cross-node index.
+const wareListCap = 512
+
+// Cache returns the node's shared batch cache, creating it on first
+// use; nil when CacheBytes is negative (caching disabled).
+func (fw *FleetWorker) Cache() *ware.Cache {
+	fw.cacheOnce.Do(func() {
+		size := fw.CacheBytes
+		if size == 0 {
+			size = DefaultFleetCacheBytes
+		}
+		if size > 0 {
+			fw.cache = ware.NewCache(size)
+		}
+	})
+	return fw.cache
 }
 
 // fleetPipeline is one hosted per-session pipeline.
@@ -67,6 +105,7 @@ func NewFleetWorker(id, endpoint string, ctrl FleetControl, wh *warehouse.Wareho
 		Endpoint:  endpoint,
 		ctrl:      ctrl,
 		wh:        wh,
+		arena:     dwrf.NewArena(),
 		pipelines: make(map[string]*fleetPipeline),
 		crashCh:   make(chan struct{}),
 	}, nil
@@ -119,10 +158,28 @@ func (fw *FleetWorker) AggregateStats() WorkerStats {
 		workers = append(workers, p.w)
 	}
 	fw.mu.Unlock()
-	if len(workers) == 0 {
-		return WorkerStats{BufferedBatches: idleBuffered, MinBuffered: idleBuffered}
+	// Node-wide cache counters come from the cache itself (pipelines
+	// retire with their sessions; the cache outlives them all) and ride
+	// the fleet heartbeat into the service's cross-node ware index.
+	var cacheStats WorkerStats
+	if c := fw.Cache(); c != nil {
+		cs := c.Stats()
+		cacheStats = WorkerStats{
+			CacheXformHits:  cs.XformHits,
+			CacheStripeHits: cs.StripeHits,
+			CacheMisses:     cs.Misses,
+			CacheBytesSaved: cs.BytesSaved,
+			CacheWares:      c.Wares(wareListCap),
+		}
 	}
-	agg := WorkerStats{MinBuffered: idleBuffered}
+	if len(workers) == 0 {
+		idle := cacheStats
+		idle.BufferedBatches = idleBuffered
+		idle.MinBuffered = idleBuffered
+		return idle
+	}
+	agg := cacheStats
+	agg.MinBuffered = idleBuffered
 	for _, w := range workers {
 		st := w.Stats()
 		agg.BufferedBatches += st.BufferedBatches
@@ -200,6 +257,16 @@ func (fw *FleetWorker) startPipeline(sessionID string) {
 			fw.OnError(sessionID, err)
 		}
 		return
+	}
+	// All pipelines on the node share one arena and one content-
+	// addressed cache, so any session's decode or transform output can
+	// serve any other session — cross-tenant dedup. The session is the
+	// cache's tenant, weighted like the service's fair-share scheduler
+	// weights it.
+	w.arena = fw.arena
+	if c := fw.Cache(); c != nil {
+		c.RegisterTenant(sessionID, w.spec.Weight)
+		w.UseCache(c, sessionID)
 	}
 	if fw.Tune != nil {
 		fw.Tune(w)
@@ -345,9 +412,13 @@ type InProcessFleetLauncher struct {
 	HeartbeatEvery time.Duration
 	Tune           func(*Worker)
 	OnError        func(id string, err error)
+	// CacheBytes sizes each worker's shared batch cache (see
+	// FleetWorker.CacheBytes: 0 = default, negative = disabled).
+	CacheBytes int64
 
-	mu      sync.Mutex
-	workers map[string]*FleetWorker
+	mu       sync.Mutex
+	workers  map[string]*FleetWorker
+	launched []*FleetWorker
 }
 
 // Launch implements WorkerLauncher.
@@ -358,6 +429,7 @@ func (l *InProcessFleetLauncher) Launch(id string) (WorkerHandle, error) {
 	}
 	fw.HeartbeatEvery = l.HeartbeatEvery
 	fw.Tune = l.Tune
+	fw.CacheBytes = l.CacheBytes
 	if l.OnError != nil {
 		fw.OnError = func(session string, err error) { l.OnError(id+"/"+session, err) }
 	}
@@ -366,6 +438,7 @@ func (l *InProcessFleetLauncher) Launch(id string) (WorkerHandle, error) {
 		l.workers = make(map[string]*FleetWorker)
 	}
 	l.workers[id] = fw
+	l.launched = append(l.launched, fw)
 	l.mu.Unlock()
 	h := &procHandle{id: id, stop: make(chan struct{}), done: make(chan struct{})}
 	go func() {
@@ -387,6 +460,16 @@ func (l *InProcessFleetLauncher) Worker(id string) *FleetWorker {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.workers[id]
+}
+
+// Launched returns every fleet worker this launcher ever started,
+// including retired ones. Experiments and tests read the per-node
+// caches through it after the fleet has drained (a retired worker's
+// cache and its counters stay intact).
+func (l *InProcessFleetLauncher) Launched() []*FleetWorker {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*FleetWorker(nil), l.launched...)
 }
 
 // Crash crash-kills one launched fleet worker (fault injection),
@@ -442,6 +525,9 @@ type RPCFleetLauncher struct {
 	HeartbeatEvery time.Duration
 	Tune           func(*Worker)
 	OnError        func(id string, err error)
+	// CacheBytes sizes each worker's shared batch cache (see
+	// FleetWorker.CacheBytes: 0 = default, negative = disabled).
+	CacheBytes int64
 
 	mu      sync.Mutex
 	workers map[string]*rpcFleetEntry
@@ -460,6 +546,7 @@ func (l *RPCFleetLauncher) Launch(id string) (WorkerHandle, error) {
 	fw, stopServe, err := ListenAndServeFleetWorker(id, addr, remote, l.WH, func(fw *FleetWorker) {
 		fw.HeartbeatEvery = l.HeartbeatEvery
 		fw.Tune = l.Tune
+		fw.CacheBytes = l.CacheBytes
 		if l.OnError != nil {
 			fw.OnError = func(session string, err error) { l.OnError(id+"/"+session, err) }
 		}

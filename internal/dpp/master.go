@@ -42,7 +42,23 @@ type WorkerStats struct {
 	// worker's pipelined data plane (the Figure 9 measurement: where do
 	// worker cycles actually go?).
 	Stage StageBusy
+
+	// Fleet content-addressed cache counters (cumulative; zero for
+	// uncached workers). In a FleetWorker's aggregate these are the
+	// node-wide cache totals across every tenant it hosts.
+	CacheXformHits  int64
+	CacheStripeHits int64
+	CacheMisses     int64
+	CacheBytesSaved int64
+	// CacheWares lists the digests of wares resident in the node's
+	// cache (capped, most recent first); only fleet-worker aggregate
+	// heartbeats populate it, feeding the service's cross-node ware
+	// index. Gob-optional: absent from older senders.
+	CacheWares []string
 }
+
+// CacheHits sums transform- and stripe-level hits.
+func (s WorkerStats) CacheHits() int64 { return s.CacheXformHits + s.CacheStripeHits }
 
 // StageBusy is the cumulative wall time each data-plane stage has spent
 // busy, in seconds. Fetch is time waiting on storage, Decode is

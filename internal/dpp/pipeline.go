@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dsi/internal/dwrf"
+	"dsi/internal/ware"
 )
 
 // This file implements the worker's pipelined data plane: the strictly
@@ -35,6 +36,13 @@ type fetchedSplit struct {
 	splitID int
 	batch   *dwrf.Batch
 	stats   dwrf.ReadStats
+	// preXformed marks batch as a cached transform output: the
+	// transform stage skips the plan and only materializes tensors
+	// from the shared batch.
+	preXformed bool
+	// xformWare, when set, names the ware the transform stage should
+	// publish its output under (fleet cache attached, no xform hit).
+	xformWare ware.WareID
 }
 
 // transformedSplit is one transformed split flowing to the deliver stage.
@@ -130,7 +138,7 @@ func (w *Worker) runPipelined(stop <-chan struct{}) error {
 		go func() {
 			defer xformWG.Done()
 			for f := range fetched {
-				tr, err := w.transformBatch(f.batch)
+				tr, err := w.transformFetched(f)
 				if err != nil {
 					abort.fail(err)
 					return
@@ -179,8 +187,12 @@ func (w *Worker) runPipelined(stop <-chan struct{}) error {
 	fetchWG.Wait()
 	xformWG.Wait()
 	// On an aborted run decoded splits may still sit in the fetch queue
-	// with no transform stage left to consume them; recycle their arena
-	// buffers. (The channel is closed once the fetch pool exits.)
+	// with no transform stage left to consume them; drop this worker's
+	// ownership of each. Release is refcount-aware: an exclusively
+	// owned batch recycles its arena buffers immediately, while a batch
+	// simultaneously held by the fleet cache or by another session's
+	// Derive view merely loses this pipeline's reference. (The channel
+	// is closed once the fetch pool exits.)
 	for f := range fetched {
 		f.batch.Release()
 	}
@@ -243,13 +255,14 @@ func (w *Worker) fetchLoop(out chan<- fetchedSplit, abort *pipelineAbort) {
 			continue
 		}
 		backoff = time.Millisecond
-		batch, stats, err := w.fetchSplit(split, true)
+		f, err := w.fetchSplitThroughCache(split)
 		if err != nil {
 			abort.fail(fmt.Errorf("dpp: worker %s split %d: %w", w.ID, splitID, err))
 			return
 		}
+		f.splitID = splitID
 		select {
-		case out <- fetchedSplit{splitID: splitID, batch: batch, stats: stats}:
+		case out <- f:
 		case <-abort.ch:
 			return
 		}

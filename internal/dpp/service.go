@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -173,13 +174,20 @@ func (s *Service) CreateSession(id string, spec SessionSpec) error {
 	if len(id) > maxSessionIDLen {
 		return fmt.Errorf("dpp: session ID %q exceeds %d bytes", id, maxSessionIDLen)
 	}
+	// Reject malformed weights before they enter fair-share: NaN slips
+	// past any <= comparison and poisons every largest-remainder sort
+	// downstream; negative and infinite weights would likewise corrupt
+	// the apportionment totals. Only an unset (zero) weight defaults.
+	weight := spec.Weight
+	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight < 0 {
+		return fmt.Errorf("dpp: session %q has invalid weight %v", id, weight)
+	}
+	if weight == 0 {
+		weight = 1
+	}
 	m, err := NewMaster(s.wh, spec)
 	if err != nil {
 		return err
-	}
-	weight := spec.Weight
-	if weight <= 0 {
-		weight = 1
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -307,6 +315,46 @@ func (s *Service) FleetHeartbeat(workerID string, stats WorkerStats) (FleetDirec
 	}
 	sort.Strings(d.Sessions)
 	return d, nil
+}
+
+// WareIndex is the service's cross-node view of the fleet's content-
+// addressed caches, derived from each member's last heartbeat (fleet
+// workers ship their resident ware digests with AggregateStats): ware
+// digest → IDs of the workers whose cache holds it, sorted. Entries
+// vanish with their holders (eviction, drain, reap), so the index is
+// observational and eventually consistent — a scheduler hint for
+// placing sessions near warm data, never a correctness input.
+func (s *Service) WareIndex() map[string][]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := make(map[string][]string)
+	for _, fm := range s.fleet {
+		for _, w := range fm.stats.CacheWares {
+			idx[w] = append(idx[w], fm.id)
+		}
+	}
+	for _, holders := range idx {
+		sort.Strings(holders)
+	}
+	return idx
+}
+
+// WareHolders reports which fleet workers hold one ware digest, per
+// their last heartbeats (sorted; empty when nobody does).
+func (s *Service) WareHolders(ware string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var holders []string
+	for _, fm := range s.fleet {
+		for _, w := range fm.stats.CacheWares {
+			if w == ware {
+				holders = append(holders, fm.id)
+				break
+			}
+		}
+	}
+	sort.Strings(holders)
+	return holders
 }
 
 // DeregisterFleetWorker implements FleetControl.

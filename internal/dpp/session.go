@@ -54,6 +54,16 @@
 //     (NewFleetOrchestrator): pool size follows tenant-aggregated
 //     starvation and oversupply, scale-down drains whole fleet
 //     members, and checkpoints cover every session.
+//   - Each FleetWorker also owns a node-wide content-addressed cache
+//     (ware.Cache, sized by CacheBytes) shared by every pipeline it
+//     hosts: decoded stripe batches and transformed outputs are
+//     published under ware IDs — stripe content digest + projection,
+//     plus the transform plan fingerprint — so overlapping sessions of
+//     any tenant reuse each other's decode and transform work.
+//     Eviction is weight-aware (per-tenant byte floors mirroring fair
+//     share), entries are refcounted dwrf batches, and each node's
+//     resident wares ride its heartbeat into the service's
+//     observational cross-node index (WareIndex / WareHolders).
 //
 // Delivery is exactly-once even across non-graceful worker death: a
 // split is acknowledged to its master only when every batch it

@@ -13,6 +13,7 @@ import (
 	"dsi/internal/schema"
 	"dsi/internal/tensor"
 	"dsi/internal/transforms"
+	"dsi/internal/ware"
 	"dsi/internal/warehouse"
 )
 
@@ -65,6 +66,17 @@ type ResourceReport struct {
 	ThreadLimit int
 	// ThreadResidentBytes is resident memory pinned per thread.
 	ThreadResidentBytes int64
+
+	// Fleet content-addressed cache counters, per split fetched through
+	// the pipelined path (all zero for standalone workers, which run
+	// uncached). A transform hit skips fetch, decode, AND the plan; a
+	// stripe hit skips fetch and decode but still transforms.
+	CacheXformHits  int64
+	CacheStripeHits int64
+	CacheMisses     int64
+	// CacheBytesSaved is decoded/transformed column bytes served from
+	// the cache instead of recomputed.
+	CacheBytesSaved int64
 }
 
 // effectiveCores reports the usable core count on the node given the
@@ -180,6 +192,15 @@ type Worker struct {
 	// transformBatch releases each batch once tensors are materialized.
 	arena *dwrf.Arena
 	proj  *schema.Projection
+	// cache, when non-nil, is the node-wide content-addressed batch
+	// cache shared by every pipeline the hosting FleetWorker runs;
+	// cacheTenant attributes its hits, misses, and residency to this
+	// worker's session. Standalone workers leave it nil (uncached).
+	cache       *ware.Cache
+	cacheTenant string
+	// planFP fingerprints this session's preprocessing (compiled plan
+	// or interpreted graph); transformed-batch wares are keyed by it.
+	planFP string
 
 	mu       sync.Mutex
 	buffer   []*tensor.Batch
@@ -273,6 +294,10 @@ func NewWorkerWithEndpoint(id, endpoint string, master MasterAPI, wh *warehouse.
 	if err != nil {
 		plan = nil
 	}
+	planFP := graph.Fingerprint()
+	if plan != nil {
+		planFP = plan.Fingerprint()
+	}
 	return &Worker{
 		ID:          id,
 		Endpoint:    endpoint,
@@ -283,6 +308,7 @@ func NewWorkerWithEndpoint(id, endpoint string, master MasterAPI, wh *warehouse.
 		plan:        plan,
 		arena:       dwrf.NewArena(),
 		proj:        spec.Projection(),
+		planFP:      planFP,
 		splits:      make(map[int]*splitAcct),
 		notEmpty:    make(chan struct{}),
 		notFull:     make(chan struct{}),
@@ -473,6 +499,88 @@ func (w *Worker) fetchSplit(split warehouse.Split, cached bool) (*dwrf.Batch, dw
 	return batch, readStats, err
 }
 
+// UseCache attaches the node-wide content-addressed cache, attributing
+// its activity to tenant (the session ID). Call before Run; the
+// FleetWorker does so for every pipeline it starts.
+func (w *Worker) UseCache(c *ware.Cache, tenant string) {
+	w.cache = c
+	w.cacheTenant = tenant
+}
+
+// fetchSplitThroughCache is the pipelined fetch stage's read path: it
+// resolves the split's content-addressed identities and serves the
+// batch from the fleet cache when any pipeline on this node — any
+// session, any tenant — already decoded (stripe ware) or decoded and
+// transformed (xform ware) the same content under the same projection
+// and plan. Without a cache it degrades to the plain cached-reader
+// fetch. The sequential baseline never comes through here, so the
+// paper's uncached measurements are unchanged.
+func (w *Worker) fetchSplitThroughCache(split warehouse.Split) (fetchedSplit, error) {
+	if w.cache == nil {
+		batch, stats, err := w.fetchSplit(split, true)
+		return fetchedSplit{batch: batch, stats: stats}, err
+	}
+	start := time.Now()
+	r, err := w.wh.CachedReader(split.Path)
+	if err != nil {
+		return fetchedSplit{}, err
+	}
+	sid := ware.StripeID(r.StripeContentHash(split.Stripe), split.Path, split.Stripe, w.proj)
+	xid := ware.XformID(sid, w.planFP)
+
+	// Transformed hit: the exact batch this session's plan would
+	// produce already exists. Fetch, decode, and transform all skip;
+	// the transform stage only materializes tensors (read-only) from
+	// the shared batch.
+	if b := w.cache.Get(xid, w.cacheTenant); b != nil {
+		w.stageFetch.Add(time.Since(start))
+		w.noteCacheHit(true, b.MemBytes())
+		return fetchedSplit{batch: b, preXformed: true}, nil
+	}
+	// Stripe hit: decode skips; the transform stage runs the plan over
+	// a private Derive view (fresh maps over shared columns), then
+	// offers the result under the xform ware.
+	if b := w.cache.Get(sid, w.cacheTenant); b != nil {
+		view := b.Derive(w.arena)
+		w.stageFetch.Add(time.Since(start))
+		w.noteCacheHit(false, b.MemBytes())
+		return fetchedSplit{batch: view, xformWare: xid}, nil
+	}
+	// Miss: decode for real and publish the stripe batch. On
+	// acceptance the worker transforms a Derive view so the cached
+	// columns stay pristine; on refusal (duplicate, over-floor) the
+	// batch stays exclusively owned and flows through unchanged.
+	batch, stats, err := w.fetchSplit(split, true)
+	if err != nil {
+		return fetchedSplit{}, err
+	}
+	w.noteCacheMiss()
+	b, shared := w.cache.Insert(sid, batch, w.cacheTenant)
+	if shared {
+		b = b.Derive(w.arena)
+	}
+	return fetchedSplit{batch: b, stats: stats, xformWare: xid}, nil
+}
+
+// noteCacheHit folds one per-split cache hit into the resource report.
+func (w *Worker) noteCacheHit(xform bool, bytes int64) {
+	w.mu.Lock()
+	if xform {
+		w.report.CacheXformHits++
+	} else {
+		w.report.CacheStripeHits++
+	}
+	w.report.CacheBytesSaved += bytes
+	w.mu.Unlock()
+}
+
+// noteCacheMiss folds one per-split cache miss into the resource report.
+func (w *Worker) noteCacheMiss() {
+	w.mu.Lock()
+	w.report.CacheMisses++
+	w.mu.Unlock()
+}
+
 // transformed bundles one split's transform-stage output.
 type transformed struct {
 	batches []*tensor.Batch
@@ -484,10 +592,22 @@ type transformed struct {
 // transformBatch runs the preprocessing graph — through the compiled
 // slot-indexed plan when it compiled, the interpreter otherwise — and
 // materializes tensors, crediting the transform stage stopwatch. The
-// columnar batch is released back to the worker's arena once the
-// tensors (which copy every value) are built, so the next split's
-// decode and transform reuse its buffers.
+// columnar batch is released once the tensors (which copy every value)
+// are built: for an exclusively owned batch that returns its columns to
+// the worker's arena immediately, for a shared one (cached, or a Derive
+// view over a cached stripe) it drops this consumer's reference.
 func (w *Worker) transformBatch(batch *dwrf.Batch) (transformed, error) {
+	return w.transformPublish(batch, ware.WareID{})
+}
+
+// transformPublish is transformBatch plus publication: when the fleet
+// cache is attached and xw names the transform output, the transformed
+// batch is offered to the cache before materialization — post-transform
+// nothing mutates it, so other pipelines (any session whose projection
+// and plan fingerprint match) may start reading it immediately. Whether
+// the cache accepts or refuses, this worker still holds exactly one
+// reference, consumed by the Release after materialization.
+func (w *Worker) transformPublish(batch *dwrf.Batch, xw ware.WareID) (transformed, error) {
 	start := time.Now()
 	defer func() { w.stageTransform.Add(time.Since(start)) }()
 
@@ -501,6 +621,9 @@ func (w *Worker) transformBatch(batch *dwrf.Batch) (transformed, error) {
 	if err != nil {
 		return transformed{}, err
 	}
+	if w.cache != nil && !xw.IsZero() {
+		batch, _ = w.cache.Insert(xw, batch, w.cacheTenant)
+	}
 	full, err := tensor.Materialize(batch, w.spec.DenseOut, w.spec.SparseOut)
 	if err != nil {
 		return transformed{}, err
@@ -512,6 +635,39 @@ func (w *Worker) transformBatch(batch *dwrf.Batch) (transformed, error) {
 		txBytes += b.SizeBytes()
 	}
 	return transformed{batches: batches, xform: xformStats, rowsOut: int64(full.Rows), txBytes: txBytes}, nil
+}
+
+// transformFetched is the pipelined transform stage's entry point. A
+// split that hit the transformed-batch cache skips the plan entirely:
+// tensor materialization reads the shared batch (Materialize copies
+// every value and never writes the batch) and the only reference this
+// pipeline holds is released. Everything else transforms normally,
+// publishing under the split's xform ware when one was resolved.
+func (w *Worker) transformFetched(f fetchedSplit) (transformed, error) {
+	if !f.preXformed {
+		return w.transformPublish(f.batch, f.xformWare)
+	}
+	start := time.Now()
+	defer func() { w.stageTransform.Add(time.Since(start)) }()
+	rows := f.batch.Rows
+	full, err := tensor.Materialize(f.batch, w.spec.DenseOut, w.spec.SparseOut)
+	f.batch.Release()
+	if err != nil {
+		return transformed{}, err
+	}
+	batches := sliceBatches(full, w.spec.BatchSize)
+	var txBytes int64
+	for _, b := range batches {
+		txBytes += b.SizeBytes()
+	}
+	// No plan ran, so no transform cycles are accounted — that saving
+	// is the point; the rows still count as processed.
+	return transformed{
+		batches: batches,
+		xform:   transforms.Stats{RowsIn: rows, RowsOut: full.Rows},
+		rowsOut: int64(full.Rows),
+		txBytes: txBytes,
+	}, nil
 }
 
 // accountSplit folds one split's read and transform statistics into the
@@ -858,6 +1014,10 @@ func (w *Worker) stats(sample bool) WorkerStats {
 			TransformSeconds: w.stageTransform.Seconds(),
 			DeliverSeconds:   w.stageDeliver.Seconds(),
 		},
+		CacheXformHits:  rep.CacheXformHits,
+		CacheStripeHits: rep.CacheStripeHits,
+		CacheMisses:     rep.CacheMisses,
+		CacheBytesSaved: rep.CacheBytesSaved,
 	}
 }
 

@@ -16,18 +16,36 @@ import (
 // allocation storm (the transform-stage analogue of the tensor wire
 // codec's pools).
 //
-// Ownership rules:
+// Ownership rules (refcounted since the fleet cache):
 //
 //   - A batch created by Arena.NewBatch (every batch decoded through a
-//     *Arena read path) owns its columns; calling Batch.Release hands
-//     them all back. The batch and its columns must not be used after
-//     Release — consumers that need data longer (tensor.Materialize,
-//     row-view samples) copy it out first.
+//     *Arena read path) starts EXCLUSIVELY owned: one owner, one
+//     Release, which hands every column back. The batch and its columns
+//     must not be used after the final Release — consumers that need
+//     data longer (tensor.Materialize, row-view samples) copy it out
+//     first.
+//   - Share transitions a batch to SHARED (counted) ownership with one
+//     reference. Call it before the batch becomes visible to other
+//     goroutines (the fleet cache does so under its own lock, before
+//     insert). From then on Retain adds an owner and each Release drops
+//     one; columns return to the arena only when the last owner
+//     releases. Release on an exclusive batch keeps its historical
+//     semantics, so single-owner paths (the sequential baseline, tests,
+//     struct literals) are unchanged.
+//   - Derive builds a cheap mutable view over a shared batch: fresh
+//     maps aliasing the parent's columns, consuming one reference on
+//     it. Transforms may replace the view's map entries freely; on the
+//     view's final Release only columns the view itself added return to
+//     the arena — borrowed ones stay with the parent, which is released
+//     once. Mutating a shared column IN PLACE is never legal; row ops
+//     and plan kernels only read inputs and install freshly built
+//     outputs, which is why sharing is sound.
 //   - Ops and plans must not retain column slices across batches: a
 //     released column's backing arrays are reused for the next batch.
 //   - Columns placed into an arena batch must not alias each other:
-//     Release returns each map entry once, so an aliased column would
-//     be pooled twice and handed to two future callers.
+//     the final Release returns each map entry once, so an aliased
+//     column would be pooled twice and handed to two future callers.
+//     (Derive views are exempt for borrowed columns, which are skipped.)
 //
 // All methods are safe for concurrent use (the worker's prefetch and
 // transform pools share one arena) and tolerate a nil receiver, which
@@ -162,33 +180,130 @@ func (a *Arena) putLabels(s []float32) {
 // column it replaces can be recycled immediately.
 func (b *Batch) Arena() *Arena { return b.arena }
 
-// Release returns an arena-backed batch's columns, labels, and the
-// batch itself to its arena. It is a no-op for batches not created by
-// Arena.NewBatch (BatchFromSamples, struct literals), so callers on
-// mixed paths can release unconditionally; releasing twice is also
-// safe. The batch must not be used after Release.
+// Share transitions the batch from exclusive to counted ownership,
+// holding one reference on behalf of the caller. It must happen before
+// the batch becomes visible to any other goroutine (the fleet cache
+// shares under its own lock, before insert); sharing an already-shared
+// batch is a bug and panics.
+func (b *Batch) Share() {
+	if !b.refs.CompareAndSwap(0, 1) {
+		panic("dwrf: Share on an already shared batch")
+	}
+}
+
+// Retain adds one owner to a shared batch. Retaining an exclusive
+// (unshared) batch is a bug — there is no count tracking its single
+// owner — and panics.
+func (b *Batch) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("dwrf: Retain on an unshared batch")
+	}
+}
+
+// Shared reports whether the batch participates in shared ownership:
+// either reference-counted itself or a Derive view borrowing columns
+// from a parent. The transform plan checks it before recycling replaced
+// columns in place — a shared column may be visible to other consumers.
+func (b *Batch) Shared() bool {
+	return b != nil && (b.refs.Load() != 0 || b.borrowed != nil)
+}
+
+// Derive returns a mutable view over a shared batch: fresh maps (drawn
+// from arena's batch pool) aliasing b's columns and labels, with b's
+// row count. The view CONSUMES one reference on b — the caller's, taken
+// via Retain or handed out by the cache — and releases it on the view's
+// own final Release. Transforms may replace the view's map entries;
+// borrowed columns are never returned to any arena by the view.
+func (b *Batch) Derive(arena *Arena) *Batch {
+	if b.refs.Load() == 0 {
+		panic("dwrf: Derive from an unshared batch")
+	}
+	d := arena.NewBatch(b.Rows)
+	br := &borrowSet{
+		dense:  make(map[*DenseColumn]bool, len(b.Dense)),
+		sparse: make(map[*SparseColumn]bool, len(b.Sparse)),
+		score:  make(map[*ScoreListColumn]bool, len(b.ScoreList)),
+		labels: b.Labels != nil,
+	}
+	for id, c := range b.Dense {
+		d.Dense[id] = c
+		br.dense[c] = true
+	}
+	for id, c := range b.Sparse {
+		d.Sparse[id] = c
+		br.sparse[c] = true
+	}
+	for id, c := range b.ScoreList {
+		d.ScoreList[id] = c
+		br.score[c] = true
+	}
+	d.Labels = b.Labels
+	d.parent = b
+	d.borrowed = br
+	return d
+}
+
+// Release drops one ownership reference. For an exclusive batch (never
+// Shared) it frees immediately, preserving the historical single-owner
+// contract: a no-op for batches not created by Arena.NewBatch
+// (BatchFromSamples, struct literals, gob), safe to call twice, and the
+// batch must not be used afterwards. For a shared batch it decrements
+// the count and frees only when the last owner releases — which makes
+// the pipeline abort path's unconditional Release correct even when a
+// queued batch is simultaneously held by the fleet cache or by another
+// session's view.
 func (b *Batch) Release() {
-	if b == nil || b.arena == nil {
+	if b == nil {
 		return
 	}
-	a := b.arena
-	b.arena = nil
+	if b.refs.Load() != 0 {
+		if n := b.refs.Add(-1); n > 0 {
+			return
+		} else if n < 0 {
+			panic("dwrf: Release without matching Share/Retain")
+		}
+	}
+	b.free()
+}
+
+// free returns the batch's own columns to its arena (skipping borrowed
+// ones), recycles the batch struct, and releases the parent of a Derive
+// view. Idempotent for already-freed and ordinary batches.
+func (b *Batch) free() {
+	a, parent, br := b.arena, b.parent, b.borrowed
+	if a == nil && parent == nil {
+		return
+	}
+	b.arena, b.parent, b.borrowed = nil, nil, nil
 	for _, c := range b.Dense {
-		a.PutDense(c)
+		if br == nil || !br.dense[c] {
+			a.PutDense(c)
+		}
 	}
 	clear(b.Dense)
 	for _, c := range b.Sparse {
-		a.PutSparse(c)
+		if br == nil || !br.sparse[c] {
+			a.PutSparse(c)
+		}
 	}
 	clear(b.Sparse)
 	for _, c := range b.ScoreList {
-		a.PutScoreList(c)
+		if br == nil || !br.score[c] {
+			a.PutScoreList(c)
+		}
 	}
 	clear(b.ScoreList)
-	a.putLabels(b.Labels)
+	if br == nil || !br.labels {
+		a.putLabels(b.Labels)
+	}
 	b.Labels = nil
 	b.Rows = 0
-	a.batches.Put(b)
+	if a != nil {
+		a.batches.Put(b)
+	}
+	if parent != nil {
+		parent.Release()
+	}
 }
 
 // resizeBools returns a zeroed bool slice of length n reusing s's

@@ -71,6 +71,31 @@ type StripeMeta struct {
 	Length  int64
 	Rows    int
 	Streams []StreamMeta
+	// ContentHash is an FNV-1a digest over the stripe's compressed
+	// stream payloads (pre-encryption, so it is a function of content
+	// alone, not file layout). It names the stripe's decoded value for
+	// content-addressed caching (ware.WareID). Zero in files written
+	// before the field existed — gob tolerates the absence, and readers
+	// fall back to addressing by path+stripe.
+	ContentHash uint64
+}
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds data into a running FNV-1a digest (seed fnvOffset64).
+func fnvMix(h uint64, data []byte) uint64 {
+	if h == 0 {
+		h = fnvOffset64
+	}
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // FileFooter is the file's metadata tail, gob-encoded at the end of the

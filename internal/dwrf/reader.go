@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dsi/internal/schema"
@@ -82,6 +83,28 @@ type Batch struct {
 	// them (see Arena). Unexported so struct literals and gob leave it
 	// nil and Release stays a no-op for ordinary batches.
 	arena *Arena
+
+	// refs is the shared-ownership reference count. Zero means the batch
+	// is exclusively owned (the pre-sharing lifecycle: one owner, one
+	// Release). Share transitions the batch to counted mode with one
+	// reference; Retain adds one; Release in counted mode decrements and
+	// frees only when the count hits zero. See Arena's ownership rules.
+	refs atomic.Int32
+	// parent, for a Derive view, is the shared batch whose columns this
+	// view borrows; freeing the view releases one reference on it.
+	parent *Batch
+	// borrowed marks the columns a Derive view aliases from its parent;
+	// they are skipped when the view's own columns return to the arena.
+	borrowed *borrowSet
+}
+
+// borrowSet records which of a derived batch's columns belong to its
+// parent (identity sets, since transforms may replace map entries).
+type borrowSet struct {
+	dense  map[*DenseColumn]bool
+	sparse map[*SparseColumn]bool
+	score  map[*ScoreListColumn]bool
+	labels bool
 }
 
 // DenseColumn is one dense feature across a batch's rows.
@@ -112,6 +135,24 @@ type ScoreListColumn struct {
 // RowValues returns row i's scored values (possibly empty).
 func (c *ScoreListColumn) RowValues(i int) []schema.ScoredValue {
 	return c.Values[c.Offsets[i]:c.Offsets[i+1]]
+}
+
+// MemBytes estimates the batch's resident column bytes (labels, dense
+// bitmap+values, CSR offsets+values). The fleet cache weighs entries by
+// it; a Derive view reports the same size as its parent since it aliases
+// the same columns.
+func (b *Batch) MemBytes() int64 {
+	total := int64(len(b.Labels)) * 4
+	for _, c := range b.Dense {
+		total += int64(len(c.Present)) + int64(len(c.Values))*4
+	}
+	for _, c := range b.Sparse {
+		total += int64(len(c.Offsets))*4 + int64(len(c.Values))*8
+	}
+	for _, c := range b.ScoreList {
+		total += int64(len(c.Offsets))*4 + int64(len(c.Values))*12
+	}
+	return total
 }
 
 // newBatch allocates an empty batch for rows rows.
@@ -177,6 +218,12 @@ func (r *Reader) Columns() []schema.Column { return r.footer.Columns }
 
 // StripeRows reports the row count of stripe i.
 func (r *Reader) StripeRows(i int) int { return r.footer.Stripes[i].Rows }
+
+// StripeContentHash reports stripe i's content digest (FNV-1a over its
+// compressed stream payloads, recorded at write time). Zero for files
+// written before the field existed; content-addressed callers fall back
+// to path+stripe identity then.
+func (r *Reader) StripeContentHash(i int) uint64 { return r.footer.Stripes[i].ContentHash }
 
 // DataBytes reports the total stored stream bytes (excluding header and
 // footer).

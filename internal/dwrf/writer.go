@@ -154,6 +154,10 @@ func (w *Writer) appendStream(meta *StripeMeta, kind streamKind, feature schema.
 	if err != nil {
 		return err
 	}
+	// Fold the compressed (pre-encryption) bytes into the stripe's
+	// content hash: encryption IVs depend on file offsets, so hashing
+	// before the crypt pass keeps the digest a pure function of content.
+	meta.ContentHash = fnvMix(meta.ContentHash, comp)
 	if err := cryptStream(comp, w.offset); err != nil {
 		return err
 	}

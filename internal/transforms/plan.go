@@ -46,6 +46,10 @@ type Plan struct {
 	rowOps []Op
 	steps  []planStep
 
+	// fingerprint is the stable digest of the compiled op sequence,
+	// computed once by CompilePlan (see Graph.Fingerprint).
+	fingerprint string
+
 	// Raw features bound from the batch maps into slots once per run.
 	rawDense  []slotBind
 	rawSparse []slotBind
@@ -242,8 +246,15 @@ func (g *Graph) CompilePlan() (*Plan, error) {
 			return nil, err
 		}
 	}
+	p.fingerprint = g.Fingerprint()
 	return p, nil
 }
+
+// Fingerprint returns the plan's stable content digest: equal plans
+// (same op sequence, same configuration) fingerprint equally across
+// processes, so it can key content-addressed caches of transform
+// outputs (ware.WareID). Computed once at compile time.
+func (p *Plan) Fingerprint() string { return p.fingerprint }
 
 // planCompiler holds the feature→slot resolution state during lowering.
 type planCompiler struct {
@@ -639,8 +650,10 @@ func (p *Plan) Run(b *dwrf.Batch, arena *dwrf.Arena) (Stats, error) {
 	// raw-bound (its consumers resolve to the produced slot), so when
 	// the batch shares the run's arena the column being replaced — a
 	// previous run's output over the same batch — can be recycled
-	// immediately.
-	recycle := b.Arena() == arena && arena != nil
+	// immediately. Never for shared batches (refcounted cache entries or
+	// Derive views): a replaced column there may be borrowed from — and
+	// still visible through — another consumer's batch.
+	recycle := b.Arena() == arena && arena != nil && !b.Shared()
 	for _, pb := range p.pubDense {
 		if recycle {
 			if old, ok := b.Dense[pb.id]; ok && old != e.dense[pb.slot] {

@@ -1,0 +1,355 @@
+package ware
+
+import (
+	"container/list"
+	"math"
+	"sort"
+	"sync"
+
+	"dsi/internal/dwrf"
+)
+
+// Cache is a byte-bounded, tenant-fair, content-addressed store of
+// shared batches: one per fleet node, shared by every pipeline the node
+// hosts. Entries are reference-counted dwrf batches (the cache holds
+// one reference; every Get hands out another), so an entry can be
+// evicted while consumers still read it — the columns return to the
+// arena only when the last holder releases.
+//
+// Fairness mirrors the service's weighted fair-share scheduler: each
+// tenant gets a byte floor proportional to its weight, and eviction
+// never takes a victim below its owner's floor on behalf of *another*
+// tenant. A cold tenant churning through new data therefore steals only
+// the over-floor surplus of hot tenants (and its own entries), never a
+// hot tenant's fair share. An insert with no legal victim is refused —
+// the batch simply stays exclusively owned by the inserting pipeline.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[string]*entry // key: WareID.String()
+	lru      *list.List        // *entry; front = most recently used
+	tenants  map[string]*tenantState
+
+	hits      map[string]int64 // by pack
+	misses    int64
+	inserts   int64
+	evictions int64
+	rejected  int64
+	saved     int64 // bytes of decode/transform output served from cache
+}
+
+type entry struct {
+	key    string
+	pack   string
+	batch  *dwrf.Batch
+	bytes  int64
+	tenant string // inserting tenant, charged for residency
+	elem   *list.Element
+}
+
+type tenantState struct {
+	weight     float64
+	bytes      int64
+	stripeHits int64
+	xformHits  int64
+	misses     int64
+	saved      int64
+}
+
+// Stats is a point-in-time snapshot of cache-wide counters.
+type Stats struct {
+	Capacity   int64
+	Resident   int64
+	Entries    int
+	StripeHits int64
+	XformHits  int64
+	Misses     int64
+	Inserts    int64
+	Evictions  int64
+	Rejected   int64
+	BytesSaved int64
+}
+
+// Hits sums stripe and transform hits.
+func (s Stats) Hits() int64 { return s.StripeHits + s.XformHits }
+
+// HitRate is Hits/(Hits+Misses), 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits() + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
+// TenantStats is one tenant's view of the cache.
+type TenantStats struct {
+	Weight     float64
+	Bytes      int64 // resident bytes charged to this tenant
+	FloorBytes int64 // fair-share floor eviction respects
+	StripeHits int64
+	XformHits  int64
+	Misses     int64
+	BytesSaved int64
+}
+
+// Hits sums stripe and transform hits.
+func (t TenantStats) Hits() int64 { return t.StripeHits + t.XformHits }
+
+// HitRate is Hits/(Hits+Misses), 0 when no lookups happened.
+func (t TenantStats) HitRate() float64 {
+	total := t.Hits() + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits()) / float64(total)
+}
+
+// NewCache returns a cache bounded to capacity bytes. A non-positive
+// capacity yields a cache that refuses every insert (lookups still
+// work and count misses), which is how "disabled" composes with the
+// rest of the wiring without nil checks.
+func NewCache(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+		tenants:  make(map[string]*tenantState),
+		hits:     make(map[string]int64),
+	}
+}
+
+// Capacity reports the byte bound.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// RegisterTenant records a tenant's scheduling weight, which sets its
+// eviction floor. Non-finite or non-positive weights register as 1
+// (mirroring the service's CreateSession defaulting). Re-registering
+// updates the weight in place.
+func (c *Cache) RegisterTenant(id string, weight float64) {
+	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight <= 0 {
+		weight = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tenant(id).weight = weight
+}
+
+// tenant returns the state for id, creating it with weight 1. Callers
+// hold c.mu.
+func (c *Cache) tenant(id string) *tenantState {
+	t := c.tenants[id]
+	if t == nil {
+		t = &tenantState{weight: 1}
+		c.tenants[id] = t
+	}
+	return t
+}
+
+// floorLocked computes a tenant's byte floor: capacity scaled by its
+// share of total registered weight. Callers hold c.mu.
+func (c *Cache) floorLocked(t *tenantState) int64 {
+	var total float64
+	for _, ts := range c.tenants {
+		total += ts.weight
+	}
+	if total <= 0 {
+		return 0
+	}
+	return int64(float64(c.capacity) * t.weight / total)
+}
+
+// Get looks up a ware and, on a hit, returns the cached batch with one
+// reference retained for the caller, who must Release it exactly once
+// (directly for read-only use, or by releasing a Derive view built on
+// it). Returns nil on a miss. The hit is attributed to tenant; misses
+// are NOT counted here — a full per-split miss is counted by the
+// stripe Insert that follows, so a missed xform probe that then hits
+// the stripe cache still scores as one hit.
+func (c *Cache) Get(id WareID, tenant string) *dwrf.Batch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[id.String()]
+	if e == nil {
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits[e.pack]++
+	c.saved += e.bytes
+	t := c.tenant(tenant)
+	switch e.pack {
+	case PackXform:
+		t.xformHits++
+	default:
+		t.stripeHits++
+	}
+	t.saved += e.bytes
+	e.batch.Retain()
+	return e.batch
+}
+
+// Insert offers a batch for caching under id, charged to tenant. On
+// acceptance it transitions the batch to shared ownership (the cache
+// keeps one reference), retains one more for the caller, and returns
+// (b, true): the caller now holds a counted reference it must consume
+// via Derive or Release, and must no longer mutate the batch's columns
+// in place. On refusal — duplicate key, zero capacity, batch larger
+// than capacity, or no eviction victim above its owner's floor — it
+// returns (b, false) and the caller keeps plain exclusive ownership.
+//
+// A stripe-pack Insert also counts one per-split cache miss for the
+// tenant (accepted or not): every split lookup ends in exactly one of
+// xform hit, stripe hit, or stripe insert.
+func (c *Cache) Insert(id WareID, b *dwrf.Batch, tenant string) (*dwrf.Batch, bool) {
+	size := b.MemBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tenant(tenant)
+	if id.Pack == PackStripe {
+		t.misses++
+		c.misses++
+	}
+	key := id.String()
+	if c.entries[key] != nil || size <= 0 || size > c.capacity {
+		c.rejected++
+		return b, false
+	}
+	if !c.evictForLocked(size, tenant) {
+		c.rejected++
+		return b, false
+	}
+	b.Share()  // cache's reference
+	b.Retain() // caller's reference
+	e := &entry{key: key, pack: id.Pack, batch: b, bytes: size, tenant: tenant}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.used += size
+	t.bytes += size
+	c.inserts++
+	return b, true
+}
+
+// evictForLocked frees room for need bytes on behalf of tenant,
+// dropping least-recently-used entries whose owner is either over its
+// floor or is the inserting tenant itself. Reports whether the space
+// was found; on false the cache is left as it was apart from any
+// legally evicted entries. Callers hold c.mu.
+func (c *Cache) evictForLocked(need int64, tenant string) bool {
+	for c.used+need > c.capacity {
+		victim := c.victimLocked(tenant)
+		if victim == nil {
+			return false
+		}
+		c.dropLocked(victim)
+		c.evictions++
+	}
+	return true
+}
+
+// victimLocked scans the LRU from the cold end for the first entry
+// eviction may legally take on behalf of tenant. Callers hold c.mu.
+func (c *Cache) victimLocked(tenant string) *entry {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.tenant == tenant {
+			return e
+		}
+		owner := c.tenants[e.tenant]
+		if owner == nil || owner.bytes > c.floorLocked(owner) {
+			return e
+		}
+	}
+	return nil
+}
+
+// dropLocked removes an entry and releases the cache's reference on
+// its batch; outstanding consumer references keep the columns alive.
+// Callers hold c.mu.
+func (c *Cache) dropLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.key)
+	c.used -= e.bytes
+	if t := c.tenants[e.tenant]; t != nil {
+		t.bytes -= e.bytes
+	}
+	e.batch.Release()
+}
+
+// Flush evicts every entry (tests and eviction-refetch cycles).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Back(); el != nil; {
+		prev := el.Prev()
+		c.dropLocked(el.Value.(*entry))
+		c.evictions++
+		el = prev
+	}
+}
+
+// Stats snapshots cache-wide counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Capacity:   c.capacity,
+		Resident:   c.used,
+		Entries:    len(c.entries),
+		StripeHits: c.hits[PackStripe],
+		XformHits:  c.hits[PackXform],
+		Misses:     c.misses,
+		Inserts:    c.inserts,
+		Evictions:  c.evictions,
+		Rejected:   c.rejected,
+		BytesSaved: c.saved,
+	}
+}
+
+// TenantStats snapshots one tenant's counters and current floor.
+func (c *Cache) TenantStats(id string) TenantStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tenants[id]
+	if t == nil {
+		return TenantStats{}
+	}
+	return TenantStats{
+		Weight:     t.weight,
+		Bytes:      t.bytes,
+		FloorBytes: c.floorLocked(t),
+		StripeHits: t.stripeHits,
+		XformHits:  t.xformHits,
+		Misses:     t.misses,
+		BytesSaved: t.saved,
+	}
+}
+
+// Wares lists resident ware keys, most recently used first, capped at
+// limit (<=0 means all). The fleet heartbeat ships this digest list to
+// the service's cross-node ware index.
+func (c *Cache) Wares(limit int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.lru.Len()
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	out := make([]string, 0, n)
+	for el := c.lru.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// Tenants lists registered tenant IDs in sorted order.
+func (c *Cache) Tenants() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.tenants))
+	for id := range c.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

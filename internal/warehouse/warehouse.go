@@ -10,6 +10,7 @@
 package warehouse
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,16 +31,60 @@ type Warehouse struct {
 	mu     sync.Mutex
 	tables map[string]*Table
 
-	readerMu sync.Mutex
-	readers  map[string]*dwrf.Reader
+	readerMu    sync.Mutex
+	readers     map[string]*list.Element // *readerEntry
+	readerLRU   *list.List               // front = most recently used
+	readerLimit int
 }
+
+// readerEntry is one cached open reader.
+type readerEntry struct {
+	path string
+	r    *dwrf.Reader
+}
+
+// DefaultReaderCacheLimit bounds the shared reader cache when no
+// explicit limit is set: enough for every partition of a sizeable
+// training window to stay open, while a long-lived service scanning
+// thousands of partitions no longer grows the map without bound.
+const DefaultReaderCacheLimit = 256
 
 // New returns an empty warehouse on cluster.
 func New(cluster *tectonic.Cluster) *Warehouse {
 	return &Warehouse{
-		cluster: cluster,
-		tables:  make(map[string]*Table),
-		readers: make(map[string]*dwrf.Reader),
+		cluster:     cluster,
+		tables:      make(map[string]*Table),
+		readers:     make(map[string]*list.Element),
+		readerLRU:   list.New(),
+		readerLimit: DefaultReaderCacheLimit,
+	}
+}
+
+// SetReaderCacheLimit bounds the shared reader cache to n open readers
+// (n <= 0 restores the default), evicting least-recently-used entries
+// immediately if the cache is already over the new bound. It shares its
+// sizing story with the fleet batch cache: cmd/dppd exposes both knobs
+// side by side.
+func (w *Warehouse) SetReaderCacheLimit(n int) {
+	if n <= 0 {
+		n = DefaultReaderCacheLimit
+	}
+	w.readerMu.Lock()
+	defer w.readerMu.Unlock()
+	w.readerLimit = n
+	w.evictReadersLocked()
+}
+
+// evictReadersLocked drops least-recently-used readers until the cache
+// fits the limit. Evicted readers are simply dropped: dwrf readers hold
+// no OS resources (Tectonic is in-process), so eviction is garbage
+// collection of footer decode state; in-flight reads through an evicted
+// instance finish normally. Callers hold readerMu.
+func (w *Warehouse) evictReadersLocked() {
+	for w.readerLRU.Len() > w.readerLimit {
+		el := w.readerLRU.Back()
+		w.readerLRU.Remove(el)
+		delete(w.readers, el.Value.(*readerEntry).path)
 	}
 }
 
@@ -335,28 +380,41 @@ func readSplitBatch(r *dwrf.Reader, sp Split, proj *schema.Projection, opts dwrf
 }
 
 // CachedReader returns a shared reader for path, opening (and footer-
-// decoding) it at most once per warehouse. Readers are immutable after
-// open, so the cached instance is safe for concurrent use; partitions are
-// immutable once published, so the cache never goes stale.
+// decoding) it at most once per warehouse while resident. Readers are
+// immutable after open, so the cached instance is safe for concurrent
+// use; partitions are immutable once published, so the cache never goes
+// stale. Residency is LRU-bounded (SetReaderCacheLimit): the map no
+// longer grows with every partition a long-lived service ever touched.
 func (w *Warehouse) CachedReader(path string) (*dwrf.Reader, error) {
 	w.readerMu.Lock()
-	r, ok := w.readers[path]
-	w.readerMu.Unlock()
-	if ok {
+	if el, ok := w.readers[path]; ok {
+		w.readerLRU.MoveToFront(el)
+		r := el.Value.(*readerEntry).r
+		w.readerMu.Unlock()
 		return r, nil
 	}
+	w.readerMu.Unlock()
 	r, err := dwrf.OpenReader(w.cluster, path)
 	if err != nil {
 		return nil, err
 	}
 	w.readerMu.Lock()
-	if prev, ok := w.readers[path]; ok {
-		r = prev // lost an open race; keep the first instance
+	if el, ok := w.readers[path]; ok {
+		r = el.Value.(*readerEntry).r // lost an open race; keep the first instance
+		w.readerLRU.MoveToFront(el)
 	} else {
-		w.readers[path] = r
+		w.readers[path] = w.readerLRU.PushFront(&readerEntry{path: path, r: r})
+		w.evictReadersLocked()
 	}
 	w.readerMu.Unlock()
 	return r, nil
+}
+
+// CachedReaders reports how many readers are currently resident.
+func (w *Warehouse) CachedReaders() int {
+	w.readerMu.Lock()
+	defer w.readerMu.Unlock()
+	return w.readerLRU.Len()
 }
 
 // ReadSplitBatchCached is ReadSplitBatch through the shared reader cache:
