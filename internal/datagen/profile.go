@@ -180,6 +180,13 @@ type DatasetSpec struct {
 	Partitions   int
 	RowsPerPart  int
 	RowsPerStipe int
+	// SparseCardinality bounds the categorical ID space the Zipf draws
+	// from; 0 keeps the default 1<<22. Small values produce
+	// dictionary-friendly low-cardinality columns.
+	SparseCardinality uint64
+	// AscendingIDs emits each sparse row's IDs as a strictly ascending
+	// sequence (cumulative Zipf gaps), the shape delta encoding targets.
+	AscendingIDs bool
 }
 
 // Scale derives a simulation-sized dataset spec. scale shrinks the
@@ -278,11 +285,15 @@ type Generator struct {
 // NewGenerator returns a deterministic generator for the spec.
 func NewGenerator(spec DatasetSpec, seed int64) *Generator {
 	rng := rand.New(rand.NewSource(seed))
+	card := spec.SparseCardinality
+	if card == 0 {
+		card = 1 << 22
+	}
 	g := &Generator{
 		spec:     spec,
 		pop:      spec.popularity(),
 		rng:      rng,
-		zipf:     rand.NewZipf(rng, 1.3, 4, 1<<22),
+		zipf:     rand.NewZipf(rng, 1.3, 4, card),
 		coverage: make(map[schema.FeatureID]float64),
 		meanLen:  make(map[schema.FeatureID]float64),
 	}
@@ -316,9 +327,18 @@ func (g *Generator) Sample() *schema.Sample {
 				n = 512
 			}
 			vals := make([]int64, n)
-			for j := range vals {
-				// Zipf categorical IDs: heavy reuse of low IDs.
-				vals[j] = int64(g.zipf.Uint64())
+			if g.spec.AscendingIDs {
+				// Strictly ascending IDs from cumulative Zipf gaps.
+				cur := int64(0)
+				for j := range vals {
+					cur += 1 + int64(g.zipf.Uint64())
+					vals[j] = cur
+				}
+			} else {
+				for j := range vals {
+					// Zipf categorical IDs: heavy reuse of low IDs.
+					vals[j] = int64(g.zipf.Uint64())
+				}
 			}
 			s.SparseFeatures[id] = vals
 		}

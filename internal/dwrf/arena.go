@@ -107,6 +107,9 @@ func (a *Arena) Sparse(rows int) *SparseColumn {
 	} else {
 		c.Values = c.Values[:0]
 	}
+	// Reset to the plain representation; a dictionary decode or kernel
+	// re-fills Dict (capacity carries over like the value slices).
+	c.Dict = c.Dict[:0]
 	return c
 }
 

@@ -57,3 +57,31 @@ func BatchFromSamples(rows []*schema.Sample) *Batch {
 	}
 	return b
 }
+
+// MaterializeDicts replaces every dictionary-indexed sparse column with
+// a freshly allocated plain column holding the decoded values. The
+// replacements are heap-allocated and alias nothing (fresh Offsets too),
+// so the call is legal on exclusive batches and Derive views alike — it
+// swaps map entries, never mutates a column in place. Consumers that
+// interpret column values directly without dictionary awareness (the
+// interpreted transform path) call it once up front.
+func (b *Batch) MaterializeDicts() {
+	for id, c := range b.Sparse {
+		if !c.IsDict() {
+			continue
+		}
+		nc := &SparseColumn{
+			Offsets: append([]int32(nil), c.Offsets...),
+			Values:  make([]int64, len(c.Values)),
+		}
+		for i, idx := range c.Values {
+			nc.Values[i] = c.Dict[idx]
+		}
+		b.Sparse[id] = nc
+		// An exclusively-owned arena column just replaced can recycle
+		// immediately; shared or borrowed columns stay with their owners.
+		if b.arena != nil && !b.Shared() {
+			b.arena.PutSparse(c)
+		}
+	}
+}

@@ -718,29 +718,29 @@ func TestStreamingDecodeRejectsBadRows(t *testing.T) {
 				p.i64(int64(j))
 			}
 		}
-		return p.buf.Bytes()
+		return p.bytes()
 	}
 	arena := NewArena()
 	// Out of range.
 	col := arena.Sparse(4)
-	if err := decodeSparseInto(mk([2]uint32{9, 1}), 4, col); err == nil {
+	if err := decodeSparseInto(mk([2]uint32{9, 1}), EncPlain, 4, col); err == nil {
 		t.Fatal("out-of-range row accepted")
 	}
 	// Out of order.
 	col = arena.Sparse(4)
-	if err := decodeSparseInto(mk([2]uint32{2, 1}, [2]uint32{1, 1}), 4, col); err == nil {
+	if err := decodeSparseInto(mk([2]uint32{2, 1}, [2]uint32{1, 1}), EncPlain, 4, col); err == nil {
 		t.Fatal("out-of-order row accepted")
 	}
 	// Count larger than payload.
 	col = arena.Sparse(4)
-	if err := decodeSparseInto(mk([2]uint32{0, 0}), 4, col); err != nil {
+	if err := decodeSparseInto(mk([2]uint32{0, 0}), EncPlain, 4, col); err != nil {
 		t.Fatalf("valid empty entry rejected: %v", err)
 	}
 	var p payloadWriter
 	p.u32(1)
 	p.u32(0)
 	p.u32(1 << 30) // claims 2^30 values with nothing behind them
-	if err := decodeSparseInto(p.buf.Bytes(), 4, arena.Sparse(4)); err == nil {
+	if err := decodeSparseInto(p.bytes(), EncPlain, 4, arena.Sparse(4)); err == nil {
 		t.Fatal("oversized count accepted")
 	}
 	// Dense out of range.
@@ -748,7 +748,7 @@ func TestStreamingDecodeRejectsBadRows(t *testing.T) {
 	pd.u32(1)
 	pd.u32(7)
 	pd.f32(1)
-	if err := decodeDenseInto(pd.buf.Bytes(), 4, arena.Dense(4)); err == nil {
+	if err := decodeDenseInto(pd.bytes(), EncPlain, 4, arena.Dense(4)); err == nil {
 		t.Fatal("dense out-of-range row accepted")
 	}
 }

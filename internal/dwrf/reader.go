@@ -119,11 +119,43 @@ type SparseColumn struct {
 	// Values[Offsets[i]:Offsets[i+1]].
 	Offsets []int32
 	Values  []int64
+	// Dict, when non-empty, marks the dictionary-indexed representation:
+	// Values holds indices into Dict (every index < len(Dict)) and Dict
+	// holds the column's sorted distinct values. Dictionary-encoded
+	// streams decode into this form so downstream kernels can transform
+	// each DISTINCT value once per stripe; kernels that need raw values
+	// materialize via MaterializedValues. An empty Dict means Values are
+	// the feature values themselves (the plain representation).
+	Dict []int64
 }
 
-// RowValues returns row i's values (possibly empty).
+// IsDict reports whether the column is dictionary-indexed.
+func (c *SparseColumn) IsDict() bool { return len(c.Dict) > 0 }
+
+// RowValues returns row i's stored values (possibly empty). For a
+// dictionary-indexed column these are dictionary INDICES, not feature
+// values — length-only consumers may use them directly; value consumers
+// go through MaterializedValues.
 func (c *SparseColumn) RowValues(i int) []int64 {
 	return c.Values[c.Offsets[i]:c.Offsets[i+1]]
+}
+
+// MaterializedValues returns the column's decoded feature values,
+// aligned with Offsets: Values itself for a plain column (no copy), or
+// dst — grown as needed — filled through the dictionary. Callers that
+// materialize repeatedly pass the previous return as dst to recycle it.
+func (c *SparseColumn) MaterializedValues(dst []int64) []int64 {
+	if len(c.Dict) == 0 {
+		return c.Values
+	}
+	if cap(dst) < len(c.Values) {
+		dst = make([]int64, len(c.Values))
+	}
+	dst = dst[:len(c.Values)]
+	for i, idx := range c.Values {
+		dst[i] = c.Dict[idx]
+	}
+	return dst
 }
 
 // ScoreListColumn is one score-list feature across a batch's rows.
@@ -147,7 +179,7 @@ func (b *Batch) MemBytes() int64 {
 		total += int64(len(c.Present)) + int64(len(c.Values))*4
 	}
 	for _, c := range b.Sparse {
-		total += int64(len(c.Offsets))*4 + int64(len(c.Values))*8
+		total += int64(len(c.Offsets))*4 + int64(len(c.Values))*8 + int64(len(c.Dict))*8
 	}
 	for _, c := range b.ScoreList {
 		total += int64(len(c.Offsets))*4 + int64(len(c.Values))*12
@@ -201,7 +233,19 @@ func OpenReader(cluster *tectonic.Cluster, path string) (*Reader, error) {
 	if err := gob.NewDecoder(bytes.NewReader(footerBytes)).Decode(&footer); err != nil {
 		return nil, fmt.Errorf("dwrf: decode footer of %s: %w", path, err)
 	}
+	if footer.Version > Version {
+		return nil, fmt.Errorf("dwrf: %s written by format v%d, reader supports up to v%d", path, footer.Version, Version)
+	}
 	return &Reader{cluster: cluster, path: path, footer: footer}, nil
+}
+
+// Version reports the format version the file was written with (v1
+// files predate the footer field and report 1).
+func (r *Reader) Version() int {
+	if r.footer.Version == 0 {
+		return 1
+	}
+	return r.footer.Version
 }
 
 // Rows reports the total row count.
@@ -316,24 +360,72 @@ func planIO(selected []StreamMeta, coalesce int64) []ioPlan {
 	return append(plans, cur)
 }
 
+// bufClassCaps are the capacity classes of the byte-buffer pools. A
+// buffer returns to the smallest class its capacity fits; buffers over
+// the largest class are dropped for the GC, so one jumbo stream can
+// never pin an arbitrarily large buffer in a pool (the old single-pool
+// design kept whatever the biggest stream ever seen allocated).
+var bufClassCaps = [...]int64{4 << 10, 64 << 10, 1 << 20, 16 << 20}
+
+// bufClass returns the index of the smallest class holding n bytes, or
+// -1 when n exceeds every class (unpooled).
+func bufClass(n int64) int {
+	for i, c := range bufClassCaps {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// bufPool is a set of capacity-classed *[]byte pools.
+type bufPool struct {
+	classes [len(bufClassCaps)]sync.Pool
+}
+
+// get returns a buffer of length n. The pooled buffer's capacity may
+// trail n within its class, in which case it is reallocated (and will
+// re-pool in the right class by its new capacity).
+func (p *bufPool) get(n int64) *[]byte {
+	var bp *[]byte
+	if cls := bufClass(n); cls >= 0 {
+		bp, _ = p.classes[cls].Get().(*[]byte)
+	}
+	if bp == nil {
+		bp = new([]byte)
+	}
+	if int64(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// put recycles a buffer into the class its capacity fits.
+func (p *bufPool) put(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	cls := bufClass(int64(cap(*bp)))
+	if cls < 0 {
+		return // jumbo: let the GC take it
+	}
+	p.classes[cls].Put(bp)
+}
+
 // encPool recycles the staging buffers holding each stream's encrypted,
 // compressed bytes between fetch and decompression, so a stripe read
-// costs no per-stream staging allocation. Pooled as *[]byte to keep the
-// slice header off the heap on Put.
-var encPool = sync.Pool{New: func() any { return new([]byte) }}
+// costs no per-stream staging allocation.
+var encPool bufPool
 
 // payloadPool recycles decompressed stream payloads: the column
 // decoders parse every value out of them, so once a stripe is decoded
 // into a batch (or row samples) its payload buffers go straight back.
-var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+var payloadPool bufPool
 
 // getPayloadBuf returns a pooled buffer of length n.
 func getPayloadBuf(n int64) []byte {
-	bp := payloadPool.Get().(*[]byte)
-	if int64(cap(*bp)) < n {
-		*bp = make([]byte, n)
-	}
-	return (*bp)[:n]
+	return *payloadPool.get(n)
 }
 
 // putPayloadBuf recycles one payload buffer.
@@ -341,7 +433,7 @@ func putPayloadBuf(b []byte) {
 	if b == nil {
 		return
 	}
-	payloadPool.Put(&b)
+	payloadPool.put(&b)
 }
 
 // releasePayloads recycles every fetched stream payload of a stripe.
@@ -355,16 +447,16 @@ func releasePayloads(payloads map[int64][]byte) {
 
 // getEncBuf returns a pooled buffer of length n.
 func getEncBuf(n int64) *[]byte {
-	bp := encPool.Get().(*[]byte)
-	if int64(cap(*bp)) < n {
-		*bp = make([]byte, n)
-	}
-	*bp = (*bp)[:n]
-	return bp
+	return encPool.get(n)
 }
 
 // fetchStripe executes the I/O plan and returns each selected stream's
-// decrypted, decompressed payload keyed by file offset.
+// decrypted, decompressed payload keyed by file offset. Storage reads go
+// through the cluster's borrowed-slice path when the range is
+// memory-resident in one chunk, and the decrypt pass writes straight
+// from the (borrowed or copied) raw bytes into the staging buffer — no
+// intermediate copy either way. Error paths release every payload
+// already fetched; the stripe's buffers never leak on a partial fetch.
 func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts ReadOptions) (map[int64][]byte, []StreamMeta, ReadStats, error) {
 	selected := r.selectStreams(meta, proj)
 	plans := planIO(selected, opts.CoalesceBytes)
@@ -372,9 +464,10 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 	payloads := make(map[int64][]byte, len(selected))
 	for _, p := range plans {
 		fetchStart := time.Now()
-		raw, t, err := r.cluster.ReadAt(r.path, p.offset, p.length)
+		raw, _, t, err := r.cluster.ReadAtBorrow(r.path, p.offset, p.length)
 		stats.FetchWall += time.Since(fetchStart)
 		if err != nil {
+			releasePayloads(payloads)
 			return nil, nil, stats, err
 		}
 		stats.IOs++
@@ -387,14 +480,15 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 			stats.BytesWanted += s.Length
 			encBuf := getEncBuf(s.Length)
 			enc := *encBuf
-			copy(enc, raw[s.Offset-p.offset:s.Offset-p.offset+s.Length])
-			if err := cryptStream(enc, s.Offset); err != nil {
-				encPool.Put(encBuf)
+			if err := cryptStreamTo(enc, raw[s.Offset-p.offset:s.Offset-p.offset+s.Length], s.Offset); err != nil {
+				encPool.put(encBuf)
+				releasePayloads(payloads)
 				return nil, nil, stats, err
 			}
 			dec, err := decompress(enc, s.RawLength)
-			encPool.Put(encBuf)
+			encPool.put(encBuf)
 			if err != nil {
+				releasePayloads(payloads)
 				return nil, nil, stats, fmt.Errorf("dwrf: stream at %d: %w", s.Offset, err)
 			}
 			stats.BytesDecoded += int64(len(dec))
@@ -433,6 +527,10 @@ func (r *Reader) ReadStripe(i int, proj *schema.Projection, opts ReadOptions) ([
 	if err != nil {
 		return nil, stats, err
 	}
+	if selected[0].Encoding != EncPlain {
+		releasePayloads(payloads)
+		return nil, stats, fmt.Errorf("dwrf: %v encoding invalid for row-data stream", selected[0].Encoding)
+	}
 	rows, err := decodeRowData(payloads[selected[0].Offset])
 	releasePayloads(payloads)
 	if err != nil {
@@ -464,9 +562,11 @@ func samplesFromBatch(b *Batch) []*schema.Sample {
 		}
 	}
 	for id, col := range b.Sparse {
+		vals := col.MaterializedValues(nil)
 		for i := 0; i < b.Rows; i++ {
-			if vals := col.RowValues(i); len(vals) > 0 {
-				rows[i].SparseFeatures[id] = append([]int64(nil), vals...)
+			lo, hi := col.Offsets[i], col.Offsets[i+1]
+			if hi > lo {
+				rows[i].SparseFeatures[id] = append([]int64(nil), vals[lo:hi]...)
 			}
 		}
 	}
@@ -528,15 +628,15 @@ func decodeStripeBatch(meta *StripeMeta, payloads map[int64][]byte, selected []S
 			b.Labels, err = decodeLabels(payload, arena)
 		case streamDense:
 			col := arena.Dense(meta.Rows)
-			err = decodeDenseInto(payload, meta.Rows, col)
+			err = decodeDenseInto(payload, s.Encoding, meta.Rows, col)
 			b.Dense[s.Feature] = col
 		case streamSparse:
 			col := arena.Sparse(meta.Rows)
-			err = decodeSparseInto(payload, meta.Rows, col)
+			err = decodeSparseInto(payload, s.Encoding, meta.Rows, col)
 			b.Sparse[s.Feature] = col
 		case streamScoreList:
 			col := arena.ScoreList(meta.Rows)
-			err = decodeScoreListInto(payload, meta.Rows, col)
+			err = decodeScoreListInto(payload, s.Encoding, meta.Rows, col)
 			b.ScoreList[s.Feature] = col
 		}
 		if err != nil {

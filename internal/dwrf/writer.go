@@ -27,6 +27,11 @@ type WriterOptions struct {
 	// order, mirroring the effectively random order the paper describes
 	// for un-reordered data generation.
 	StreamOrder []schema.FeatureID
+	// PlainEncodings forces EncPlain for every stream, producing stream
+	// payloads byte-identical to format v1 (same compressed bytes, same
+	// StripeMeta.ContentHash). Benchmarks use it to compare encodings on
+	// identical data; the default lets the writer pick per stream.
+	PlainEncodings bool
 }
 
 func (o *WriterOptions) fill() {
@@ -46,6 +51,9 @@ type Writer struct {
 	offset  int64
 	footer  FileFooter
 	closed  bool
+	// enc holds the stripe encoder's scratch buffers; one per writer so
+	// steady-state stream encoding is allocation-free.
+	enc stripeEncoder
 }
 
 // NewWriter creates the backing file and returns a writer. The file is
@@ -68,6 +76,7 @@ func NewWriter(cluster *tectonic.Cluster, path string, ts *schema.TableSchema, o
 		footer: FileFooter{
 			Flattened: opts.Flatten,
 			Columns:   append([]schema.Column(nil), ts.Columns...),
+			Version:   Version,
 		},
 	}, nil
 }
@@ -149,7 +158,7 @@ func scramble(id schema.FeatureID) uint32 {
 
 // appendStream compresses, encrypts and appends one stream, recording its
 // metadata.
-func (w *Writer) appendStream(meta *StripeMeta, kind streamKind, feature schema.FeatureID, payload []byte) error {
+func (w *Writer) appendStream(meta *StripeMeta, kind streamKind, feature schema.FeatureID, enc StreamEncoding, payload []byte) error {
 	comp, err := compress(payload)
 	if err != nil {
 		return err
@@ -170,6 +179,7 @@ func (w *Writer) appendStream(meta *StripeMeta, kind streamKind, feature schema.
 		Offset:    w.offset,
 		Length:    int64(len(comp)),
 		RawLength: int64(len(payload)),
+		Encoding:  enc,
 	})
 	w.offset += int64(len(comp))
 	return nil
@@ -185,11 +195,11 @@ func (w *Writer) flushStripe() error {
 	meta := StripeMeta{Offset: w.offset, Rows: len(rows)}
 
 	if !w.opts.Flatten {
-		if err := w.appendStream(&meta, streamRowData, 0, encodeRowData(rows)); err != nil {
+		if err := w.appendStream(&meta, streamRowData, 0, EncPlain, w.enc.encodeRowData(rows)); err != nil {
 			return err
 		}
 	} else {
-		if err := w.appendStream(&meta, streamLabel, 0, encodeLabels(rows)); err != nil {
+		if err := w.appendStream(&meta, streamLabel, 0, EncPlain, w.enc.encodeLabels(rows)); err != nil {
 			return err
 		}
 		for _, id := range w.streamLayout(rows) {
@@ -198,18 +208,22 @@ func (w *Writer) flushStripe() error {
 				return fmt.Errorf("dwrf: sample has feature %d absent from schema %s", id, w.schema.Name)
 			}
 			var payload []byte
+			var enc StreamEncoding
 			var kind streamKind
 			switch col.Kind {
 			case schema.Dense:
-				payload, kind = encodeDense(rows, id), streamDense
+				payload, enc = w.enc.encodeDense(rows, id, w.opts.PlainEncodings)
+				kind = streamDense
 			case schema.Sparse:
-				payload, kind = encodeSparse(rows, id), streamSparse
+				payload, enc = w.enc.encodeSparse(rows, id, w.opts.PlainEncodings)
+				kind = streamSparse
 			case schema.ScoreList:
-				payload, kind = encodeScoreList(rows, id), streamScoreList
+				payload, enc = w.enc.encodeScoreList(rows, id, w.opts.PlainEncodings)
+				kind = streamScoreList
 			default:
 				return fmt.Errorf("dwrf: unknown feature kind %v", col.Kind)
 			}
-			if err := w.appendStream(&meta, kind, id, payload); err != nil {
+			if err := w.appendStream(&meta, kind, id, enc, payload); err != nil {
 				return err
 			}
 		}

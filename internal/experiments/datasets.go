@@ -77,10 +77,15 @@ func defaultBuild() buildOpts {
 	// sparse-feature count (188 at paper scale) large enough for
 	// per-kind selection granularity. Feature reordering is on, matching
 	// the production deployment (§7.5).
+	// PlainEncodings pins the paper-reproduction experiments to the v1
+	// wire layout the paper's fleet ran: §6.3's resource balance (membw
+	// vs NIC) was measured before any dictionary/RLE/delta compression,
+	// and the lighter v2 streams would shift it. The dedicated
+	// "encodings" experiment contrasts the two layouts explicitly.
 	return buildOpts{
 		Partitions:  2,
 		RowsPerPart: 1024,
-		Writer:      dwrf.WriterOptions{Flatten: true, RowsPerStripe: 256},
+		Writer:      dwrf.WriterOptions{Flatten: true, RowsPerStripe: 256, PlainEncodings: true},
 		Seed:        1,
 		Reorder:     true,
 	}

@@ -23,7 +23,7 @@ func runAblations() (Result, error) {
 	build.Scale = 0.012
 	build.Partitions = 1
 	build.RowsPerPart = 2048
-	build.Writer = dwrf.WriterOptions{Flatten: true, RowsPerStripe: 512}
+	build.Writer = dwrf.WriterOptions{Flatten: true, RowsPerStripe: 512, PlainEncodings: true}
 	build.Reorder = true
 	d, err := BuildDataset(datagen.RM1, build)
 	if err != nil {
@@ -58,7 +58,7 @@ func runAblations() (Result, error) {
 	// --- Stripe-size sweep: average I/O size vs memory footprint. ----
 	for _, stripe := range []int{128, 512, 2048} {
 		b2 := build
-		b2.Writer = dwrf.WriterOptions{Flatten: true, RowsPerStripe: stripe}
+		b2.Writer = dwrf.WriterOptions{Flatten: true, RowsPerStripe: stripe, PlainEncodings: true}
 		d2, err := BuildDataset(datagen.RM1, b2)
 		if err != nil {
 			return res, err

@@ -289,7 +289,7 @@ func runTable12() (Result, error) {
 		o.Scale = 0.012
 		o.Partitions = 1
 		o.RowsPerPart = 4096
-		o.Writer = dwrf.WriterOptions{Flatten: flatten, RowsPerStripe: rowsPerStripe}
+		o.Writer = dwrf.WriterOptions{Flatten: flatten, RowsPerStripe: rowsPerStripe, PlainEncodings: true}
 		o.Reorder = reorder
 		return o
 	}

@@ -11,7 +11,7 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
-		"ablations",
+		"ablations", "encodings",
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"gaps", "membw", "multitenant", "scaling",
 		"table10", "table11", "table12", "table2", "table3", "table4",
@@ -327,5 +327,38 @@ func TestBuildDatasetDeterministic(t *testing.T) {
 	}
 	if a.Table.TotalBytes() != b.Table.TotalBytes() {
 		t.Fatalf("dataset not deterministic: %d vs %d", a.Table.TotalBytes(), b.Table.TotalBytes())
+	}
+}
+
+func TestEncodingsShrinkEncodableShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds datasets")
+	}
+	res, err := Run("encodings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{
+		"zipf low-cardinality data bytes v2/v1",
+		"ascending IDs data bytes v2/v1",
+	} {
+		row := findRow(t, res, label)
+		var ratio float64
+		if _, err := fmt.Sscanf(row.Measured, "%f", &ratio); err != nil {
+			t.Fatalf("parse %q: %v", row.Measured, err)
+		}
+		if ratio >= 1 {
+			t.Fatalf("%s = %v, want < 1", label, ratio)
+		}
+	}
+	// Full-range IDs defeat every encoding; selection must fall back to
+	// plain and cost nothing.
+	row := findRow(t, res, "zipf full-range data bytes v2/v1")
+	var ratio float64
+	if _, err := fmt.Sscanf(row.Measured, "%f", &ratio); err != nil {
+		t.Fatalf("parse %q: %v", row.Measured, err)
+	}
+	if ratio > 1.0001 {
+		t.Fatalf("full-range ratio = %v, want <= 1", ratio)
 	}
 }

@@ -341,6 +341,53 @@ func (c *Cluster) ReadAt(path string, offset, length int64) ([]byte, time.Durati
 	return out, done, nil
 }
 
+// ReadAtBorrow is ReadAt returning, when the range lies within a single
+// memory-resident chunk, a slice that ALIASES the chunk's buffer instead
+// of a copy (borrowed=true). The caller must treat a borrowed slice as
+// read-only and not hold it across a Delete of the file. Borrowing is
+// safe against concurrent appends because chunks are append-only: new
+// bytes land beyond the length observed at read time, and a growth
+// reallocation leaves the old array intact. Ranges spanning chunk
+// boundaries fall back to the copying path (borrowed=false). Device-time
+// and I/O accounting are identical to ReadAt, so storage metrics don't
+// depend on which path served the read.
+func (c *Cluster) ReadAtBorrow(path string, offset, length int64) ([]byte, bool, time.Duration, error) {
+	cs := c.opts.ChunkSize
+	if length <= 0 || offset < 0 || offset/cs != (offset+length-1)/cs {
+		out, t, err := c.ReadAt(path, offset, length)
+		return out, false, t, err
+	}
+	f, err := c.lookup(path)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	f.mu.Lock()
+	size := f.size
+	replicas := f.replicas
+	f.mu.Unlock()
+
+	if offset+length > size {
+		return nil, false, 0, fmt.Errorf("tectonic: read [%d,%d) beyond size %d of %s", offset, offset+length, size, path)
+	}
+
+	chunkIdx := offset / cs
+	within := offset % cs
+	nodeID := replicas[chunkIdx][0]
+	node := c.nodes[nodeID]
+	key := chunkKey{path: path, index: chunkIdx}
+	node.mu.Lock()
+	buf := node.chunks[key]
+	out := buf[within : within+length : within+length]
+	node.mu.Unlock()
+
+	stream := fmt.Sprintf("%s#%d", path, chunkIdx)
+	done := node.Disk.Read(stream, within, length)
+	c.IOSizes.Observe(float64(length))
+	c.ReadOps.Inc()
+	c.ReadBytes.Add(length)
+	return out, true, done, nil
+}
+
 // ReadAll reads the whole file.
 func (c *Cluster) ReadAll(path string) ([]byte, time.Duration, error) {
 	size, err := c.Size(path)

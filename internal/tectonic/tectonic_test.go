@@ -314,3 +314,63 @@ func TestReadAtRandomAccessProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReadAtBorrowSingleChunk(t *testing.T) {
+	c := newTestCluster(t, 16)
+	if err := c.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello tectonic, this spans several chunks of sixteen bytes")
+	if err := c.Append("f", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fully inside one chunk: the read is served zero-copy.
+	got, borrowed, _, err := c.ReadAtBorrow("f", 17, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !borrowed {
+		t.Fatal("single-chunk read not borrowed")
+	}
+	if !bytes.Equal(got, data[17:27]) {
+		t.Fatalf("borrowed read = %q, want %q", got, data[17:27])
+	}
+	// Appending more data must not disturb the borrowed slice (chunks
+	// are append-only and the borrow is capacity-clamped).
+	if err := c.Append("f", bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[17:27]) {
+		t.Fatalf("borrowed bytes changed after append: %q", got)
+	}
+
+	// Spanning a chunk boundary falls back to the copying path.
+	got, borrowed, _, err = c.ReadAtBorrow("f", 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if borrowed {
+		t.Fatal("cross-chunk read claimed borrowed")
+	}
+	if !bytes.Equal(got, data[10:30]) {
+		t.Fatalf("fallback read = %q, want %q", got, data[10:30])
+	}
+
+	// Both paths account identically.
+	ops, rb := c.ReadOps.Value(), c.ReadBytes.Value()
+	if _, _, _, err := c.ReadAtBorrow("f", 17, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.ReadOps.Value() != ops+1 || c.ReadBytes.Value() != rb+10 {
+		t.Fatalf("borrowed read accounting: ops %d->%d bytes %d->%d",
+			ops, c.ReadOps.Value(), rb, c.ReadBytes.Value())
+	}
+	if _, _, err := c.ReadAt("f", 17, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.ReadOps.Value() != ops+2 || c.ReadBytes.Value() != rb+20 {
+		t.Fatalf("copying read accounting: ops %d bytes %d",
+			c.ReadOps.Value(), c.ReadBytes.Value())
+	}
+}

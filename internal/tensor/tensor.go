@@ -124,7 +124,16 @@ func Materialize(src *dwrf.Batch, denseIDs, sparseIDs []schema.FeatureID) (*Batc
 				return nil, fmt.Errorf("tensor: sparse feature %d has %d offsets for %d rows", id, len(col.Offsets), src.Rows)
 			}
 			st.Offsets = append([]int32(nil), col.Offsets...)
-			st.Indices = append([]int64(nil), col.Values...)
+			if col.IsDict() {
+				// Dictionary-indexed column: expand to actual IDs here so
+				// the delivered tensor is representation-independent.
+				st.Indices = make([]int64, len(col.Values))
+				for i, idx := range col.Values {
+					st.Indices[i] = col.Dict[idx]
+				}
+			} else {
+				st.Indices = append([]int64(nil), col.Values...)
+			}
 		}
 		out.Sparse = append(out.Sparse, st)
 	}

@@ -159,6 +159,10 @@ func (g *Graph) Run(b *dwrf.Batch) (Stats, error) {
 	}
 	stats := newStats()
 	stats.RowsIn = b.Rows
+	// The interpreter's reference ops operate on plain value slices;
+	// dictionary-indexed columns from the v2 reader are expanded up
+	// front. The compiled Plan path keeps dicts and exploits them.
+	b.MaterializeDicts()
 	for _, op := range g.sorted {
 		values, err := op.Apply(b)
 		if err != nil {

@@ -122,6 +122,23 @@ const (
 	fnvPrime64  uint64 = 1099511628211
 )
 
+// mix64 folds one int64 (little-endian bytes) into a running FNV-1a
+// state. Exposed separately from hash64 so dictionary-aware kernels can
+// pre-mix a hash prefix once per DISTINCT value (Cartesian's left side,
+// NGram's window head) and finish per occurrence — the split keeps
+// those outputs bit-identical to hash64 over the full argument list.
+func mix64(h uint64, v int64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// finish64 masks a final FNV-1a state into the non-negative int64 ID
+// space.
+func finish64(h uint64) int64 { return int64(h & 0x7fffffffffffffff) }
+
 // hash64 hashes ints with FNV-1a over their little-endian bytes (used
 // by SigridHash/Cartesian/NGram). Inlined rather than hash/fnv because
 // the digest object escaped to the heap, making every hashed value an
@@ -129,12 +146,9 @@ const (
 func hash64(parts ...int64) int64 {
 	h := fnvOffset64
 	for _, p := range parts {
-		for i := 0; i < 8; i++ {
-			h ^= uint64(byte(p >> (8 * i)))
-			h *= fnvPrime64
-		}
+		h = mix64(h, p)
 	}
-	return int64(h & 0x7fffffffffffffff)
+	return finish64(h)
 }
 
 // denseMapper is an elementwise dense→dense op: output presence mirrors

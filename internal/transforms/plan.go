@@ -149,8 +149,56 @@ type planExec struct {
 	// scratch is IdListTransform's sorted membership buffer.
 	scratch []int64
 
+	// matVals/matDone lazily cache, per sparse slot, the materialized
+	// values of dictionary-indexed input columns: kernels that need raw
+	// values (IdListTransform, the Cartesian/NGram value sides) share
+	// one materialization per column per run, while dict-preserving
+	// kernels never pay it. The buffers are exec-owned scratch and
+	// recycle across runs; matDone is cleared each reset.
+	matVals [][]int64
+	matDone []bool
+	// prefix holds per-distinct-value pre-mixed FNV states for the
+	// dictionary-aware Cartesian/NGram kernels; scoreTab the
+	// per-distinct scored values of ComputeScore. Rebuilt by each step
+	// that uses them, so sequential steps share one buffer.
+	prefix   []uint64
+	scoreTab []schema.ScoredValue
+
 	arena *dwrf.Arena
 	stats *Stats
+}
+
+// sparseVals returns a slot's materialized feature values: the column's
+// own Values for plain columns (no copy), or an exec-cached
+// materialization for dictionary-indexed ones — each dict column
+// materializes at most once per run regardless of how many kernels need
+// raw values.
+func (e *planExec) sparseVals(slot int) []int64 {
+	src := e.sparse[slot]
+	if !src.IsDict() {
+		return src.Values
+	}
+	if e.matDone[slot] {
+		return e.matVals[slot]
+	}
+	buf := i64Values(e.matVals[slot], len(src.Values))
+	for i, idx := range src.Values {
+		buf[i] = src.Dict[idx]
+	}
+	e.matVals[slot] = buf
+	e.matDone[slot] = true
+	return buf
+}
+
+// dictPrefixes fills e.prefix with the pre-mixed FNV state of every
+// dictionary entry (the shared first-argument contribution to hash64).
+func (e *planExec) dictPrefixes(dict []int64) []uint64 {
+	pref := resizeScratch(e.prefix, len(dict))
+	for d, v := range dict {
+		pref[d] = mix64(fnvOffset64, v)
+	}
+	e.prefix = pref
+	return pref
 }
 
 // reset prepares the exec for a run over rows rows.
@@ -161,6 +209,8 @@ func (e *planExec) reset(p *Plan, rows int, arena *dwrf.Arena, stats *Stats) {
 	e.dense = resizeSlots(e.dense, p.nDense)
 	e.sparse = resizeSlots(e.sparse, p.nSparse)
 	e.score = resizeSlots(e.score, p.nScore)
+	e.matVals = resizeKeep(e.matVals, p.nSparse)
+	e.matDone = resizeSlots(e.matDone, p.nSparse)
 	e.emptyDense.Present = resizeNeverWritten(e.emptyDense.Present, rows)
 	e.emptyDense.Values = resizeNeverWritten(e.emptyDense.Values, rows)
 	e.emptySparse.Offsets = resizeNeverWritten(e.emptySparse.Offsets, rows+1)
@@ -176,14 +226,36 @@ func (e *planExec) finish() {
 	e.stats = nil
 }
 
-// resizeSlots returns a nil-cleared slice of n column pointers.
-func resizeSlots[T any](s []*T, n int) []*T {
+// resizeSlots returns a zero-cleared slice of n entries (column
+// pointers, done flags).
+func resizeSlots[T any](s []T, n int) []T {
 	if cap(s) < n {
-		return make([]*T, n)
+		return make([]T, n)
 	}
 	s = s[:n]
 	clear(s)
 	return s
+}
+
+// resizeKeep grows a slice to n entries preserving existing contents —
+// used for per-slot scratch buffers that recycle their capacity across
+// runs.
+func resizeKeep[T any](s []T, n int) []T {
+	if cap(s) < n {
+		ns := make([]T, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+// resizeScratch resizes a fully-overwritten scratch slice without
+// clearing.
+func resizeScratch[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // resizeNeverWritten resizes a slice whose contents are only ever the
@@ -394,9 +466,20 @@ func (c *planCompiler) lower(op Op) error {
 			src := e.sparse[in]
 			dst := e.newSparse()
 			dst.Offsets = append(dst.Offsets[:0], src.Offsets...)
-			dst.Values = i64Values(dst.Values, len(src.Values))
-			for i, v := range src.Values {
-				dst.Values[i] = hash64(v, o.Salt) % o.MaxValue
+			if src.IsDict() {
+				// Hash each DISTINCT value once; the per-occurrence
+				// indices carry over unchanged, so the output stays
+				// dictionary-indexed.
+				dst.Dict = i64Values(dst.Dict, len(src.Dict))
+				for d, v := range src.Dict {
+					dst.Dict[d] = hash64(v, o.Salt) % o.MaxValue
+				}
+				dst.Values = append(dst.Values, src.Values...)
+			} else {
+				dst.Values = i64Values(dst.Values, len(src.Values))
+				for i, v := range src.Values {
+					dst.Values[i] = hash64(v, o.Salt) % o.MaxValue
+				}
 			}
 			e.sparse[out] = dst
 			e.account(op, int64(len(src.Values)))
@@ -410,6 +493,9 @@ func (c *planCompiler) lower(op Op) error {
 		c.step(op, func(e *planExec) error {
 			src := e.sparse[in]
 			dst := e.newSparse()
+			// Truncation works the same in index space, so the loop is
+			// representation-agnostic; a dict input just carries its
+			// dictionary over (copied — arena columns must not alias).
 			for i := 0; i < e.rows; i++ {
 				dst.Offsets[i] = int32(len(dst.Values))
 				vals := src.RowValues(i)
@@ -419,6 +505,9 @@ func (c *planCompiler) lower(op Op) error {
 				dst.Values = append(dst.Values, vals...)
 			}
 			dst.Offsets[e.rows] = int32(len(dst.Values))
+			if src.IsDict() {
+				dst.Dict = append(dst.Dict, src.Dict...)
+			}
 			e.sparse[out] = dst
 			e.account(op, int64(len(src.Values)))
 			return nil
@@ -432,9 +521,19 @@ func (c *planCompiler) lower(op Op) error {
 			src := e.sparse[in]
 			dst := e.newSparse()
 			dst.Offsets = append(dst.Offsets[:0], src.Offsets...)
-			dst.Values = i64Values(dst.Values, len(src.Values))
-			for i, v := range src.Values {
-				dst.Values[i] = ((v % o.M) + o.M) % o.M
+			if src.IsDict() {
+				// Elementwise op on a dict column: transform each distinct
+				// value once, keep the indices as-is.
+				dst.Dict = i64Values(dst.Dict, len(src.Dict))
+				for d, v := range src.Dict {
+					dst.Dict[d] = ((v % o.M) + o.M) % o.M
+				}
+				dst.Values = append(dst.Values, src.Values...)
+			} else {
+				dst.Values = i64Values(dst.Values, len(src.Values))
+				for i, v := range src.Values {
+					dst.Values[i] = ((v % o.M) + o.M) % o.M
+				}
 			}
 			e.sparse[out] = dst
 			e.account(op, int64(len(src.Values)))
@@ -463,12 +562,24 @@ func (c *planCompiler) lower(op Op) error {
 			src := e.sparse[in]
 			dst := e.newSparse()
 			dst.Offsets = append(dst.Offsets[:0], src.Offsets...)
-			dst.Values = i64Values(dst.Values, len(src.Values))
-			for i, v := range src.Values {
-				if mapped, ok := o.Mapping[v]; ok {
-					dst.Values[i] = mapped
-				} else {
-					dst.Values[i] = o.Default
+			if src.IsDict() {
+				dst.Dict = i64Values(dst.Dict, len(src.Dict))
+				for d, v := range src.Dict {
+					if mapped, ok := o.Mapping[v]; ok {
+						dst.Dict[d] = mapped
+					} else {
+						dst.Dict[d] = o.Default
+					}
+				}
+				dst.Values = append(dst.Values, src.Values...)
+			} else {
+				dst.Values = i64Values(dst.Values, len(src.Values))
+				for i, v := range src.Values {
+					if mapped, ok := o.Mapping[v]; ok {
+						dst.Values[i] = mapped
+					} else {
+						dst.Values[i] = o.Default
+					}
 				}
 			}
 			e.sparse[out] = dst
@@ -479,11 +590,15 @@ func (c *planCompiler) lower(op Op) error {
 		a, bb, out := c.sparseIn(o.A), c.sparseIn(o.B), c.sparseOut(o.Out)
 		c.step(op, func(e *planExec) error {
 			sa, sb := e.sparse[a], e.sparse[bb]
+			// Intersection compares actual values, so dict inputs are
+			// materialized once per stripe via the slot cache.
+			va, vb := e.sparseVals(a), e.sparseVals(bb)
 			dst := e.newSparse()
 			var processed int64
 			for i := 0; i < e.rows; i++ {
 				dst.Offsets[i] = int32(len(dst.Values))
-				av, bv := sa.RowValues(i), sb.RowValues(i)
+				av := va[sa.Offsets[i]:sa.Offsets[i+1]]
+				bv := vb[sb.Offsets[i]:sb.Offsets[i+1]]
 				processed += int64(len(av) + len(bv))
 				if len(av) == 0 || len(bv) == 0 {
 					continue
@@ -500,9 +615,25 @@ func (c *planCompiler) lower(op Op) error {
 		c.step(op, func(e *planExec) error {
 			sa, sb := e.sparse[a], e.sparse[bb]
 			dst := e.newSparse()
-			for i := 0; i < e.rows; i++ {
-				dst.Offsets[i] = int32(len(dst.Values))
-				dst.Values = crossInto(dst.Values, sa.RowValues(i), sb.RowValues(i), o.MaxOutput)
+			vb := e.sparseVals(bb)
+			if sa.IsDict() {
+				// Fold each distinct A value into the hash state once per
+				// stripe; rows then combine the precomputed prefix with B.
+				pref := e.dictPrefixes(sa.Dict)
+				for i := 0; i < e.rows; i++ {
+					dst.Offsets[i] = int32(len(dst.Values))
+					dst.Values = crossPrefixInto(dst.Values,
+						sa.Values[sa.Offsets[i]:sa.Offsets[i+1]], pref,
+						vb[sb.Offsets[i]:sb.Offsets[i+1]], o.MaxOutput)
+				}
+			} else {
+				va := sa.Values
+				for i := 0; i < e.rows; i++ {
+					dst.Offsets[i] = int32(len(dst.Values))
+					dst.Values = crossInto(dst.Values,
+						va[sa.Offsets[i]:sa.Offsets[i+1]],
+						vb[sb.Offsets[i]:sb.Offsets[i+1]], o.MaxOutput)
+				}
 			}
 			dst.Offsets[e.rows] = int32(len(dst.Values))
 			e.sparse[out] = dst
@@ -517,9 +648,22 @@ func (c *planCompiler) lower(op Op) error {
 		c.step(op, func(e *planExec) error {
 			src := e.sparse[in]
 			dst := e.newSparse()
-			for i := 0; i < e.rows; i++ {
-				dst.Offsets[i] = int32(len(dst.Values))
-				dst.Values = ngramInto(dst.Values, src.RowValues(i), o.N)
+			if src.IsDict() {
+				// Seed each n-gram's hash from the per-dict-entry prefix
+				// table; only the n-1 continuation values fold per element.
+				pref := e.dictPrefixes(src.Dict)
+				vals := e.sparseVals(in)
+				for i := 0; i < e.rows; i++ {
+					dst.Offsets[i] = int32(len(dst.Values))
+					dst.Values = ngramPrefixInto(dst.Values,
+						src.Values[src.Offsets[i]:src.Offsets[i+1]], pref,
+						vals[src.Offsets[i]:src.Offsets[i+1]], o.N)
+				}
+			} else {
+				for i := 0; i < e.rows; i++ {
+					dst.Offsets[i] = int32(len(dst.Values))
+					dst.Values = ngramInto(dst.Values, src.RowValues(i), o.N)
+				}
 			}
 			dst.Offsets[e.rows] = int32(len(dst.Values))
 			e.sparse[out] = dst
@@ -537,8 +681,21 @@ func (c *planCompiler) lower(op Op) error {
 			} else {
 				dst.Values = dst.Values[:len(src.Values)]
 			}
-			for i, v := range src.Values {
-				dst.Values[i] = o.scored(v)
+			if src.IsDict() {
+				// Score each distinct value once, then gather through the
+				// per-stripe table by index.
+				tab := resizeScratch(e.scoreTab, len(src.Dict))
+				for d, v := range src.Dict {
+					tab[d] = o.scored(v)
+				}
+				e.scoreTab = tab
+				for i, idx := range src.Values {
+					dst.Values[i] = tab[idx]
+				}
+			} else {
+				for i, v := range src.Values {
+					dst.Values[i] = o.scored(v)
+				}
 			}
 			e.score[out] = dst
 			e.account(op, int64(len(src.Values)))

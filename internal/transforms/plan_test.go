@@ -1,6 +1,7 @@
 package transforms
 
 import (
+	"sort"
 	"sync"
 	"testing"
 
@@ -36,6 +37,7 @@ func copyBatch(b *dwrf.Batch) *dwrf.Batch {
 		nb.Sparse[id] = &dwrf.SparseColumn{
 			Offsets: append([]int32(nil), c.Offsets...),
 			Values:  append([]int64(nil), c.Values...),
+			Dict:    append([]int64(nil), c.Dict...),
 		}
 	}
 	for id, c := range b.ScoreList {
@@ -83,7 +85,11 @@ func requireBatchEqual(t *testing.T, want, got *dwrf.Batch) {
 	}
 	for id, w := range want.Sparse {
 		g := got.Sparse[id]
-		if g == nil || !sliceEq(w.Offsets, g.Offsets) || !sliceEq(w.Values, g.Values) {
+		// Compare through MaterializedValues: the interpreter expands
+		// dictionary columns up front while the plan keeps them
+		// dict-indexed, and both representations must decode equal.
+		if g == nil || !sliceEq(w.Offsets, g.Offsets) ||
+			!sliceEq(w.MaterializedValues(nil), g.MaterializedValues(nil)) {
 			t.Fatalf("sparse %d differs:\nwant %+v\ngot  %+v", id, w, g)
 		}
 	}
@@ -219,6 +225,106 @@ func TestPlanParityEveryOp(t *testing.T) {
 	// The missing-feature reads must still have produced output columns.
 	if out.Dense[105] == nil || out.Sparse[119] == nil || out.Sparse[120] == nil {
 		t.Fatal("missing-feature outputs not produced")
+	}
+}
+
+// dictify rewrites every sparse column into its dictionary-indexed
+// representation (sorted distinct values in Dict, per-occurrence indices
+// in Values) — exactly what the v2 DWRF reader produces for
+// dict-encoded streams.
+func dictify(b *dwrf.Batch) *dwrf.Batch {
+	for id, c := range b.Sparse {
+		if len(c.Values) == 0 {
+			continue
+		}
+		dict := append([]int64(nil), c.Values...)
+		sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+		n := 1
+		for i := 1; i < len(dict); i++ {
+			if dict[i] != dict[n-1] {
+				dict[n] = dict[i]
+				n++
+			}
+		}
+		dict = dict[:n]
+		idx := make([]int64, len(c.Values))
+		for i, v := range c.Values {
+			idx[i] = int64(sort.Search(len(dict), func(d int) bool { return dict[d] >= v }))
+		}
+		b.Sparse[id] = &dwrf.SparseColumn{Offsets: c.Offsets, Values: idx, Dict: dict}
+	}
+	return b
+}
+
+// TestPlanParityDictEncodedInputs feeds the compiled plan
+// dictionary-indexed sparse inputs while the interpreter sees the same
+// batch in plain form, covering every dict-aware kernel: the decoded
+// outputs, stats, and tensor ContentSums must match, and elementwise ops
+// must keep (not expand) the dictionary representation. The graph
+// fingerprint must not depend on input representation either.
+func TestPlanParityDictEncodedInputs(t *testing.T) {
+	mk := func() *Graph {
+		return NewGraph().Add(
+			&SigridHash{In: 2, Out: 110, Salt: 5, MaxValue: 1000},
+			&FirstX{In: 2, Out: 111, X: 2},
+			&PositiveModulus{In: 2, Out: 112, M: 7},
+			&Enumerate{In: 2, Out: 113},
+			&MapId{In: 2, Out: 114, Mapping: map[int64]int64{10: 1000, 40: 4000}, Default: -1},
+			&IdListTransform{A: 2, B: 3, Out: 115},
+			&Cartesian{A: 2, B: 3, Out: 116, MaxOutput: 4},
+			&NGram{In: 2, Out: 117, N: 2},
+			&ComputeScore{In: 2, Out: 118, ScaleA: 2, BiasB: 1},
+			&Sampling{Rate: 0.5, Seed: 9},
+		)
+	}
+	g := mk()
+	plan, err := g.CompilePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := g.Fingerprint()
+
+	base := parityBatch()
+	interp := copyBatch(base)
+	wantStats, err := g.Run(interp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, arena := range map[string]*dwrf.Arena{"arena": dwrf.NewArena(), "no-arena": nil} {
+		compiled := dictify(copyBatch(base))
+		gotStats, err := plan.Run(compiled, arena)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		requireBatchEqual(t, interp, compiled)
+		requireStatsEqual(t, wantStats, gotStats)
+		if !compiled.Sparse[110].IsDict() {
+			t.Fatalf("%s: SigridHash over a dict input should stay dict-indexed", name)
+		}
+		if compiled.Sparse[116].IsDict() || compiled.Sparse[117].IsDict() {
+			t.Fatalf("%s: generative ops must produce plain columns", name)
+		}
+
+		dense, sparse := allFeatureIDs(interp)
+		wantT, err := tensor.Materialize(interp, dense, sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotT, err := tensor.Materialize(compiled, dense, sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSum, gotSum := tensor.NewContentSum(), tensor.NewContentSum()
+		wantSum.AddBatch(wantT)
+		gotSum.AddBatch(gotT)
+		if !wantSum.Equal(gotSum) {
+			t.Fatalf("%s: ContentSum differs between plain and dict inputs", name)
+		}
+	}
+
+	if mk().Fingerprint() != fp {
+		t.Fatal("graph fingerprint unstable")
 	}
 }
 

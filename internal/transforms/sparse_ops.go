@@ -42,11 +42,55 @@ outer:
 	return dst
 }
 
+// crossPrefixInto is crossInto for a dictionary-indexed left side: aIdx
+// holds dictionary indices and pref the pre-mixed FNV state of each
+// distinct left value, so the left half of every pair hash is computed
+// once per distinct value per stripe instead of once per pair. Output
+// is bit-identical to crossInto over the materialized values.
+func crossPrefixInto(dst []int64, aIdx []int64, pref []uint64, bv []int64, maxOut int) []int64 {
+	n := len(aIdx) * len(bv)
+	if n == 0 {
+		return dst
+	}
+	if maxOut > 0 && n > maxOut {
+		n = maxOut
+	}
+	emitted := 0
+outer:
+	for _, xi := range aIdx {
+		h0 := pref[xi]
+		for _, y := range bv {
+			if emitted >= n {
+				break outer
+			}
+			dst = append(dst, finish64(mix64(h0, y)))
+			emitted++
+		}
+	}
+	return dst
+}
+
 // ngramInto appends the hash of every n-length sliding window of vals
 // to dst.
 func ngramInto(dst []int64, vals []int64, n int) []int64 {
 	for j := 0; j+n <= len(vals); j++ {
 		dst = append(dst, hash64(vals[j:j+n]...))
+	}
+	return dst
+}
+
+// ngramPrefixInto is ngramInto for a dictionary-indexed column: idxs
+// holds the row's dictionary indices, pref the pre-mixed FNV state of
+// each distinct value (the window head's contribution), and vals the
+// row's materialized values for the window tail. Bit-identical to
+// ngramInto over vals.
+func ngramPrefixInto(dst []int64, idxs []int64, pref []uint64, vals []int64, n int) []int64 {
+	for j := 0; j+n <= len(vals); j++ {
+		h := pref[idxs[j]]
+		for k := 1; k < n; k++ {
+			h = mix64(h, vals[j+k])
+		}
+		dst = append(dst, finish64(h))
 	}
 	return dst
 }
@@ -575,6 +619,12 @@ func (o *Sampling) Apply(b *dwrf.Batch) (int64, error) {
 	}
 	for id, col := range b.Sparse {
 		nc := buildSparse(len(keep), func(ni int) []int64 { return col.RowValues(keep[ni]) })
+		if col.IsDict() {
+			// RowValues of a dictionary-indexed column are indices; the
+			// rebuilt column keeps the representation, so carry the
+			// dictionary (copied — arena columns must not alias).
+			nc.Dict = append([]int64(nil), col.Dict...)
+		}
 		b.Sparse[id] = nc
 	}
 	for id, col := range b.ScoreList {
