@@ -16,14 +16,15 @@ import (
 
 // decodeBenchTable writes a 2048-row flattened table of 8 sparse + 2
 // dense features whose sparse IDs follow the given shape, and returns
-// an open reader plus the file's data size.
+// an open reader, the file's data size, and the backing cluster (so
+// fault-path benches can install schedules on it).
 //
 // card > 0 draws IDs uniformly from [0, card) — low values produce the
 // dictionary-eligible columns production sees on user/ad ID features
 // after enumeration, high values defeat every encoding. ascending
 // emits strictly increasing IDs (cumulative gaps), the shape delta
 // encoding targets.
-func decodeBenchTable(b *testing.B, card int64, ascending, plain bool) (*dwrf.Reader, int64) {
+func decodeBenchTable(b *testing.B, card int64, ascending, plain bool) (*dwrf.Reader, int64, *tectonic.Cluster) {
 	b.Helper()
 	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2})
 	if err != nil {
@@ -77,7 +78,7 @@ func decodeBenchTable(b *testing.B, card int64, ascending, plain bool) (*dwrf.Re
 	if err != nil {
 		b.Fatal(err)
 	}
-	return r, r.DataBytes()
+	return r, r.DataBytes(), cluster
 }
 
 // benchDatasetLowCard mirrors benchDataset's bench table but draws
@@ -207,7 +208,7 @@ func BenchmarkStripeDecode(b *testing.B) {
 				enc = "plain"
 			}
 			b.Run(sh.name+"/"+enc, func(b *testing.B) {
-				r, size := decodeBenchTable(b, sh.card, sh.ascending, plain)
+				r, size, _ := decodeBenchTable(b, sh.card, sh.ascending, plain)
 				arena := dwrf.NewArena()
 				b.ReportAllocs()
 				b.ResetTimer()

@@ -1,0 +1,64 @@
+package dsi_test
+
+import (
+	"testing"
+
+	"dsi/internal/dwrf"
+	"dsi/internal/tectonic/faults"
+)
+
+// benchReadPath times arena-pooled full-stripe reads of the card4k
+// decode table under the given fault schedule. One untimed warmup pass
+// plants whatever deterministic quarantines the schedule provokes, so
+// the timed loop measures the steady state (and fails fast if the
+// schedule defeats a read outright — the seeded draws make every
+// iteration identical, so a clean warmup means a clean run).
+func benchReadPath(b *testing.B, sched *faults.Schedule) {
+	r, _, cluster := decodeBenchTable(b, 4096, false, false)
+	if sched != nil {
+		cluster.SetFaultSchedule(sched)
+	}
+	arena := dwrf.NewArena()
+	readAll := func() {
+		for s := 0; s < r.Stripes(); s++ {
+			batch, _, err := r.ReadStripeBatchArena(s, nil, dwrf.ReadOptions{CoalesceBytes: 1 << 20}, arena)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch.Release()
+		}
+	}
+	readAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readAll()
+	}
+}
+
+// BenchmarkReadPathFaultFree guards the no-faults overhead of the
+// self-healing read path. no-schedule is the production default (no
+// schedule installed, the single-attempt fast path); idle-schedule
+// installs an empty schedule, forcing every read through the recovering
+// path — replica ranking, health lookups, hedge-threshold checks — with
+// no fault ever firing. The two should stay within a couple percent of
+// each other and of BenchmarkStripeDecode/card4k/v2 (BENCH_decode.json).
+func BenchmarkReadPathFaultFree(b *testing.B) {
+	b.Run("no-schedule", func(b *testing.B) { benchReadPath(b, nil) })
+	b.Run("idle-schedule", func(b *testing.B) { benchReadPath(b, faults.NewSchedule(11)) })
+}
+
+// BenchmarkReadPathDegraded is the same read under a storm: every node
+// flaky, one silently corrupting (quarantined during warmup), one in a
+// 4x brownout. It prices the retry draws, failovers, and hedging that
+// keep the reads succeeding — CPU cost only, since injected latency is
+// virtual-clock time.
+func BenchmarkReadPathDegraded(b *testing.B) {
+	sched := faults.NewSchedule(11)
+	for n := 0; n < 4; n++ {
+		sched.Flaky(n, 0, 0, 0.2)
+	}
+	sched.Corrupting(0, 0, 0)
+	sched.Slow(1, 0, 0, 4)
+	b.Run("storm", func(b *testing.B) { benchReadPath(b, sched) })
+}

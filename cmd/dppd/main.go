@@ -46,6 +46,7 @@ import (
 
 	"dsi/internal/datagen"
 	"dsi/internal/dpp"
+	"dsi/internal/tectonic/faults"
 	"dsi/internal/warehouse"
 )
 
@@ -86,6 +87,14 @@ func main() {
 		"master/demo: per-worker content-addressed batch cache budget in bytes (0 = default, negative = disable)")
 	flag.IntVar(&readerCacheLimit, "reader-cache", 0,
 		"max open DWRF readers cached per warehouse (0 = default)")
+
+	// Failure-model knobs. The fault schedule installs on the local
+	// synthetic cluster, so it applies to roles that read storage
+	// (worker/demo); retry-budget rides the session spec to the master.
+	flag.Int64Var(&faultSeed, "fault-seed", 0,
+		"install a seeded storage fault storm on the local cluster: every node a little flaky, one corrupting, one slow (0 = faults disabled)")
+	retryBudget := flag.Int("retry-budget", 0,
+		"master/demo: per-split release budget before the session fails on a persistent storage fault (0 = default)")
 	flag.Parse()
 
 	pipeline := dpp.PipelineOptions{
@@ -95,6 +104,7 @@ func main() {
 		MaxBufferedBytes:     *bufferBytes,
 		Sequential:           *sequential,
 	}
+	sessionRetryBudget = *retryBudget
 
 	if _, err := dpp.DataPlaneDialer(*dataplane); err != nil {
 		log.Fatal(err)
@@ -303,11 +313,14 @@ func runServiceDemo(model string, seed int64, pipeline dpp.PipelineOptions, buff
 		n, time.Since(start).Round(time.Millisecond), st.Peak, st.Launched, st.Drained)
 }
 
-// Cache sizing, set from flags in main: the fleet workers' shared batch
-// cache budget and the warehouse's open-reader bound.
+// Cache sizing and failure-model settings, set from flags in main: the
+// fleet workers' shared batch cache budget, the warehouse's open-reader
+// bound, the seeded fault storm, and the per-split release budget.
 var (
-	fleetCacheBytes  int64
-	readerCacheLimit int
+	fleetCacheBytes    int64
+	readerCacheLimit   int
+	faultSeed          int64
+	sessionRetryBudget int
 )
 
 // buildWorkload regenerates the deterministic synthetic dataset and
@@ -322,6 +335,24 @@ func buildWorkload(model string, seed int64) (*warehouse.Warehouse, dpp.SessionS
 		log.Fatal(err)
 	}
 	d.SetReaderCacheLimit(readerCacheLimit)
+	spec.RetryBudget = sessionRetryBudget
+	if faultSeed != 0 {
+		cluster := d.Cluster()
+		nodes := len(cluster.Nodes())
+		sched := faults.NewSchedule(faultSeed)
+		for n := 0; n < nodes; n++ {
+			sched.Flaky(n, 0, 0, 0.1)
+		}
+		// Two seeded picks get the heavier roles; recovery is exercised
+		// on every node either way since placement is hash-spread.
+		corrupt := int(uint64(faultSeed) % uint64(nodes))
+		slow := int((uint64(faultSeed) + 1) % uint64(nodes))
+		sched.Corrupting(corrupt, 0, 0)
+		sched.Slow(slow, 0, 0, 8)
+		cluster.SetFaultSchedule(sched)
+		log.Printf("dppd: fault storm installed (seed %d): all %d nodes flaky p=0.1, node %d corrupting, node %d slow 8x",
+			faultSeed, nodes, corrupt, slow)
+	}
 	return d, spec
 }
 

@@ -86,6 +86,25 @@
 // planes. The "multitenant" experiment measures weighted fair sharing
 // with real concurrent sessions over one fleet.
 //
+// The storage read path is self-healing under an injectable fault
+// plane: a seeded faults.Schedule marks nodes down, flaky, slow, or
+// silently corrupting over virtual-clock windows, and tectonic reads
+// recover through health-ranked replica failover with capped jittered
+// backoff, hedged second reads past an adaptive latency threshold
+// (tectonic.Options.Retry), and typed retryable-vs-permanent errors
+// (tectonic.IsRetryable). dwrf verifies stripe content hashes and heals
+// corrupt footers on open, quarantining condemned replicas out of the
+// rotation and refetching from the rest; a split that exhausts its
+// retry budget is released back to the master and requeued under a
+// per-split poison budget (SessionSpec.RetryBudget), so one bad replica
+// degrades throughput instead of failing the session. Recovery counters
+// ride dwrf.ReadStats through ResourceReport and WorkerStats into fleet
+// heartbeats. The paper's experiments run with faults disabled — with
+// no schedule installed the whole plane is a single branch
+// (BENCH_faults.json pins the overhead under 1%) — and
+// TestEndToEndChecksumStorageChaos pins exact per-tenant checksums
+// under a seeded storm; cmd/dppd installs one with -fault-seed.
+//
 // The implementation lives under internal/; see README.md for the
 // architecture overview, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -55,6 +55,18 @@ type WorkerStats struct {
 	// heartbeats populate it, feeding the service's cross-node ware
 	// index. Gob-optional: absent from older senders.
 	CacheWares []string
+
+	// Storage self-healing counters (cumulative; gob-optional, zero
+	// from older senders): replica retries/failovers, hedged reads
+	// fired/won, corrupt stripe fetches, replicas quarantined, and
+	// splits released back for requeue under degraded mode.
+	StorageRetries   int64
+	StorageFailovers int64
+	HedgedReads      int64
+	HedgeWins        int64
+	CorruptStripes   int64
+	Quarantines      int64
+	SplitsReleased   int64
 }
 
 // CacheHits sums transform- and stripe-level hits.
@@ -107,6 +119,13 @@ type MasterAPI interface {
 	NextSplit(workerID string) (split warehouse.Split, splitID int, ok bool, draining bool, err error)
 	// CompleteSplit acknowledges a finished split.
 	CompleteSplit(workerID string, splitID int) error
+	// ReleaseSplit returns a leased split to the pending queue after a
+	// retryable storage failure, so another worker (or this one, once
+	// the fault clears) picks it up — degraded throughput instead of a
+	// dead session. Each release increments the split's poison counter;
+	// when it exhausts the retry budget, requeued=false is returned and
+	// the session is failed (Done reports the error to every worker).
+	ReleaseSplit(workerID string, splitID int, reason string) (requeued bool, err error)
 	// Heartbeat reports liveness and utilization.
 	Heartbeat(workerID string, stats WorkerStats) error
 	// ListWorkers resolves the session's current worker membership.
@@ -127,6 +146,10 @@ type Master struct {
 	completed []bool
 	nComplete int
 	workers   map[string]*workerInfo
+	// poison counts ReleaseSplit returns per split; failErr latches the
+	// session failure once a split exhausts its retry budget.
+	poison  map[int]int
+	failErr error
 
 	// now is injectable for deterministic tests.
 	now func() time.Time
@@ -142,7 +165,18 @@ type Master struct {
 	// the wedged worker eventually recovers, which split idempotence
 	// makes safe.
 	MaxLeaseAge time.Duration
+	// MaxSplitRetries is the per-split poison budget: how many times a
+	// split may be released back (retryable storage failure) before the
+	// session fails rather than requeueing a split no worker can read.
+	// Zero defaults to DefaultSplitRetries.
+	MaxSplitRetries int
 }
+
+// DefaultSplitRetries is the default per-split release budget. Sized so
+// a split placed entirely on braindead nodes fails fast, while a
+// transient brownout (one or two release/requeue round trips until the
+// window passes or another worker wins the lease) rides through.
+const DefaultSplitRetries = 8
 
 type lease struct {
 	worker  string
@@ -179,13 +213,15 @@ func NewMaster(wh *warehouse.Warehouse, spec SessionSpec) (*Master, error) {
 	// the planned knobs reach workers through RegisterWorker.
 	spec.Pipeline = spec.Pipeline.planFor(len(splits))
 	m := &Master{
-		spec:         spec,
-		splits:       splits,
-		inflight:     make(map[int]*lease),
-		completed:    make([]bool, len(splits)),
-		workers:      make(map[string]*workerInfo),
-		now:          time.Now,
-		LeaseTimeout: 30 * time.Second,
+		spec:            spec,
+		splits:          splits,
+		inflight:        make(map[int]*lease),
+		completed:       make([]bool, len(splits)),
+		workers:         make(map[string]*workerInfo),
+		poison:          make(map[int]int),
+		now:             time.Now,
+		LeaseTimeout:    30 * time.Second,
+		MaxSplitRetries: spec.RetryBudget,
 	}
 	for i := range splits {
 		m.pending = append(m.pending, i)
@@ -321,10 +357,62 @@ func (m *Master) Heartbeat(workerID string, stats WorkerStats) error {
 	return nil
 }
 
-// Done implements MasterAPI.
+// ReleaseSplit implements MasterAPI: the degraded-mode requeue. A
+// release from a worker that no longer holds the lease (it was reaped
+// or aged out meanwhile) is benign, like a duplicate CompleteSplit ack.
+// The split requeues at the back of the pending queue so healthy work
+// goes first and a different worker most likely picks it up.
+func (m *Master) ReleaseSplit(workerID string, splitID int, reason string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, m.errClosed()
+	}
+	if splitID < 0 || splitID >= len(m.splits) {
+		return false, fmt.Errorf("dpp: release of unknown split %d", splitID)
+	}
+	if m.completed[splitID] {
+		return true, nil
+	}
+	l, ok := m.inflight[splitID]
+	if !ok || l.worker != workerID {
+		return true, nil
+	}
+	delete(m.inflight, splitID)
+	budget := m.MaxSplitRetries
+	if budget == 0 {
+		budget = DefaultSplitRetries
+	}
+	m.poison[splitID]++
+	if m.poison[splitID] >= budget {
+		m.failErr = fmt.Errorf("dpp: split %d poisoned after %d releases (last: %s)", splitID, m.poison[splitID], reason)
+		return false, nil
+	}
+	m.pending = append(m.pending, splitID)
+	return true, nil
+}
+
+// SplitReleases reports how many times each split has been released
+// back for requeue (for tests and experiments).
+func (m *Master) SplitReleases() map[int]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]int, len(m.poison))
+	for k, v := range m.poison {
+		out[k] = v
+	}
+	return out
+}
+
+// Done implements MasterAPI. Once a split has exhausted its poison
+// budget the session can never finish; Done surfaces that as an error
+// so every worker's fetch loop fails the session instead of spinning.
 func (m *Master) Done() (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.failErr != nil {
+		return false, m.failErr
+	}
 	return m.nComplete == len(m.splits), nil
 }
 
@@ -413,6 +501,20 @@ func (m *Master) WorkerCount() int {
 // PolicyStats implements the Orchestrator's ControlPlane surface: the
 // scaling policy evaluates the session's live worker stats.
 func (m *Master) PolicyStats() []WorkerStats { return m.WorkerStatsSnapshot() }
+
+// WorkerStatsByID returns the latest reported stats of every
+// registered worker (draining included), keyed by worker ID — the view
+// chaos tests and dashboards use to follow cumulative recovery counters
+// across worker churn.
+func (m *Master) WorkerStatsByID() map[string]WorkerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]WorkerStats, len(m.workers))
+	for id, w := range m.workers {
+		out[id] = w.stats
+	}
+	return out
+}
 
 // WorkerStatsSnapshot returns the latest stats of live workers.
 func (m *Master) WorkerStatsSnapshot() []WorkerStats {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dsi/internal/dwrf"
+	"dsi/internal/tectonic"
 	"dsi/internal/ware"
 )
 
@@ -257,6 +258,20 @@ func (w *Worker) fetchLoop(out chan<- fetchedSplit, abort *pipelineAbort) {
 		backoff = time.Millisecond
 		f, err := w.fetchSplitThroughCache(split)
 		if err != nil {
+			// Degraded mode: a retryable storage failure (node down,
+			// transient I/O, unrecoverable-by-us corruption) releases
+			// the split back to the master for requeue — another worker,
+			// or this one after the fault window passes, will pick it up
+			// — instead of killing the whole session. The master's
+			// per-split poison budget bounds the requeueing; once it is
+			// exhausted (requeued=false) the failure is permanent.
+			if tectonic.IsRetryable(err) {
+				requeued, rerr := w.master.ReleaseSplit(w.ID, splitID, err.Error())
+				if rerr == nil && requeued {
+					w.noteSplitReleased()
+					continue
+				}
+			}
 			abort.fail(fmt.Errorf("dpp: worker %s split %d: %w", w.ID, splitID, err))
 			return
 		}

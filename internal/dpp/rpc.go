@@ -3,6 +3,7 @@ package dpp
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
@@ -120,6 +121,29 @@ func (s *MasterService) ListWorkers(args *ListWorkersArgs, reply *ListWorkersRep
 	}
 	reply.Workers = workers
 	return nil
+}
+
+// ReleaseArgs returns a leased split after a retryable storage failure.
+type ReleaseArgs struct {
+	WorkerID  string
+	SplitID   int
+	Reason    string
+	SessionID string
+}
+
+// ReleaseReply reports whether the split was requeued (false: its
+// poison budget is exhausted and the session is failing).
+type ReleaseReply struct{ Requeued bool }
+
+// Release requeues a split a worker could not read.
+func (s *MasterService) Release(args *ReleaseArgs, reply *ReleaseReply) error {
+	m, err := s.master(args.SessionID)
+	if err != nil {
+		return err
+	}
+	requeued, err := m.ReleaseSplit(args.WorkerID, args.SplitID, args.Reason)
+	reply.Requeued = requeued
+	return err
 }
 
 // CompleteArgs acknowledges a split.
@@ -266,8 +290,11 @@ const (
 // acceptLoop accepts connections until done closes (or the listener is
 // torn down), handing each to handle. Transient Accept errors — a
 // momentarily exhausted fd table, a connection reset during the
-// handshake — back off exponentially instead of hot-spinning a core on
-// the accept syscall; a successful accept resets the backoff.
+// handshake — back off exponentially with jitter instead of
+// hot-spinning a core on the accept syscall; a successful accept resets
+// the backoff. The jitter decorrelates the retry times of the many
+// listeners one process hosts (master, service, per-worker data plane),
+// so an fd-exhaustion event doesn't turn into synchronized retry waves.
 func acceptLoop(ln net.Listener, done <-chan struct{}, handle func(net.Conn)) {
 	backoff := acceptBackoffMin
 	for {
@@ -284,7 +311,7 @@ func acceptLoop(ln net.Listener, done <-chan struct{}, handle func(net.Conn)) {
 			select {
 			case <-done:
 				return
-			case <-time.After(backoff):
+			case <-time.After(backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))):
 			}
 			if backoff *= 2; backoff > acceptBackoffMax {
 				backoff = acceptBackoffMax
@@ -294,6 +321,20 @@ func acceptLoop(ln net.Listener, done <-chan struct{}, handle func(net.Conn)) {
 		backoff = acceptBackoffMin
 		handle(conn)
 	}
+}
+
+// rpcDialTimeout bounds every control-plane dial: a black-holed
+// endpoint (SYN swallowed by a dead VIP) fails the dial instead of
+// wedging the caller on the kernel's connect timeout.
+const rpcDialTimeout = 5 * time.Second
+
+// dialRPC is rpc.Dial with a connect timeout.
+func dialRPC(addr string) (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, rpcDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(conn), nil
 }
 
 // ServeMaster listens on addr and serves the master over net/rpc as a
@@ -349,7 +390,7 @@ func DialMaster(addr string) (*RemoteMaster, error) {
 
 // DialMasterSession connects to one session's control plane.
 func DialMasterSession(addr, session string) (*RemoteMaster, error) {
-	client, err := rpc.Dial("tcp", addr)
+	client, err := dialRPC(addr)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: dial master %s: %w", addr, err)
 	}
@@ -403,6 +444,15 @@ func (r *RemoteMaster) CompleteSplit(workerID string, splitID int) error {
 	return r.client.Call("Master.Complete", &CompleteArgs{WorkerID: workerID, SplitID: splitID, SessionID: r.session}, &struct{}{})
 }
 
+// ReleaseSplit implements MasterAPI.
+func (r *RemoteMaster) ReleaseSplit(workerID string, splitID int, reason string) (bool, error) {
+	var reply ReleaseReply
+	if err := r.client.Call("Master.Release", &ReleaseArgs{WorkerID: workerID, SplitID: splitID, Reason: reason, SessionID: r.session}, &reply); err != nil {
+		return false, err
+	}
+	return reply.Requeued, nil
+}
+
 // Heartbeat implements MasterAPI.
 func (r *RemoteMaster) Heartbeat(workerID string, stats WorkerStats) error {
 	return r.client.Call("Master.Heartbeat", &HeartbeatArgs{WorkerID: workerID, Stats: stats, SessionID: r.session}, &struct{}{})
@@ -426,7 +476,7 @@ type RemoteService struct {
 
 // DialService connects to a control plane served by ServeService.
 func DialService(addr string) (*RemoteService, error) {
-	client, err := rpc.Dial("tcp", addr)
+	client, err := dialRPC(addr)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: dial service %s: %w", addr, err)
 	}
@@ -644,7 +694,7 @@ func DialWorker(addr string) (*RemoteWorker, error) {
 // DialWorkerSession connects to one session's pipeline on a worker's
 // data-plane listener over the gob-unary transport.
 func DialWorkerSession(addr, session string) (*RemoteWorker, error) {
-	client, err := rpc.Dial("tcp", addr)
+	client, err := dialRPC(addr)
 	if err != nil {
 		return nil, fmt.Errorf("dpp: dial worker %s: %w", addr, err)
 	}

@@ -159,6 +159,10 @@ type SessionSpec struct {
 	DataPlane string
 	// Costs tunes the worker resource model; zero value means defaults.
 	Costs CostParams
+	// RetryBudget is the per-split poison budget (Master.MaxSplitRetries):
+	// how many times a split may be released back after retryable storage
+	// failures before the session fails. Zero uses DefaultSplitRetries.
+	RetryBudget int
 }
 
 // PipelineOptions sizes the worker's pipelined data plane: extract,

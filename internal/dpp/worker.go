@@ -77,6 +77,20 @@ type ResourceReport struct {
 	// CacheBytesSaved is decoded/transformed column bytes served from
 	// the cache instead of recomputed.
 	CacheBytesSaved int64
+
+	// Storage self-healing counters, folded out of each split's
+	// dwrf.ReadStats: replica retries and failovers, hedged reads fired
+	// and won, stripe fetches that failed content verification, and
+	// replicas quarantined because of them. SplitsReleased counts
+	// splits this worker handed back to the master for requeue after a
+	// retryable storage failure (degraded mode).
+	StorageRetries   int64
+	StorageFailovers int64
+	HedgedReads      int64
+	HedgeWins        int64
+	CorruptStripes   int64
+	Quarantines      int64
+	SplitsReleased   int64
 }
 
 // effectiveCores reports the usable core count on the node given the
@@ -699,6 +713,20 @@ func (w *Worker) accountSplit(readStats dwrf.ReadStats, tr transformed) {
 	r.RowsIn += int64(tr.xform.RowsIn)
 	r.RowsOut += tr.rowsOut
 	r.BatchesOut += int64(len(tr.batches))
+	r.StorageRetries += readStats.Retries
+	r.StorageFailovers += readStats.Failovers
+	r.HedgedReads += readStats.HedgedReads
+	r.HedgeWins += readStats.HedgeWins
+	r.CorruptStripes += readStats.CorruptStripes
+	r.Quarantines += readStats.Quarantines
+	w.mu.Unlock()
+}
+
+// noteSplitReleased folds one degraded-mode split release into the
+// resource report.
+func (w *Worker) noteSplitReleased() {
+	w.mu.Lock()
+	w.report.SplitsReleased++
 	w.mu.Unlock()
 }
 
@@ -1018,6 +1046,14 @@ func (w *Worker) stats(sample bool) WorkerStats {
 		CacheStripeHits: rep.CacheStripeHits,
 		CacheMisses:     rep.CacheMisses,
 		CacheBytesSaved: rep.CacheBytesSaved,
+
+		StorageRetries:   rep.StorageRetries,
+		StorageFailovers: rep.StorageFailovers,
+		HedgedReads:      rep.HedgedReads,
+		HedgeWins:        rep.HedgeWins,
+		CorruptStripes:   rep.CorruptStripes,
+		Quarantines:      rep.Quarantines,
+		SplitsReleased:   rep.SplitsReleased,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,18 @@ type ReadStats struct {
 	// feeding the worker pipeline's per-stage busy breakdown.
 	FetchWall  time.Duration
 	DecodeWall time.Duration
+
+	// Recovery accounting from the self-healing read path: storage-level
+	// retries/failovers/hedges (from tectonic's ReadTrace), plus
+	// stripe-level corruption handling — attempts that failed content
+	// verification and replicas newly quarantined because of them. These
+	// ride ResourceReport/WorkerStats into fleet heartbeats.
+	Retries        int64
+	Failovers      int64
+	HedgedReads    int64
+	HedgeWins      int64
+	CorruptStripes int64
+	Quarantines    int64
 }
 
 // Merge accumulates other into s; callers aggregating per-stripe stats
@@ -62,6 +75,12 @@ func (s *ReadStats) add(other ReadStats) {
 	s.StreamsDecoded += other.StreamsDecoded
 	s.FetchWall += other.FetchWall
 	s.DecodeWall += other.DecodeWall
+	s.Retries += other.Retries
+	s.Failovers += other.Failovers
+	s.HedgedReads += other.HedgedReads
+	s.HedgeWins += other.HedgeWins
+	s.CorruptStripes += other.CorruptStripes
+	s.Quarantines += other.Quarantines
 }
 
 // Batch is the in-memory flatmap representation (FM): per-feature
@@ -202,41 +221,102 @@ type Reader struct {
 	cluster *tectonic.Cluster
 	path    string
 	footer  FileFooter
+
+	// openStats is the recovery accounting of the footer fetch itself
+	// (retries, hedges, quarantines planted while healing a corrupt
+	// footer). It is folded into the stats of the first stripe fetch —
+	// OpenReader has no stats return of its own, and the footer read is
+	// as much a part of the self-healing read path as any stripe read.
+	openOnce  sync.Once
+	openStats ReadStats
 }
 
-// OpenReader fetches and parses the file footer.
+// OpenReader fetches and parses the file footer. The footer carries no
+// checksum of its own, so structural failures — clobbered magic, a
+// footer length that lies, gob that no longer decodes — are treated as
+// replica corruption: the serving replicas are quarantined and the
+// footer is refetched from others, exactly like a stripe whose content
+// hash disagrees. Only when every replica returns an unparsable footer
+// (or the file is equally malformed on all of them) does Open fail.
 func OpenReader(cluster *tectonic.Cluster, path string) (*Reader, error) {
 	size, err := cluster.Size(path)
 	if err != nil {
 		return nil, err
 	}
+	attempts := cluster.Replication() + 1
+	var open ReadStats
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		r, served, s, err := openReaderAttempt(cluster, path, size)
+		open.add(s)
+		if err == nil {
+			r.openStats = open
+			return r, nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, tectonic.ErrCorrupt):
+			fresh := false
+			for _, sv := range served {
+				if cluster.Quarantine(path, sv.Chunk, sv.Node) {
+					fresh = true
+					open.Quarantines++
+				}
+			}
+			if fresh {
+				continue
+			}
+			lastErr = fmt.Errorf("dwrf: %s: footer unreadable from every replica: %w", path, err)
+		case tectonic.IsRetryable(err):
+			continue
+		}
+		break
+	}
+	return nil, lastErr
+}
+
+// openReaderAttempt is one footer fetch-and-parse pass, returning the
+// replica provenance of the bytes it judged and the recovery work the
+// underlying reads performed.
+func openReaderAttempt(cluster *tectonic.Cluster, path string, size int64) (*Reader, []tectonic.ReplicaServe, ReadStats, error) {
+	var stats ReadStats
+	account := func(tr tectonic.ReadTrace) {
+		stats.Retries += tr.Retries
+		stats.Failovers += tr.Failovers
+		stats.HedgedReads += tr.Hedges
+		stats.HedgeWins += tr.HedgeWins
+	}
 	tailLen := int64(8 + len(Magic))
 	if size < tailLen {
-		return nil, fmt.Errorf("dwrf: %s too short (%d bytes)", path, size)
+		return nil, nil, stats, fmt.Errorf("dwrf: %s too short (%d bytes)", path, size)
 	}
-	tail, _, err := cluster.ReadAt(path, size-tailLen, tailLen)
+	tail, _, tr, err := cluster.ReadAtTraced(path, size-tailLen, tailLen)
+	account(tr)
+	served := tr.Served
 	if err != nil {
-		return nil, err
+		return nil, served, stats, err
 	}
 	if string(tail[8:]) != Magic {
-		return nil, fmt.Errorf("dwrf: %s missing trailing magic", path)
+		return nil, served, stats, fmt.Errorf("dwrf: %s missing trailing magic: %w", path, tectonic.ErrCorrupt)
 	}
 	footerLen := int64(binary.LittleEndian.Uint64(tail[:8]))
 	if footerLen <= 0 || footerLen > size-tailLen {
-		return nil, fmt.Errorf("dwrf: %s has invalid footer length %d", path, footerLen)
+		return nil, served, stats, fmt.Errorf("dwrf: %s has invalid footer length %d: %w", path, footerLen, tectonic.ErrCorrupt)
 	}
-	footerBytes, _, err := cluster.ReadAt(path, size-tailLen-footerLen, footerLen)
+	footerBytes, _, ftr, err := cluster.ReadAtTraced(path, size-tailLen-footerLen, footerLen)
+	account(ftr)
+	served = append(served, ftr.Served...)
 	if err != nil {
-		return nil, err
+		return nil, served, stats, err
 	}
 	var footer FileFooter
 	if err := gob.NewDecoder(bytes.NewReader(footerBytes)).Decode(&footer); err != nil {
-		return nil, fmt.Errorf("dwrf: decode footer of %s: %w", path, err)
+		return nil, served, stats, fmt.Errorf("dwrf: decode footer of %s: %v: %w", path, err, tectonic.ErrCorrupt)
 	}
 	if footer.Version > Version {
-		return nil, fmt.Errorf("dwrf: %s written by format v%d, reader supports up to v%d", path, footer.Version, Version)
+		return nil, served, stats, fmt.Errorf("dwrf: %s written by format v%d, reader supports up to v%d", path, footer.Version, Version)
 	}
-	return &Reader{cluster: cluster, path: path, footer: footer}, nil
+	return &Reader{cluster: cluster, path: path, footer: footer}, served, stats, nil
 }
 
 // Version reports the format version the file was written with (v1
@@ -450,25 +530,83 @@ func getEncBuf(n int64) *[]byte {
 	return encPool.get(n)
 }
 
-// fetchStripe executes the I/O plan and returns each selected stream's
-// decrypted, decompressed payload keyed by file offset. Storage reads go
-// through the cluster's borrowed-slice path when the range is
-// memory-resident in one chunk, and the decrypt pass writes straight
-// from the (borrowed or copied) raw bytes into the staging buffer — no
-// intermediate copy either way. Error paths release every payload
-// already fetched; the stripe's buffers never leak on a partial fetch.
+// fetchStripe executes the I/O plan through the self-healing read path:
+// each attempt fetches via the cluster's traced reads (which already
+// fail over across replicas), verifies StripeMeta.ContentHash when the
+// fetch covers every stream of the stripe, and on corruption — a hash
+// mismatch, or a stream that no longer decompresses — quarantines the
+// replicas that served the bytes and refetches from others. The stripe
+// fails permanently only when no fresh replica remains, i.e. every
+// replica disagrees with the recorded hash.
 func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts ReadOptions) (map[int64][]byte, []StreamMeta, ReadStats, error) {
+	var stats ReadStats
+	// The footer fetch's recovery work reports through the first stripe
+	// read so it reaches ResourceReport/WorkerStats like any other read.
+	r.openOnce.Do(func() { stats.add(r.openStats) })
+	attempts := r.cluster.Replication() + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		payloads, selected, s, served, err := r.fetchStripeAttempt(meta, proj, opts)
+		stats.add(s)
+		if err == nil {
+			return payloads, selected, stats, nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, tectonic.ErrCorrupt):
+			stats.CorruptStripes++
+			fresh := false
+			for _, sv := range served {
+				if r.cluster.Quarantine(r.path, sv.Chunk, sv.Node) {
+					fresh = true
+					stats.Quarantines++
+				}
+			}
+			if fresh {
+				continue
+			}
+			// Every replica that can serve this stripe is already
+			// quarantined: the data is unrecoverable, not transient.
+			lastErr = fmt.Errorf("dwrf: %s stripe@%d: every replica disagrees with the recorded content hash: %w", r.path, meta.Offset, err)
+		case tectonic.IsRetryable(err):
+			continue
+		}
+		break
+	}
+	return nil, nil, stats, lastErr
+}
+
+// fetchStripeAttempt is one fetch pass: execute the I/O plan, decrypt
+// and decompress each selected stream, and verify the stripe content
+// hash when the selection covers all streams (streams append in offset
+// order at write time, so fetch order reproduces the writer's digest
+// chaining). Storage reads go through the cluster's borrowed-slice path
+// when the range is memory-resident in one chunk, and the decrypt pass
+// writes straight from the (borrowed or copied) raw bytes into the
+// staging buffer — no intermediate copy either way. Error paths release
+// every payload already fetched; the stripe's buffers never leak on a
+// partial fetch. The returned ReplicaServe list records which node
+// served each chunk, the provenance quarantine needs.
+func (r *Reader) fetchStripeAttempt(meta *StripeMeta, proj *schema.Projection, opts ReadOptions) (map[int64][]byte, []StreamMeta, ReadStats, []tectonic.ReplicaServe, error) {
 	selected := r.selectStreams(meta, proj)
 	plans := planIO(selected, opts.CoalesceBytes)
 	var stats ReadStats
+	var served []tectonic.ReplicaServe
+	verifying := meta.ContentHash != 0 && len(selected) == len(meta.Streams)
+	var hash uint64
 	payloads := make(map[int64][]byte, len(selected))
 	for _, p := range plans {
 		fetchStart := time.Now()
-		raw, _, t, err := r.cluster.ReadAtBorrow(r.path, p.offset, p.length)
+		raw, _, t, tr, err := r.cluster.ReadAtBorrowTraced(r.path, p.offset, p.length)
 		stats.FetchWall += time.Since(fetchStart)
+		stats.Retries += tr.Retries
+		stats.Failovers += tr.Failovers
+		stats.HedgedReads += tr.Hedges
+		stats.HedgeWins += tr.HedgeWins
+		served = append(served, tr.Served...)
 		if err != nil {
 			releasePayloads(payloads)
-			return nil, nil, stats, err
+			return nil, nil, stats, served, fmt.Errorf("dwrf: %s stripe@%d: fetch [%d,%d): %w", r.path, meta.Offset, p.offset, p.offset+p.length, err)
 		}
 		stats.IOs++
 		stats.BytesRead += p.length
@@ -483,13 +621,19 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 			if err := cryptStreamTo(enc, raw[s.Offset-p.offset:s.Offset-p.offset+s.Length], s.Offset); err != nil {
 				encPool.put(encBuf)
 				releasePayloads(payloads)
-				return nil, nil, stats, err
+				return nil, nil, stats, served, fmt.Errorf("dwrf: %s stripe@%d stream at %d: %w", r.path, meta.Offset, s.Offset, err)
+			}
+			if verifying {
+				hash = fnvMix(hash, enc)
 			}
 			dec, err := decompress(enc, s.RawLength)
 			encPool.put(encBuf)
 			if err != nil {
 				releasePayloads(payloads)
-				return nil, nil, stats, fmt.Errorf("dwrf: stream at %d: %w", s.Offset, err)
+				// A stream that no longer inflates is corrupt bytes, not
+				// a format error: classify it so the caller quarantines
+				// and retries another replica.
+				return nil, nil, stats, served, fmt.Errorf("dwrf: %s stripe@%d stream at %d: %w: %v", r.path, meta.Offset, s.Offset, tectonic.ErrCorrupt, err)
 			}
 			stats.BytesDecoded += int64(len(dec))
 			stats.StreamsDecoded++
@@ -497,8 +641,12 @@ func (r *Reader) fetchStripe(meta *StripeMeta, proj *schema.Projection, opts Rea
 		}
 		stats.DecodeWall += time.Since(decodeStart)
 	}
+	if verifying && hash != meta.ContentHash {
+		releasePayloads(payloads)
+		return nil, nil, stats, served, fmt.Errorf("dwrf: %s stripe@%d: content hash %x, footer records %x: %w", r.path, meta.Offset, hash, meta.ContentHash, tectonic.ErrCorrupt)
+	}
 	stats.BytesOverRead = stats.BytesRead - stats.BytesWanted
-	return payloads, selected, stats, nil
+	return payloads, selected, stats, served, nil
 }
 
 // ReadStripe decodes stripe i under the projection into row-map samples.

@@ -11,7 +11,7 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
-		"ablations", "encodings",
+		"ablations", "chaos", "encodings",
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"gaps", "membw", "multitenant", "scaling",
 		"table10", "table11", "table12", "table2", "table3", "table4",

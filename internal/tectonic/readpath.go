@@ -1,0 +1,522 @@
+package tectonic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dsi/internal/tectonic/faults"
+)
+
+// Typed read-path errors. The retry layers above (dwrf stripe fetch, dpp
+// split requeue) classify on these with errors.Is instead of string
+// matching.
+var (
+	// ErrNodeDown marks a read addressed to a node that is offline.
+	ErrNodeDown = errors.New("tectonic: node down")
+	// ErrNodeIO marks a transient per-read I/O failure on a flaky node.
+	ErrNodeIO = errors.New("tectonic: transient I/O error")
+	// ErrCorrupt marks data that failed checksum verification. The
+	// cluster itself never detects corruption (it is silent by nature);
+	// dwrf wraps this sentinel when StripeMeta.ContentHash disagrees.
+	ErrCorrupt = errors.New("tectonic: corrupt data")
+	// ErrAllReplicas marks a chunk read that exhausted its attempt
+	// budget across every replica.
+	ErrAllReplicas = errors.New("tectonic: all replicas failed")
+	// ErrOutOfRange marks a read outside the file's current extent.
+	ErrOutOfRange = errors.New("tectonic: read out of range")
+)
+
+// IsRetryable reports whether a read error is worth retrying — on
+// another replica, after a backoff, or by requeueing the split to a
+// different worker. Node loss, transient I/O errors, corruption (other
+// replicas may hold good bytes), and whole-replica-set exhaustion
+// (nodes recover) are retryable; unknown paths, sealed-file writes, and
+// out-of-range reads are permanent.
+func IsRetryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrNodeDown), errors.Is(err, ErrNodeIO),
+		errors.Is(err, ErrCorrupt), errors.Is(err, ErrAllReplicas):
+		return true
+	}
+	return false
+}
+
+// RetryPolicy governs the self-healing read path: how many replica
+// attempts a chunk I/O gets, the capped exponential backoff (with
+// seeded jitter) between them, and when a hedged second read fires
+// against another replica. Backoff and hedge delays are virtual-clock
+// time folded into the read's completion time — nothing sleeps.
+type RetryPolicy struct {
+	// MaxAttempts bounds chunk I/O attempts across replicas; defaults
+	// to 2 x Replication.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff; doubles per attempt up
+	// to MaxBackoff, plus jitter in [0, step/2). Defaults 500µs / 16ms.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HedgeMultiple fires a hedged read when a read's latency exceeds
+	// HedgeMultiple x the EWMA of recent read latencies (default 3).
+	HedgeMultiple float64
+	// HedgeMin floors the hedge threshold so cold-start EWMA noise
+	// can't hedge every read (default 2ms).
+	HedgeMin time.Duration
+	// DisableHedge turns hedged reads off.
+	DisableHedge bool
+}
+
+func (p *RetryPolicy) fill(replication int) {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 2 * replication
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = 500 * time.Microsecond
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 16 * time.Millisecond
+	}
+	if p.HedgeMultiple == 0 {
+		p.HedgeMultiple = 3
+	}
+	if p.HedgeMin == 0 {
+		p.HedgeMin = 2 * time.Millisecond
+	}
+}
+
+// ReplicaServe records which node served one chunk-level I/O — the
+// provenance a checksum-verifying reader needs to quarantine the right
+// replica when the bytes turn out bad.
+type ReplicaServe struct {
+	Chunk int64
+	Node  int
+}
+
+// ReadTrace accounts the recovery work behind one read: retries beyond
+// the first attempt, failovers away from the primary replica, hedged
+// reads fired and won, virtual backoff paid, and the replica that
+// served each chunk.
+type ReadTrace struct {
+	Retries   int64
+	Failovers int64
+	Hedges    int64
+	HedgeWins int64
+	Backoff   time.Duration
+	Served    []ReplicaServe
+}
+
+func (t *ReadTrace) merge(o ReadTrace) {
+	t.Retries += o.Retries
+	t.Failovers += o.Failovers
+	t.Hedges += o.Hedges
+	t.HedgeWins += o.HedgeWins
+	t.Backoff += o.Backoff
+	t.Served = append(t.Served, o.Served...)
+}
+
+// FaultCounters is a snapshot of the cluster's cumulative recovery
+// accounting.
+type FaultCounters struct {
+	Retries       int64
+	Failovers     int64
+	Hedges        int64
+	HedgeWins     int64
+	CorruptServes int64
+	Quarantines   int64
+}
+
+type replicaKey struct {
+	path  string
+	chunk int64
+	node  int
+}
+
+// SetFaultSchedule installs (or, with nil, removes) the fault schedule
+// consulted by every subsequent read. With no schedule and no
+// quarantined replicas the read path takes the exact fault-free fast
+// path: primary replica, no ranking, no hedging.
+func (c *Cluster) SetFaultSchedule(s *faults.Schedule) {
+	c.fmu.Lock()
+	c.schedule = s
+	c.fmu.Unlock()
+}
+
+// FaultSchedule returns the installed schedule (nil when fault-free).
+func (c *Cluster) FaultSchedule() *faults.Schedule {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.schedule
+}
+
+// Quarantine marks one replica of one chunk as untrusted — subsequent
+// reads of that chunk rank the node last and only use it when every
+// replica is quarantined. Callers that verify checksums (dwrf) invoke
+// this when bytes from a node disagree with the recorded hash. Reports
+// whether the replica was newly quarantined.
+func (c *Cluster) Quarantine(path string, chunk int64, node int) bool {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if c.quarantined == nil {
+		c.quarantined = make(map[replicaKey]bool)
+	}
+	k := replicaKey{path: path, chunk: chunk, node: node}
+	if c.quarantined[k] {
+		return false
+	}
+	c.quarantined[k] = true
+	c.counters.Quarantines++
+	return true
+}
+
+// Quarantined reports whether the (path, chunk, node) replica is
+// quarantined.
+func (c *Cluster) Quarantined(path string, chunk int64, node int) bool {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.quarantined[replicaKey{path: path, chunk: chunk, node: node}]
+}
+
+// ResetFaultPlane clears the quarantined-replica set, the recovery
+// counters, and the hedging latency EWMA, leaving the installed fault
+// schedule in place. Chaos experiments use it to take fault-free and
+// degraded measurements of the same cluster from a clean slate.
+func (c *Cluster) ResetFaultPlane() {
+	c.fmu.Lock()
+	c.quarantined = nil
+	c.counters = FaultCounters{}
+	c.ewmaLatNs = 0
+	c.fmu.Unlock()
+}
+
+// FaultCounters snapshots the cumulative recovery accounting.
+func (c *Cluster) FaultCounters() FaultCounters {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.counters
+}
+
+// faultsActive reports whether the slow path (ranking, schedule checks,
+// hedging) must run.
+func (c *Cluster) faultsActive() bool {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.schedule != nil || len(c.quarantined) > 0
+}
+
+func (c *Cluster) hedgeThreshold() time.Duration {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	thr := time.Duration(c.opts.Retry.HedgeMultiple * c.ewmaLatNs)
+	if thr < c.opts.Retry.HedgeMin {
+		thr = c.opts.Retry.HedgeMin
+	}
+	return thr
+}
+
+func (c *Cluster) observeLatency(lat time.Duration) {
+	if lat < 0 {
+		lat = 0
+	}
+	c.fmu.Lock()
+	if c.ewmaLatNs == 0 {
+		c.ewmaLatNs = float64(lat)
+	} else {
+		c.ewmaLatNs = 0.8*c.ewmaLatNs + 0.2*float64(lat)
+	}
+	c.fmu.Unlock()
+}
+
+// rankReplicas orders a chunk's replicas healthiest-first: healthy,
+// then slow, then flaky, with quarantined replicas after everything
+// except down nodes. Corrupting nodes rank as healthy on purpose —
+// corruption is silent, and only a checksum-driven Quarantine may
+// demote them. Ties preserve placement order so the fault-free ranking
+// equals the legacy primary-first order.
+func (c *Cluster) rankReplicas(path string, chunk int64, replicas []int, now time.Duration, sched *faults.Schedule) []int {
+	type cand struct {
+		node, idx, score int
+	}
+	cands := make([]cand, len(replicas))
+	for i, n := range replicas {
+		score := 0
+		switch st, _ := sched.NodeState(n, now); st {
+		case faults.Slow:
+			score = 1
+		case faults.Flaky:
+			score = 2
+		case faults.Down:
+			score = 8
+		}
+		if score < 8 && c.Quarantined(path, chunk, n) {
+			score += 4
+		}
+		cands[i] = cand{node: n, idx: i, score: score}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	out := make([]int, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.node
+	}
+	return out
+}
+
+// serveChunk reads [within, within+n) of one chunk from one node,
+// applying the node's fault state: corrupting nodes return a copy with
+// a deterministic bit flipped, slow nodes pay a multiplied service
+// latency. Returns the bytes, whether they alias the chunk buffer, and
+// the absolute virtual completion time.
+func (c *Cluster) serveChunk(nodeID int, stream, path string, chunkIdx, within, n int64, st faults.State, win faults.Window, sched *faults.Schedule, borrow bool) ([]byte, bool, time.Duration) {
+	node := c.nodes[nodeID]
+	key := chunkKey{path: path, index: chunkIdx}
+	node.mu.Lock()
+	buf := node.chunks[key]
+	var data []byte
+	borrowed := false
+	if borrow && st != faults.Corrupting {
+		data = buf[within : within+n : within+n]
+		borrowed = true
+	} else {
+		data = append(make([]byte, 0, n), buf[within:within+n]...)
+	}
+	node.mu.Unlock()
+
+	if st == faults.Corrupting {
+		pos, mask := sched.CorruptBit(nodeID, stream, within, n)
+		data[pos] ^= mask
+		c.fmu.Lock()
+		c.counters.CorruptServes++
+		c.fmu.Unlock()
+	}
+
+	done := node.Disk.Read(stream, within, n)
+	if st == faults.Slow && win.SlowFactor > 1 {
+		done += time.Duration(float64(node.Disk.Spec.ServiceTime(n)) * (win.SlowFactor - 1))
+	}
+	c.IOSizes.Observe(float64(n))
+	c.ReadOps.Inc()
+	c.ReadBytes.Add(n)
+	return data, borrowed, done
+}
+
+// readChunkFaulty is the recovering chunk read: replicas in
+// health-ranked order, capped exponential backoff with seeded jitter
+// between attempts, and a hedged second read when the chosen replica's
+// latency exceeds the adaptive threshold. Backoff and hedge delay are
+// virtual time, folded into the returned completion time.
+func (c *Cluster) readChunkFaulty(path string, replicas []int, chunkIdx, within, n int64, borrow bool) ([]byte, bool, time.Duration, ReadTrace, error) {
+	sched := c.FaultSchedule()
+	now := c.opts.Clock.Now()
+	order := c.rankReplicas(path, chunkIdx, replicas, now, sched)
+	// Quarantined replicas leave the rotation entirely while any clean
+	// replica remains: a checksum-condemned node must not get to
+	// "succeed" with its rotted bytes just because a clean replica threw
+	// a transient error on one attempt. Only when every replica is
+	// quarantined do the condemned ones come back as a last resort.
+	clean := order[:0:0]
+	for _, n := range order {
+		if !c.Quarantined(path, chunkIdx, n) {
+			clean = append(clean, n)
+		}
+	}
+	if len(clean) > 0 {
+		order = clean
+	}
+	pol := c.opts.Retry
+	stream := fmt.Sprintf("%s#%d", path, chunkIdx)
+
+	var trace ReadTrace
+	var backoff time.Duration
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		nodeID := order[attempt%len(order)]
+		if attempt > 0 {
+			trace.Retries++
+			c.fmu.Lock()
+			c.counters.Retries++
+			c.fmu.Unlock()
+			step := pol.BaseBackoff << (attempt - 1)
+			if step > pol.MaxBackoff || step <= 0 {
+				step = pol.MaxBackoff
+			}
+			backoff += step + sched.Jitter(step/2, nodeID, stream, within, attempt)
+		}
+		st, win := sched.NodeState(nodeID, now)
+		if st == faults.Down {
+			lastErr = fmt.Errorf("%w: node %d serving %s chunk %d", ErrNodeDown, nodeID, path, chunkIdx)
+			continue
+		}
+		if st == faults.Flaky && sched.Fires(win.ErrProb, nodeID, stream, within, attempt) {
+			lastErr = fmt.Errorf("%w: node %d serving %s chunk %d (attempt %d)", ErrNodeIO, nodeID, path, chunkIdx, attempt)
+			continue
+		}
+		if nodeID != replicas[0] {
+			trace.Failovers++
+			c.fmu.Lock()
+			c.counters.Failovers++
+			c.fmu.Unlock()
+		}
+		data, borrowed, done := c.serveChunk(nodeID, stream, path, chunkIdx, within, n, st, win, sched, borrow)
+		served := nodeID
+
+		// Hedge: if the chosen replica is predicted to straggle past the
+		// adaptive threshold, fire a second read at the next-ranked
+		// healthy replica after the threshold delay; first completion
+		// wins, the loser's device time stays accounted.
+		lat := done - now
+		if thr := c.hedgeThreshold(); !pol.DisableHedge && sched != nil && lat > thr {
+			if alt, ok := altReplica(order, nodeID, now, sched); ok {
+				trace.Hedges++
+				altSt, altWin := sched.NodeState(alt, now)
+				data2, borrowed2, done2 := c.serveChunk(alt, stream, path, chunkIdx, within, n, altSt, altWin, sched, borrow)
+				hedgeDone := done2 + thr
+				won := hedgeDone < done
+				c.fmu.Lock()
+				c.counters.Hedges++
+				if won {
+					c.counters.HedgeWins++
+				}
+				c.fmu.Unlock()
+				if won {
+					trace.HedgeWins++
+					data, borrowed, done, served = data2, borrowed2, hedgeDone, alt
+				}
+			}
+		}
+
+		c.observeLatency(done - now)
+		trace.Backoff = backoff
+		trace.Served = append(trace.Served, ReplicaServe{Chunk: chunkIdx, Node: served})
+		return data, borrowed, done + backoff, trace, nil
+	}
+	trace.Backoff = backoff
+	err := fmt.Errorf("%w: %s chunk %d gave up after %d attempts: %w",
+		ErrAllReplicas, path, chunkIdx, pol.MaxAttempts, lastErr)
+	return nil, false, 0, trace, err
+}
+
+// altReplica picks the hedge target: the first ranked replica other
+// than primary that is not down.
+func altReplica(order []int, primary int, now time.Duration, sched *faults.Schedule) (int, bool) {
+	for _, n := range order {
+		if n == primary {
+			continue
+		}
+		if st, _ := sched.NodeState(n, now); st != faults.Down {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// ReadAtTraced is ReadAt returning, additionally, the recovery trace:
+// which replica served each chunk, and how much retrying, failover, and
+// hedging the read needed.
+func (c *Cluster) ReadAtTraced(path string, offset, length int64) ([]byte, time.Duration, ReadTrace, error) {
+	var trace ReadTrace
+	if offset < 0 || length < 0 {
+		return nil, 0, trace, fmt.Errorf("%w: negative read parameters [%d,%d) of %s", ErrOutOfRange, offset, offset+length, path)
+	}
+	f, err := c.lookup(path)
+	if err != nil {
+		return nil, 0, trace, err
+	}
+	f.mu.Lock()
+	size := f.size
+	replicas := f.replicas
+	f.mu.Unlock()
+
+	if offset+length > size {
+		return nil, 0, trace, fmt.Errorf("%w: read [%d,%d) beyond size %d of %s", ErrOutOfRange, offset, offset+length, size, path)
+	}
+
+	faulty := c.faultsActive()
+	out := make([]byte, 0, length)
+	var done time.Duration
+	cs := c.opts.ChunkSize
+	for length > 0 {
+		chunkIdx := offset / cs
+		within := offset % cs
+		n := cs - within
+		if length < n {
+			n = length
+		}
+		if faulty {
+			data, _, t, tr, err := c.readChunkFaulty(path, replicas[chunkIdx], chunkIdx, within, n, false)
+			trace.merge(tr)
+			if err != nil {
+				return nil, 0, trace, err
+			}
+			out = append(out, data...)
+			if t > done {
+				done = t
+			}
+		} else {
+			nodeID := replicas[chunkIdx][0]
+			node := c.nodes[nodeID]
+			key := chunkKey{path: path, index: chunkIdx}
+			node.mu.Lock()
+			buf := node.chunks[key]
+			out = append(out, buf[within:within+n]...)
+			node.mu.Unlock()
+
+			stream := fmt.Sprintf("%s#%d", path, chunkIdx)
+			if t := node.Disk.Read(stream, within, n); t > done {
+				done = t
+			}
+			c.IOSizes.Observe(float64(n))
+			c.ReadOps.Inc()
+			c.ReadBytes.Add(n)
+			trace.Served = append(trace.Served, ReplicaServe{Chunk: chunkIdx, Node: nodeID})
+		}
+		offset += n
+		length -= n
+	}
+	return out, done, trace, nil
+}
+
+// ReadAtBorrowTraced is ReadAtBorrow with the recovery trace.
+func (c *Cluster) ReadAtBorrowTraced(path string, offset, length int64) ([]byte, bool, time.Duration, ReadTrace, error) {
+	cs := c.opts.ChunkSize
+	if length <= 0 || offset < 0 || offset/cs != (offset+length-1)/cs {
+		out, t, trace, err := c.ReadAtTraced(path, offset, length)
+		return out, false, t, trace, err
+	}
+	var trace ReadTrace
+	f, err := c.lookup(path)
+	if err != nil {
+		return nil, false, 0, trace, err
+	}
+	f.mu.Lock()
+	size := f.size
+	replicas := f.replicas
+	f.mu.Unlock()
+
+	if offset+length > size {
+		return nil, false, 0, trace, fmt.Errorf("%w: read [%d,%d) beyond size %d of %s", ErrOutOfRange, offset, offset+length, size, path)
+	}
+
+	chunkIdx := offset / cs
+	within := offset % cs
+	if c.faultsActive() {
+		out, borrowed, t, tr, err := c.readChunkFaulty(path, replicas[chunkIdx], chunkIdx, within, length, true)
+		trace.merge(tr)
+		return out, borrowed, t, trace, err
+	}
+	nodeID := replicas[chunkIdx][0]
+	node := c.nodes[nodeID]
+	key := chunkKey{path: path, index: chunkIdx}
+	node.mu.Lock()
+	buf := node.chunks[key]
+	out := buf[within : within+length : within+length]
+	node.mu.Unlock()
+
+	stream := fmt.Sprintf("%s#%d", path, chunkIdx)
+	done := node.Disk.Read(stream, within, length)
+	c.IOSizes.Observe(float64(length))
+	c.ReadOps.Inc()
+	c.ReadBytes.Add(length)
+	trace.Served = append(trace.Served, ReplicaServe{Chunk: chunkIdx, Node: nodeID})
+	return out, true, done, trace, nil
+}

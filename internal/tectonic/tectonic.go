@@ -22,6 +22,7 @@ import (
 	"dsi/internal/clock"
 	"dsi/internal/hw"
 	"dsi/internal/metrics"
+	"dsi/internal/tectonic/faults"
 )
 
 // DefaultChunkSize is Tectonic's chunk size; §7.5 notes filtering reduced
@@ -48,6 +49,14 @@ type Options struct {
 	// Clock is the virtual clock for I/O accounting; defaults to a new
 	// clock.
 	Clock *clock.Clock
+	// Faults is an optional seeded schedule of node fault windows; nil
+	// means every node is healthy forever (and reads take the exact
+	// legacy fast path). Can also be installed later with
+	// SetFaultSchedule.
+	Faults *faults.Schedule
+	// Retry governs replica failover, backoff, and hedged reads when
+	// faults are active; zero fields take defaults (see RetryPolicy).
+	Retry RetryPolicy
 }
 
 func (o *Options) fill() {
@@ -66,6 +75,7 @@ func (o *Options) fill() {
 	if o.Clock == nil {
 		o.Clock = clock.New()
 	}
+	o.Retry.fill(o.Replication)
 }
 
 // StorageNode is one disk-backed node in the cluster.
@@ -97,6 +107,15 @@ type Cluster struct {
 	// ReadOps and ReadBytes aggregate the read load across nodes.
 	ReadOps   metrics.Counter
 	ReadBytes metrics.Counter
+
+	// fmu guards the failure plane: the installed fault schedule, the
+	// quarantined-replica set, recovery counters, and the latency EWMA
+	// feeding the hedged-read threshold.
+	fmu         sync.Mutex
+	schedule    *faults.Schedule
+	quarantined map[replicaKey]bool
+	counters    FaultCounters
+	ewmaLatNs   float64
 }
 
 type fileMeta struct {
@@ -113,7 +132,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if opts.Nodes < opts.Replication {
 		return nil, fmt.Errorf("tectonic: %d nodes cannot hold %d replicas", opts.Nodes, opts.Replication)
 	}
-	c := &Cluster{opts: opts, files: make(map[string]*fileMeta)}
+	c := &Cluster{opts: opts, files: make(map[string]*fileMeta), schedule: opts.Faults}
 	for i := 0; i < opts.Nodes; i++ {
 		c.nodes = append(c.nodes, &StorageNode{
 			ID:     i,
@@ -129,6 +148,9 @@ func (c *Cluster) Clock() *clock.Clock { return c.opts.Clock }
 
 // ChunkSize returns the configured chunk size.
 func (c *Cluster) ChunkSize() int64 { return c.opts.ChunkSize }
+
+// Replication returns the configured replicas per chunk.
+func (c *Cluster) Replication() int { return c.opts.Replication }
 
 // Nodes returns the storage nodes (for inspection in experiments).
 func (c *Cluster) Nodes() []*StorageNode { return c.nodes }
@@ -289,56 +311,15 @@ func (c *Cluster) Delete(path string) error {
 }
 
 // ReadAt reads length bytes at offset from the file, routing each
-// chunk-level I/O to the chunk's primary replica and accounting device
-// time. It returns the bytes and the simulated completion time of the
-// slowest I/O involved.
+// chunk-level I/O to the healthiest replica (the primary when the
+// cluster is fault-free) and accounting device time. It returns the
+// bytes and the simulated completion time of the slowest I/O involved.
+// When a fault schedule is active, failed attempts fail over across
+// replicas with capped jittered backoff and stragglers are hedged; see
+// ReadAtTraced for the recovery accounting.
 func (c *Cluster) ReadAt(path string, offset, length int64) ([]byte, time.Duration, error) {
-	if offset < 0 || length < 0 {
-		return nil, 0, fmt.Errorf("tectonic: negative read parameters")
-	}
-	f, err := c.lookup(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	f.mu.Lock()
-	size := f.size
-	replicas := f.replicas
-	f.mu.Unlock()
-
-	if offset+length > size {
-		return nil, 0, fmt.Errorf("tectonic: read [%d,%d) beyond size %d of %s", offset, offset+length, size, path)
-	}
-
-	out := make([]byte, 0, length)
-	var done time.Duration
-	cs := c.opts.ChunkSize
-	for length > 0 {
-		chunkIdx := offset / cs
-		within := offset % cs
-		n := cs - within
-		if length < n {
-			n = length
-		}
-		nodeID := replicas[chunkIdx][0]
-		node := c.nodes[nodeID]
-		key := chunkKey{path: path, index: chunkIdx}
-		node.mu.Lock()
-		buf := node.chunks[key]
-		out = append(out, buf[within:within+n]...)
-		node.mu.Unlock()
-
-		stream := fmt.Sprintf("%s#%d", path, chunkIdx)
-		if t := node.Disk.Read(stream, within, n); t > done {
-			done = t
-		}
-		c.IOSizes.Observe(float64(n))
-		c.ReadOps.Inc()
-		c.ReadBytes.Add(n)
-
-		offset += n
-		length -= n
-	}
-	return out, done, nil
+	out, t, _, err := c.ReadAtTraced(path, offset, length)
+	return out, t, err
 }
 
 // ReadAtBorrow is ReadAt returning, when the range lies within a single
@@ -352,40 +333,8 @@ func (c *Cluster) ReadAt(path string, offset, length int64) ([]byte, time.Durati
 // and I/O accounting are identical to ReadAt, so storage metrics don't
 // depend on which path served the read.
 func (c *Cluster) ReadAtBorrow(path string, offset, length int64) ([]byte, bool, time.Duration, error) {
-	cs := c.opts.ChunkSize
-	if length <= 0 || offset < 0 || offset/cs != (offset+length-1)/cs {
-		out, t, err := c.ReadAt(path, offset, length)
-		return out, false, t, err
-	}
-	f, err := c.lookup(path)
-	if err != nil {
-		return nil, false, 0, err
-	}
-	f.mu.Lock()
-	size := f.size
-	replicas := f.replicas
-	f.mu.Unlock()
-
-	if offset+length > size {
-		return nil, false, 0, fmt.Errorf("tectonic: read [%d,%d) beyond size %d of %s", offset, offset+length, size, path)
-	}
-
-	chunkIdx := offset / cs
-	within := offset % cs
-	nodeID := replicas[chunkIdx][0]
-	node := c.nodes[nodeID]
-	key := chunkKey{path: path, index: chunkIdx}
-	node.mu.Lock()
-	buf := node.chunks[key]
-	out := buf[within : within+length : within+length]
-	node.mu.Unlock()
-
-	stream := fmt.Sprintf("%s#%d", path, chunkIdx)
-	done := node.Disk.Read(stream, within, length)
-	c.IOSizes.Observe(float64(length))
-	c.ReadOps.Inc()
-	c.ReadBytes.Add(length)
-	return out, true, done, nil
+	out, borrowed, t, _, err := c.ReadAtBorrowTraced(path, offset, length)
+	return out, borrowed, t, err
 }
 
 // ReadAll reads the whole file.
