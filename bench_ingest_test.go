@@ -1,0 +1,70 @@
+package dsi_test
+
+import (
+	"testing"
+
+	"dsi/internal/datagen"
+	"dsi/internal/dwrf"
+	"dsi/internal/etl"
+	"dsi/internal/logdevice"
+	"dsi/internal/scribe"
+	"dsi/internal/tectonic"
+	"dsi/internal/warehouse"
+)
+
+// BenchmarkIngestFreshness regenerates the streaming-ingestion
+// experiment: the full Scribe->ETL->DWRF->session loop with freshness
+// accounting (see BENCH_ingest.json for a reference run).
+func BenchmarkIngestFreshness(b *testing.B) { benchExperiment(b, "ingest") }
+
+// BenchmarkStreamingIngestETL measures the ingestion write path alone —
+// publish feature/event logs to Scribe, join, and seal DWRF partitions
+// into an unbounded table — reporting end-to-end rows/sec from serving
+// log to sealed, readable partition.
+func BenchmarkStreamingIngestETL(b *testing.B) {
+	const rows = 2048
+	p, err := datagen.ProfileByName("RM1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := p.Scale(0.01, 1, rows)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := logdevice.NewStore()
+		bus := scribe.NewBus(store)
+		daemon := scribe.NewDaemon("bench", bus)
+		sim := datagen.NewServingSimulator("m", datagen.NewGenerator(spec, 17), daemon)
+		cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 3, Replication: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wh := warehouse.New(cluster)
+		tbl, err := wh.CreateUnboundedTable("m", spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cursors, err := etl.NewCursorStore(store, "etl/m/cursors")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipe := &etl.Pipeline{Joiner: etl.NewJoiner("m", bus, nil), Table: tbl, Cursors: cursors, PartitionRows: 512}
+		b.StartTimer()
+
+		if err := sim.ServeRequests(rows); err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Close(bus); err != nil {
+			b.Fatal(err)
+		}
+		if err := pipe.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+		if got := pipe.RowsWritten.Value(); got != rows {
+			b.Fatalf("wrote %d rows, want %d", got, rows)
+		}
+	}
+	b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/sec")
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dsi/internal/datagen"
+	"dsi/internal/dpp"
+	"dsi/internal/dwrf"
+	"dsi/internal/etl"
+	"dsi/internal/logdevice"
+	"dsi/internal/schema"
+	"dsi/internal/scribe"
+	"dsi/internal/tectonic"
+	"dsi/internal/warehouse"
+)
+
+// runIngest hosts the closed streaming loop in one process: a serving
+// simulator logs feature/event pairs into Scribe, a continuously running
+// ETL joins them and seals DWRF partitions into an unbounded table, and
+// an unbounded training session tails the table live over TCP loopback —
+// the master discovering partitions as they seal, the session ending
+// only when the producer closes the stream. Prints the session's
+// event-time→trainer freshness accounting at the end.
+func runIngestDemo(model string, seed int64, requests, partitionRows int, dataplane string) {
+	dial, err := dpp.DataPlaneDialer(dataplane)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := datagen.ProfileByName(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := p.Scale(0.01, 1, requests)
+
+	store := logdevice.NewStore()
+	bus := scribe.NewBus(store)
+	daemon := scribe.NewDaemon("dppd-serving", bus)
+	sim := datagen.NewServingSimulator(model, datagen.NewGenerator(spec, seed), daemon)
+	sim.Now = func() int64 { return time.Now().UnixNano() }
+
+	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wh := warehouse.New(cluster)
+	tbl, err := wh.CreateUnboundedTable(model, spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cursors, err := etl.NewCursorStore(store, "etl/"+model+"/cursors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline := &etl.Pipeline{
+		Joiner:        etl.NewJoiner(model, bus, nil),
+		Table:         tbl,
+		Cursors:       cursors,
+		PartitionRows: partitionRows,
+	}
+	etlDone := make(chan error, 1)
+	go func() { etlDone <- pipeline.Run(nil) }()
+
+	// The producer streams traffic in paced chunks, then closes both
+	// categories — the signal that ends the whole loop.
+	producerDone := make(chan error, 1)
+	go func() {
+		chunk := requests / 8
+		if chunk < 1 {
+			chunk = 1
+		}
+		for served := 0; served < requests; served += chunk {
+			n := chunk
+			if rem := requests - served; rem < n {
+				n = rem
+			}
+			if err := sim.ServeRequests(n); err != nil {
+				producerDone <- err
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		producerDone <- sim.Close(bus)
+	}()
+
+	session := dpp.SessionSpec{
+		Table:     model,
+		Unbounded: true,
+		Features:  []schema.FeatureID{1, 2, schema.FeatureID(spec.DenseFeats + 1)},
+		DenseOut:  []schema.FeatureID{1, 2},
+		SparseOut: []schema.FeatureID{schema.FeatureID(spec.DenseFeats + 1)},
+		BatchSize: 64,
+		Read:      dwrf.ReadOptions{CoalesceBytes: dwrf.DefaultCoalesceBytes, Flatmap: true},
+		DataPlane: dataplane,
+	}
+	m, err := dpp.NewMaster(wh, session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := len(m.DiscoveredPartitions())
+	mln, stopM, err := dpp.ServeMaster(m, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopM()
+	log.Printf("dppd ingest: unbounded session on %s, %d partitions visible at start", mln.Addr(), baseline)
+
+	var workers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		remote, err := dpp.DialMaster(mln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, stopW, err := dpp.ListenAndServeWorker(fmt.Sprintf("ingest-w%d", i), "127.0.0.1:0", remote, wh, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workers.Add(1)
+		go func(w *dpp.Worker, stopW func(), remote *dpp.RemoteMaster) {
+			defer workers.Done()
+			defer remote.Close()
+			defer stopW()
+			if err := w.Run(nil); err != nil {
+				log.Fatal(err)
+			}
+			if err := w.Retire(nil); err != nil {
+				log.Printf("dppd ingest: retire %s: %v", w.ID, err)
+			}
+		}(w, stopW, remote)
+	}
+
+	remote, err := dpp.DialMaster(mln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	client, err := dpp.NewSessionClient(remote, dial, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.RefreshEvery = 5 * time.Millisecond
+
+	var rows int64
+	start := time.Now()
+	for {
+		b, ok, err := client.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows += int64(b.Rows)
+		b.Release()
+	}
+	if err := <-producerDone; err != nil {
+		log.Fatal(err)
+	}
+	if err := <-etlDone; err != nil {
+		log.Fatal(err)
+	}
+	workers.Wait()
+
+	discovered := m.DiscoveredPartitions()
+	fs := m.Freshness()
+	log.Printf("dppd ingest: trained on %d rows live in %v (%d batches)",
+		rows, time.Since(start).Round(time.Millisecond), client.BatchesFetched)
+	log.Printf("dppd ingest: %d partitions sealed by ETL, %d discovered after session start",
+		len(discovered), len(discovered)-baseline)
+	log.Printf("dppd ingest: freshness over %d splits: mean %v, max %v (stalest event %v)",
+		fs.Samples, fs.MeanFresh.Round(time.Millisecond), fs.MaxFresh.Round(time.Millisecond), fs.MaxStale.Round(time.Millisecond))
+}

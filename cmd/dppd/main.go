@@ -33,6 +33,14 @@
 //	dppd -role submit -master localhost:7070 -session mine -weight 3
 //	dppd -role client -master localhost:7070 -session s1
 //	dppd -role demo -sessions 3 -max-workers 5     # 3 tenants, one fleet
+//
+//	dppd -role ingest -requests 8192               # streaming Scribe->ETL->session loop
+//
+// The ingest role closes the DSI loop live: a serving simulator streams
+// feature/event logs into Scribe, the ETL joins and seals DWRF
+// partitions into an unbounded table, and an unbounded session tails it
+// over TCP until the producer closes the stream, reporting event-time to
+// trainer freshness lag.
 package main
 
 import (
@@ -51,7 +59,7 @@ import (
 )
 
 func main() {
-	role := flag.String("role", "demo", "master | worker | client | demo")
+	role := flag.String("role", "demo", "master | worker | client | demo | ingest")
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address (master/worker)")
 	masterAddr := flag.String("master", "127.0.0.1:7070", "master address (worker/client)")
 	workerList := flag.String("workers", "", "comma-separated worker addresses (client; overrides -master resolution)")
@@ -65,6 +73,10 @@ func main() {
 	minWorkers := flag.Int("min-workers", 1, "master/demo: lower bound of the auto-scaled pool")
 	maxWorkers := flag.Int("max-workers", 0, "master/demo: upper bound of the auto-scaled pool (0 = master does not launch workers)")
 	scaleInterval := flag.Duration("scale-interval", 250*time.Millisecond, "master/demo: auto-scaler control period")
+
+	// Streaming ingestion knobs (ingest role).
+	requests := flag.Int("requests", 4096, "ingest: serving requests to stream through Scribe->ETL before closing the stream")
+	partRows := flag.Int("partition-rows", 512, "ingest: ETL partition seal threshold in rows")
 
 	// Multi-tenant knobs.
 	sessions := flag.Int("sessions", 1, "master/demo: number of pre-created sessions (>1 hosts the multi-tenant service; demo tenants get weights 1..N)")
@@ -123,6 +135,8 @@ func main() {
 		runClient(*masterAddr, strings.Split(*workerList, ","), *dataplane, *sessionID)
 	case "submit":
 		runSubmit(*model, *seed, *masterAddr, *dataplane, *sessionID, *weight, pipeline, *bufferDepth)
+	case "ingest":
+		runIngestDemo(*model, *seed, *requests, *partRows, *dataplane)
 	case "demo":
 		if *sessions > 1 {
 			runServiceDemo(*model, *seed, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane, *sessions)

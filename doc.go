@@ -86,6 +86,23 @@
 // planes. The "multitenant" experiment measures weighted fair sharing
 // with real concurrent sessions over one fleet.
 //
+// The ingestion path closes the loop of §3.1 as a live stream: serving
+// hosts log paired feature/event records through scribe into
+// LogDevice-backed categories, a continuously running etl.Pipeline
+// joins and labels them, and sealed DWRF partitions publish atomically
+// (seal == visibility, with a generation counter per table) into an
+// unbounded warehouse table. Durable resume cursors (etl.CursorStore's
+// intent → seal → commit write-ahead log) make crash recovery
+// exactly-once: an uncommitted intent is adopted only if its partition
+// became visible. A DPP session opens the table live
+// (SessionSpec.Unbounded) — the master discovers splits as the ETL
+// seals partitions, polling the generation when workers idle, and the
+// session ends only when the producer closes its Scribe categories.
+// Completed splits record event-time→trainer freshness lag
+// (Master.Freshness); the "ingest" experiment and BENCH_ingest.json
+// show the lag bounded and flat, and `dppd -role ingest` demos the
+// whole loop over TCP.
+//
 // The storage read path is self-healing under an injectable fault
 // plane: a seeded faults.Schedule marks nodes down, flaky, slow, or
 // silently corrupting over virtual-clock windows, and tectonic reads

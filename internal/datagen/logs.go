@@ -16,6 +16,12 @@ type FeatureLog struct {
 	RequestID int64
 	Dense     map[schema.FeatureID]float32
 	Sparse    map[schema.FeatureID][]int64
+	// EventTime is the serving-time wall clock in Unix nanoseconds. It is
+	// carried through the ETL join into partition metadata so the DPP
+	// master can account event-time→trainer freshness lag. Zero means
+	// unknown (old producers); gob omits zero fields, so payloads stay
+	// compatible in both directions.
+	EventTime int64
 }
 
 // EventLog is the record of the recommendation's observed outcome (e.g.
@@ -78,6 +84,9 @@ type ServingSimulator struct {
 	// EventDropRate is the fraction of requests whose outcome event is
 	// never observed (the join in ETL must tolerate these).
 	EventDropRate float64
+	// Now, when set, stamps each feature log's EventTime (Unix
+	// nanoseconds). Tests inject a virtual clock here.
+	Now func() int64
 }
 
 // NewServingSimulator returns a simulator that logs through daemon.
@@ -97,6 +106,9 @@ func (s *ServingSimulator) ServeRequests(n int) error {
 			Dense:     sample.DenseFeatures,
 			Sparse:    sample.SparseFeatures,
 		}
+		if s.Now != nil {
+			fl.EventTime = s.Now()
+		}
 		payload, err := EncodeFeatureLog(fl)
 		if err != nil {
 			return err
@@ -104,7 +116,10 @@ func (s *ServingSimulator) ServeRequests(n int) error {
 		if err := s.daemon.Log(FeatureCategory(s.Model), payload); err != nil {
 			return err
 		}
-		if s.gen.rng.Float64() < s.EventDropRate {
+		// Guard the drop draw so a zero drop rate consumes no rng state:
+		// tests replay the generator with the same seed to rebuild ground
+		// truth, which requires identical draw sequences.
+		if s.EventDropRate > 0 && s.gen.rng.Float64() < s.EventDropRate {
 			continue
 		}
 		ev := &EventLog{RequestID: id, Engaged: sample.Label > 0}
@@ -121,3 +136,16 @@ func (s *ServingSimulator) ServeRequests(n int) error {
 
 // RequestsServed reports how many requests have been simulated.
 func (s *ServingSimulator) RequestsServed() int64 { return s.nextID - 1 }
+
+// Close flushes the daemon and closes both of the model's categories on
+// bus, signalling end-of-stream to downstream ETL: a tailing joiner that
+// drains to both tails may then finalize instead of waiting for more.
+func (s *ServingSimulator) Close(bus *scribe.Bus) error {
+	if err := s.daemon.Flush(); err != nil {
+		return err
+	}
+	if err := bus.CloseCategory(FeatureCategory(s.Model)); err != nil {
+		return err
+	}
+	return bus.CloseCategory(EventCategory(s.Model))
+}

@@ -1,0 +1,76 @@
+package dpp
+
+import "time"
+
+// FreshnessSample records the event-time→trainer lag of one completed
+// split in an unbounded session. Events carry their serving-time stamp
+// from the Scribe log through the ETL into the partition's event-time
+// bounds; CompleteSplit is consumption-acked, so CompletedAt marks the
+// moment the trainer actually held the split's rows.
+type FreshnessSample struct {
+	Partition string
+	Stripe    int
+	// MinEventTime / MaxEventTime are the split's event-time bounds in
+	// Unix nanoseconds (copied from the warehouse split).
+	MinEventTime int64
+	MaxEventTime int64
+	// CompletedAt is the consumption-ack time in Unix nanoseconds.
+	CompletedAt int64
+}
+
+// FreshLag is the lag of the split's newest event: the best case a
+// trainer sees for this split.
+func (s FreshnessSample) FreshLag() time.Duration {
+	return time.Duration(s.CompletedAt - s.MaxEventTime)
+}
+
+// StaleLag is the lag of the split's oldest event: the worst case.
+func (s FreshnessSample) StaleLag() time.Duration {
+	return time.Duration(s.CompletedAt - s.MinEventTime)
+}
+
+// FreshnessStats summarizes a session's freshness samples. A healthy
+// streaming pipeline shows a bounded, flat MaxFresh: lag does not grow
+// as the session tails more partitions.
+type FreshnessStats struct {
+	Samples   int
+	MinFresh  time.Duration
+	MaxFresh  time.Duration
+	MeanFresh time.Duration
+	MaxStale  time.Duration
+}
+
+// FreshnessSamples returns the per-split lag samples recorded so far,
+// in completion order. Splits without event-time bounds (static tables,
+// producers that never stamped EventTime) record no sample.
+func (m *Master) FreshnessSamples() []FreshnessSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]FreshnessSample(nil), m.freshness...)
+}
+
+// Freshness summarizes the recorded samples.
+func (m *Master) Freshness() FreshnessStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var st FreshnessStats
+	var sum time.Duration
+	for i, s := range m.freshness {
+		fresh := s.FreshLag()
+		if i == 0 || fresh < st.MinFresh {
+			st.MinFresh = fresh
+		}
+		if fresh > st.MaxFresh {
+			st.MaxFresh = fresh
+		}
+		if stale := s.StaleLag(); stale > st.MaxStale {
+			st.MaxStale = stale
+		}
+		sum += fresh
+	}
+	st.Samples = len(m.freshness)
+	if st.Samples > 0 {
+		st.MeanFresh = sum / time.Duration(st.Samples)
+	}
+	return st
+}

@@ -139,6 +139,11 @@ type Master struct {
 	spec   SessionSpec
 	splits []warehouse.Split
 
+	// table is set for unbounded sessions: the master polls it for
+	// newly sealed partitions (discovery-on-poll; no background
+	// goroutine) and for the producer's stream-close.
+	table warehouse.TableReader
+
 	mu        sync.Mutex
 	closed    bool
 	pending   []int
@@ -146,6 +151,13 @@ type Master struct {
 	completed []bool
 	nComplete int
 	workers   map[string]*workerInfo
+	// seenParts / discovered / lastGen drive incremental split
+	// discovery on unbounded sessions; freshness accumulates per-split
+	// event-time→completion lag samples.
+	seenParts  map[string]bool
+	discovered []string
+	lastGen    int64
+	freshness  []FreshnessSample
 	// poison counts ReleaseSplit returns per split; failErr latches the
 	// session failure once a split exhausts its retry budget.
 	poison  map[int]int
@@ -202,6 +214,32 @@ func NewMaster(wh *warehouse.Warehouse, spec SessionSpec) (*Master, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Unbounded && !tbl.Unbounded() {
+		return nil, fmt.Errorf("dpp: unbounded session over static table %s (create it with CreateUnboundedTable)", spec.Table)
+	}
+	m := &Master{
+		spec:            spec,
+		inflight:        make(map[int]*lease),
+		workers:         make(map[string]*workerInfo),
+		poison:          make(map[int]int),
+		seenParts:       make(map[string]bool),
+		lastGen:         -1,
+		now:             time.Now,
+		LeaseTimeout:    30 * time.Second,
+		MaxSplitRetries: spec.RetryBudget,
+	}
+	if spec.Unbounded {
+		// Split discovery is incremental: whatever is visible now seeds
+		// the queue, and refreshLocked picks up partitions as the ETL
+		// seals them. The pipeline cannot be sized to a final split
+		// count, so planning keeps the configured parallelism.
+		m.table = tbl
+		m.spec.Pipeline = m.spec.Pipeline.withDefaults()
+		if err := m.refreshLocked(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
 	splits, err := tbl.Splits(spec.Partitions)
 	if err != nil {
 		return nil, err
@@ -211,29 +249,69 @@ func NewMaster(wh *warehouse.Warehouse, spec SessionSpec) (*Master, error) {
 	}
 	// Session planning sizes each worker's pipeline to the actual work:
 	// the planned knobs reach workers through RegisterWorker.
-	spec.Pipeline = spec.Pipeline.planFor(len(splits))
-	m := &Master{
-		spec:            spec,
-		splits:          splits,
-		inflight:        make(map[int]*lease),
-		completed:       make([]bool, len(splits)),
-		workers:         make(map[string]*workerInfo),
-		poison:          make(map[int]int),
-		now:             time.Now,
-		LeaseTimeout:    30 * time.Second,
-		MaxSplitRetries: spec.RetryBudget,
-	}
+	m.spec.Pipeline = m.spec.Pipeline.planFor(len(splits))
+	m.splits = splits
+	m.completed = make([]bool, len(splits))
 	for i := range splits {
 		m.pending = append(m.pending, i)
 	}
 	return m, nil
 }
 
+// refreshLocked discovers splits of partitions sealed since the last
+// poll. It reads the table generation BEFORE enumerating partitions, so
+// a partition sealed mid-enumeration is re-examined (and deduplicated by
+// key) on the next poll rather than lost. Callers hold m.mu.
+func (m *Master) refreshLocked() error {
+	if m.table == nil {
+		return nil
+	}
+	gen := m.table.Generation()
+	if gen == m.lastGen {
+		return nil
+	}
+	for _, p := range m.table.Partitions() { // sorted by key
+		if m.seenParts[p.Key] {
+			continue
+		}
+		splits, err := m.table.PartitionSplits(p.Key)
+		if err != nil {
+			return err
+		}
+		m.seenParts[p.Key] = true
+		m.discovered = append(m.discovered, p.Key)
+		for _, sp := range splits {
+			m.splits = append(m.splits, sp)
+			m.completed = append(m.completed, false)
+			m.pending = append(m.pending, len(m.splits)-1)
+		}
+	}
+	m.lastGen = gen
+	return nil
+}
+
 // Spec returns the session spec.
 func (m *Master) Spec() SessionSpec { return m.spec }
 
-// SplitCount reports the total number of splits in the session.
-func (m *Master) SplitCount() int { return len(m.splits) }
+// SplitCount reports the total number of splits discovered so far (the
+// final count, for bounded sessions).
+func (m *Master) SplitCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_ = m.refreshLocked()
+	return len(m.splits)
+}
+
+// DiscoveredPartitions lists the partition keys an unbounded session has
+// discovered, in discovery order (nil for bounded sessions). E2E tests
+// use it to assert that partitions sealed after session start were
+// picked up live.
+func (m *Master) DiscoveredPartitions() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_ = m.refreshLocked()
+	return append([]string(nil), m.discovered...)
+}
 
 // Close marks the session's control plane closed: every subsequent
 // worker-facing call fails with a closed-session error. Pipelines that
@@ -296,6 +374,15 @@ func (m *Master) NextSplit(workerID string) (warehouse.Split, int, bool, bool, e
 		return warehouse.Split{}, 0, false, false, fmt.Errorf("dpp: unregistered worker %q", workerID)
 	}
 	w.lastSeen = m.now()
+	if len(m.pending) == 0 {
+		// Unbounded sessions poll the table for freshly sealed
+		// partitions exactly when a worker runs out of work — workers'
+		// fetch loops re-poll on a short backoff, so no notification
+		// plumbing is needed.
+		if err := m.refreshLocked(); err != nil {
+			return warehouse.Split{}, 0, false, false, err
+		}
+	}
 	if w.draining || len(m.pending) == 0 {
 		return warehouse.Split{}, 0, false, w.draining, nil
 	}
@@ -326,6 +413,18 @@ func (m *Master) CompleteSplit(workerID string, splitID int) error {
 	if !m.completed[splitID] {
 		m.completed[splitID] = true
 		m.nComplete++
+		// CompleteSplit is consumption-acked — the trainer has the rows —
+		// so completion time is the trainer-side end of the freshness
+		// window opened when the events were logged.
+		if sp := m.splits[splitID]; sp.MaxEventTime > 0 {
+			m.freshness = append(m.freshness, FreshnessSample{
+				Partition:    sp.Partition,
+				Stripe:       sp.Stripe,
+				MinEventTime: sp.MinEventTime,
+				MaxEventTime: sp.MaxEventTime,
+				CompletedAt:  m.now().UnixNano(),
+			})
+		}
 	}
 	return nil
 }
@@ -407,11 +506,29 @@ func (m *Master) SplitReleases() map[int]int {
 // Done implements MasterAPI. Once a split has exhausted its poison
 // budget the session can never finish; Done surfaces that as an error
 // so every worker's fetch loop fails the session instead of spinning.
+//
+// An unbounded session is done only after the producer closed the
+// table's stream AND every discovered split has completed. The
+// stream-close check happens after a refresh, and closing itself bumps
+// the table generation, so a second refresh after observing the close
+// is guaranteed to see every partition sealed before it — no split can
+// slip between "looks done" and "stream closed".
 func (m *Master) Done() (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.failErr != nil {
 		return false, m.failErr
+	}
+	if m.table != nil {
+		if err := m.refreshLocked(); err != nil {
+			return false, err
+		}
+		if m.table.StreamOpen() {
+			return false, nil
+		}
+		if err := m.refreshLocked(); err != nil {
+			return false, err
+		}
 	}
 	return m.nComplete == len(m.splits), nil
 }
@@ -561,13 +678,23 @@ func RestoreMaster(wh *warehouse.Warehouse, spec SessionSpec, checkpoint []byte)
 	if err := gob.NewDecoder(bytes.NewReader(checkpoint)).Decode(&state); err != nil {
 		return nil, fmt.Errorf("dpp: restore: %w", err)
 	}
-	if len(state.Completed) != len(m.splits) {
+	if m.table != nil {
+		// Unbounded sessions may have sealed more partitions since the
+		// checkpoint. Partitions seal in monotonic key order and
+		// discovery enumerates in sorted key order, so split indices are
+		// stable across restarts and the checkpoint restores as a prefix;
+		// splits discovered after it stay pending.
+		if len(state.Completed) > len(m.splits) {
+			return nil, fmt.Errorf("dpp: checkpoint covers %d splits, session has %d", len(state.Completed), len(m.splits))
+		}
+	} else if len(state.Completed) != len(m.splits) {
 		return nil, fmt.Errorf("dpp: checkpoint covers %d splits, session has %d", len(state.Completed), len(m.splits))
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.pending = m.pending[:0]
-	for i, done := range state.Completed {
+	for i := range m.splits {
+		done := i < len(state.Completed) && state.Completed[i]
 		m.completed[i] = done
 		if done {
 			m.nComplete++

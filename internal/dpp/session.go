@@ -124,6 +124,15 @@ import (
 type SessionSpec struct {
 	Table      string
 	Partitions []string
+	// Unbounded opens the session as a live tail of a streaming table:
+	// instead of fixing the split set at planning time, the master keeps
+	// discovering new splits as the ETL pipeline seals partitions, and
+	// the session finishes only after the producer closes the table's
+	// stream AND every discovered split has completed. Requires a table
+	// created with Warehouse.CreateUnboundedTable and no explicit
+	// Partitions filter (an unbounded session always tails the whole
+	// table). Gob-optional: absent from older specs.
+	Unbounded bool
 	// Features is the raw-feature projection read from storage.
 	Features []schema.FeatureID
 	// Ops is the transformation DAG, serialized as a flat op list (the
@@ -246,6 +255,9 @@ func (s *SessionSpec) Validate() error {
 	case "", DataPlaneFramed, DataPlaneGob:
 	default:
 		return fmt.Errorf("dpp: unknown data plane %q (want %s or %s)", s.DataPlane, DataPlaneFramed, DataPlaneGob)
+	}
+	if s.Unbounded && len(s.Partitions) > 0 {
+		return fmt.Errorf("dpp: an unbounded session tails the whole table; drop the Partitions filter")
 	}
 	return nil
 }

@@ -1,0 +1,162 @@
+package etl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"dsi/internal/logdevice"
+)
+
+// CursorStore persists the streaming pipeline's resume state as a
+// write-ahead intent/commit log in a dedicated LogDevice stream. The
+// seal protocol per partition K is:
+//
+//  1. intent(K, state)  — the joiner state *after* K's rows, logged
+//     durably before the partition becomes visible
+//  2. seal K            — PartitionWriter.Close makes K visible
+//  3. commit(K)         — acknowledges the seal; earlier records are
+//     trimmed
+//
+// On recovery the latest committed intent is the safe base; a trailing
+// uncommitted intent is adopted only if its partition actually became
+// visible (the crash fell between seal and commit), otherwise the
+// partition never existed and the base state re-produces it
+// byte-identically.
+type CursorStore struct {
+	store *logdevice.Store
+	name  string
+
+	intentLSN map[string]logdevice.LSN
+}
+
+type cursorRecord struct {
+	Kind  int // 1 = intent, 2 = commit
+	Key   string
+	State []byte
+}
+
+const (
+	recIntent = 1
+	recCommit = 2
+)
+
+// Intent is one recovered intent record.
+type Intent struct {
+	Key   string
+	State []byte
+}
+
+// NewCursorStore opens (creating if needed) the cursor stream name.
+func NewCursorStore(store *logdevice.Store, name string) (*CursorStore, error) {
+	if err := store.CreateStream(name); err != nil {
+		// Re-opening an existing stream is the recovery path.
+		if _, tailErr := store.Tail(name); tailErr != nil {
+			return nil, err
+		}
+	}
+	return &CursorStore{store: store, name: name, intentLSN: make(map[string]logdevice.LSN)}, nil
+}
+
+func (c *CursorStore) append(rec cursorRecord) (logdevice.LSN, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		return 0, fmt.Errorf("etl: encode cursor record: %w", err)
+	}
+	return c.store.Append(c.name, buf.Bytes())
+}
+
+// Intent durably logs the post-partition joiner state for key before the
+// partition is sealed.
+func (c *CursorStore) Intent(key string, state []byte) error {
+	lsn, err := c.append(cursorRecord{Kind: recIntent, Key: key, State: state})
+	if err != nil {
+		return err
+	}
+	c.intentLSN[key] = lsn
+	return nil
+}
+
+// Commit acknowledges that key's partition was sealed and trims cursor
+// records older than its intent, keeping the log bounded.
+func (c *CursorStore) Commit(key string) error {
+	if _, err := c.append(cursorRecord{Kind: recCommit, Key: key}); err != nil {
+		return err
+	}
+	if lsn, ok := c.intentLSN[key]; ok && lsn > 1 {
+		delete(c.intentLSN, key)
+		return c.store.Trim(c.name, lsn-1)
+	}
+	return nil
+}
+
+// Recover replays the retained cursor log. It returns the latest
+// committed intent (nil if none) and any intents logged after it,
+// oldest first; the caller decides per uncommitted intent whether its
+// partition became visible.
+func (c *CursorStore) Recover() (committed *Intent, uncommitted []Intent, err error) {
+	tp, err := c.store.TrimPoint(c.name)
+	if err != nil {
+		return nil, nil, err
+	}
+	from := tp + 1
+	intents := make(map[string]*Intent)
+	for {
+		recs, err := c.store.ReadFrom(c.name, from, 1024)
+		if err != nil {
+			if errors.Is(err, logdevice.ErrTrimmed) {
+				// Raced with a concurrent trim; restart from the new point.
+				tp, err2 := c.store.TrimPoint(c.name)
+				if err2 != nil {
+					return nil, nil, err2
+				}
+				from = tp + 1
+				continue
+			}
+			return nil, nil, err
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			var cr cursorRecord
+			if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&cr); err != nil {
+				return nil, nil, fmt.Errorf("etl: decode cursor record lsn %d: %w", rec.LSN, err)
+			}
+			switch cr.Kind {
+			case recIntent:
+				in := &Intent{Key: cr.Key, State: cr.State}
+				intents[cr.Key] = in
+				uncommitted = append(uncommitted, *in)
+				c.intentLSN[cr.Key] = rec.LSN
+			case recCommit:
+				if in, ok := intents[cr.Key]; ok {
+					committed = in
+					// Everything up to the committed intent is settled.
+					uncommitted = uncommitted[:0]
+					for k := range intents {
+						if k != cr.Key {
+							delete(intents, k)
+						}
+					}
+					delete(c.intentLSN, cr.Key)
+				}
+			default:
+				return nil, nil, fmt.Errorf("etl: unknown cursor record kind %d", cr.Kind)
+			}
+			from = rec.LSN + 1
+		}
+	}
+	// Drop the committed intent itself from the uncommitted tail.
+	if committed != nil {
+		trimmed := uncommitted[:0]
+		for _, in := range uncommitted {
+			if in.Key != committed.Key {
+				trimmed = append(trimmed, in)
+			}
+		}
+		uncommitted = trimmed
+	}
+	return committed, uncommitted, nil
+}

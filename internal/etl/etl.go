@@ -10,6 +10,8 @@
 package etl
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 
@@ -32,6 +34,15 @@ type SinkFunc func(*schema.Sample) error
 // Emit implements Sink.
 func (f SinkFunc) Emit(s *schema.Sample) error { return f(s) }
 
+// TimedSink is an optional Sink extension. When the joiner's sink
+// implements it, each sample is delivered together with the source
+// feature log's EventTime (Unix nanoseconds, zero if unknown), letting
+// partition writers record event-time bounds for freshness accounting.
+type TimedSink interface {
+	Sink
+	EmitTimed(s *schema.Sample, eventTime int64) error
+}
+
 // Joiner incrementally joins one model's feature and event streams.
 type Joiner struct {
 	Model string
@@ -45,8 +56,8 @@ type Joiner struct {
 	eventCursor logdevice.LSN
 
 	pending map[int64]*pendingEntry
-	order   []int64 // FIFO of pending request IDs for window eviction
-	seq     int64   // records processed, drives window ageing
+	order   []orderEntry // FIFO of pending joins for window eviction
+	seq     int64        // records processed, drives window ageing
 	sink    Sink
 
 	// Joined counts samples emitted with an observed event.
@@ -55,11 +66,26 @@ type Joiner struct {
 	Expired metrics.Counter
 	// OrphanEvents counts events with no pending feature log.
 	OrphanEvents metrics.Counter
+	// Poisoned counts undecodable log records skipped (the cursor still
+	// advances so one corrupt record cannot wedge the stream).
+	Poisoned metrics.Counter
+	// DuplicateFeatures counts feature logs whose RequestID collided with
+	// a pending join; the displaced entry is emitted as a negative rather
+	// than silently dropped.
+	DuplicateFeatures metrics.Counter
 }
 
 type pendingEntry struct {
 	feat *datagen.FeatureLog
 	seq  int64
+}
+
+// orderEntry is one FIFO slot. The seq disambiguates slots whose request
+// ID was re-used by a duplicate feature log: a slot only speaks for the
+// pending entry that still carries its seq.
+type orderEntry struct {
+	id  int64
+	seq int64
 }
 
 // NewJoiner returns a joiner reading model's categories from bus and
@@ -84,6 +110,9 @@ func (j *Joiner) emit(feat *datagen.FeatureLog, engaged bool) error {
 	if engaged {
 		s.Label = 1
 	}
+	if ts, ok := j.sink.(TimedSink); ok {
+		return ts.EmitTimed(s, feat.EventTime)
+	}
 	return j.sink.Emit(s)
 }
 
@@ -97,15 +126,30 @@ func (j *Joiner) Step(batch int) (int, error) {
 		return 0, err
 	}
 	for _, rec := range feats {
-		fl, err := datagen.DecodeFeatureLog(rec.Payload)
-		if err != nil {
-			return consumed, fmt.Errorf("etl: feature log lsn %d: %w", rec.LSN, err)
-		}
-		j.seq++
-		j.pending[fl.RequestID] = &pendingEntry{feat: fl, seq: j.seq}
-		j.order = append(j.order, fl.RequestID)
 		j.featCursor = rec.LSN + 1
 		consumed++
+		fl, err := datagen.DecodeFeatureLog(rec.Payload)
+		if err != nil {
+			// A poison record must not wedge the stream: the cursor has
+			// already advanced, so count it and move on.
+			j.Poisoned.Inc()
+			continue
+		}
+		j.seq++
+		if old, ok := j.pending[fl.RequestID]; ok {
+			// A duplicate RequestID displaces the earlier pending join.
+			// Emit the displaced entry as an unobserved negative instead
+			// of silently dropping the sample; its FIFO slot goes stale
+			// (seq mismatch) and is skipped at eviction time.
+			j.DuplicateFeatures.Inc()
+			delete(j.pending, fl.RequestID)
+			if err := j.emit(old.feat, false); err != nil {
+				return consumed, err
+			}
+			j.Expired.Inc()
+		}
+		j.pending[fl.RequestID] = &pendingEntry{feat: fl, seq: j.seq}
+		j.order = append(j.order, orderEntry{id: fl.RequestID, seq: j.seq})
 	}
 
 	events, err := j.bus.Tail(datagen.EventCategory(j.Model), j.eventCursor, batch)
@@ -113,12 +157,13 @@ func (j *Joiner) Step(batch int) (int, error) {
 		return consumed, err
 	}
 	for _, rec := range events {
-		ev, err := datagen.DecodeEventLog(rec.Payload)
-		if err != nil {
-			return consumed, fmt.Errorf("etl: event log lsn %d: %w", rec.LSN, err)
-		}
 		j.eventCursor = rec.LSN + 1
 		consumed++
+		ev, err := datagen.DecodeEventLog(rec.Payload)
+		if err != nil {
+			j.Poisoned.Inc()
+			continue
+		}
 		entry, ok := j.pending[ev.RequestID]
 		if !ok {
 			j.OrphanEvents.Inc()
@@ -141,9 +186,9 @@ func (j *Joiner) Step(batch int) (int, error) {
 func (j *Joiner) evictExpired() error {
 	cutoff := j.seq - int64(j.Window)
 	for len(j.order) > 0 {
-		id := j.order[0]
-		entry, ok := j.pending[id]
-		if !ok { // already joined
+		slot := j.order[0]
+		entry, ok := j.pending[slot.id]
+		if !ok || entry.seq != slot.seq { // joined, or displaced by a duplicate
 			j.order = j.order[1:]
 			continue
 		}
@@ -151,7 +196,7 @@ func (j *Joiner) evictExpired() error {
 			break
 		}
 		j.order = j.order[1:]
-		delete(j.pending, id)
+		delete(j.pending, slot.id)
 		if err := j.emit(entry.feat, false); err != nil {
 			return err
 		}
@@ -162,12 +207,12 @@ func (j *Joiner) evictExpired() error {
 
 // Flush force-emits all pending joins as negatives (end of partition).
 func (j *Joiner) Flush() error {
-	for _, id := range j.order {
-		entry, ok := j.pending[id]
-		if !ok {
+	for _, slot := range j.order {
+		entry, ok := j.pending[slot.id]
+		if !ok || entry.seq != slot.seq {
 			continue
 		}
-		delete(j.pending, id)
+		delete(j.pending, slot.id)
 		if err := j.emit(entry.feat, false); err != nil {
 			return err
 		}
@@ -196,6 +241,81 @@ func (j *Joiner) TrimConsumed() error {
 	return nil
 }
 
+// EndOfStream reports whether the producer closed both of the model's
+// categories and the joiner has consumed every record up to their tails.
+// Once true, no further input can arrive and pending joins may be
+// flushed as negatives.
+func (j *Joiner) EndOfStream() bool {
+	feat, event := datagen.FeatureCategory(j.Model), datagen.EventCategory(j.Model)
+	if !j.bus.Closed(feat) || !j.bus.Closed(event) {
+		return false
+	}
+	ft, err := j.bus.TailLSN(feat)
+	if err != nil || j.featCursor < ft {
+		return false
+	}
+	et, err := j.bus.TailLSN(event)
+	if err != nil || j.eventCursor < et {
+		return false
+	}
+	return true
+}
+
+// joinerState is the gob image of a joiner's resume point: stream
+// cursors, the ageing clock, and the in-flight joins in FIFO order.
+type joinerState struct {
+	FeatCursor  logdevice.LSN
+	EventCursor logdevice.LSN
+	Seq         int64
+	Entries     []savedEntry
+}
+
+type savedEntry struct {
+	ID   int64
+	Seq  int64
+	Feat *datagen.FeatureLog
+}
+
+// Checkpoint serializes the joiner's resume state. Restoring it on a
+// fresh joiner reproduces the exact join continuation — including
+// pending entries awaiting their events — so a crashed pipeline neither
+// re-emits nor loses samples. Metric counters are process-local and not
+// part of the state.
+func (j *Joiner) Checkpoint() ([]byte, error) {
+	st := joinerState{FeatCursor: j.featCursor, EventCursor: j.eventCursor, Seq: j.seq}
+	for _, slot := range j.order {
+		entry, ok := j.pending[slot.id]
+		if !ok || entry.seq != slot.seq {
+			continue
+		}
+		st.Entries = append(st.Entries, savedEntry{ID: slot.id, Seq: slot.seq, Feat: entry.feat})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("etl: checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the joiner's cursors and in-flight joins with a
+// previously checkpointed state.
+func (j *Joiner) Restore(data []byte) error {
+	var st joinerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("etl: restore: %w", err)
+	}
+	j.featCursor = st.FeatCursor
+	j.eventCursor = st.EventCursor
+	j.seq = st.Seq
+	j.pending = make(map[int64]*pendingEntry, len(st.Entries))
+	j.order = j.order[:0]
+	for _, e := range st.Entries {
+		j.pending[e.ID] = &pendingEntry{feat: e.Feat, seq: e.Seq}
+		j.order = append(j.order, orderEntry{id: e.ID, seq: e.Seq})
+	}
+	return nil
+}
+
 // isMissingCategory reports whether err means the category has never been
 // published to (no backing stream yet); the joiner treats that as an
 // empty stream rather than a failure.
@@ -218,6 +338,11 @@ func (p *PartitionJob) Run() (int, error) {
 		return 0, err
 	}
 	rows := 0
+	// Rebind the joiner's sink to this partition for the duration of the
+	// job only: leaving it bound to the closed PartitionWriter would make
+	// a later Step/Flush on the same joiner write into a sealed file.
+	prevSink := p.Joiner.sink
+	defer func() { p.Joiner.sink = prevSink }()
 	p.Joiner.sink = SinkFunc(func(s *schema.Sample) error {
 		rows++
 		return pw.WriteRow(s)

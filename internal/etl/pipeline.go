@@ -1,0 +1,239 @@
+package etl
+
+import (
+	"fmt"
+	"time"
+
+	"dsi/internal/metrics"
+	"dsi/internal/schema"
+	"dsi/internal/warehouse"
+)
+
+// partitionSink writes joined samples into one open partition, recording
+// per-row event times into the partition's freshness bounds.
+type partitionSink struct {
+	pw   *warehouse.PartitionWriter
+	rows int
+}
+
+func (s *partitionSink) Emit(sample *schema.Sample) error {
+	return s.EmitTimed(sample, 0)
+}
+
+func (s *partitionSink) EmitTimed(sample *schema.Sample, eventTime int64) error {
+	if err := s.pw.WriteRow(sample); err != nil {
+		return err
+	}
+	s.pw.NoteEventTime(eventTime)
+	s.rows++
+	return nil
+}
+
+// Pipeline is the continuously running ETL of §3.1.1: it tails a model's
+// Scribe categories through a Joiner and rolls the joined samples into
+// sealed warehouse partitions of roughly PartitionRows rows each,
+// checkpointing its resume state through a CursorStore so a crashed
+// pipeline restarts without re-emitting or losing a single sample.
+//
+// The pipeline ends when the producer closes both categories
+// (scribe.Bus.CloseCategory): remaining pending joins are flushed as
+// negatives into a final partition and the table's stream is closed,
+// which is what lets an unbounded DPP session terminate.
+type Pipeline struct {
+	Joiner  *Joiner
+	Table   *warehouse.Table
+	Cursors *CursorStore
+
+	// PartitionRows is the seal threshold: the open partition is sealed
+	// once it holds at least this many rows. Default 4096.
+	PartitionRows int
+	// BatchSize is the per-Step record budget. Default 1024.
+	BatchSize int
+	// KeyPrefix names partitions "<prefix><index>". Default "part-".
+	KeyPrefix string
+	// IdleWait is how long the pipeline sleeps when both streams are
+	// drained but still open. Default 200µs.
+	IdleWait time.Duration
+
+	// PartitionsSealed counts partitions made visible.
+	PartitionsSealed metrics.Counter
+	// RowsWritten counts rows across all sealed partitions.
+	RowsWritten metrics.Counter
+
+	nextIndex int
+}
+
+func (p *Pipeline) defaults() {
+	if p.PartitionRows <= 0 {
+		p.PartitionRows = 4096
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = 1024
+	}
+	if p.KeyPrefix == "" {
+		p.KeyPrefix = "part-"
+	}
+	if p.IdleWait <= 0 {
+		p.IdleWait = 200 * time.Microsecond
+	}
+}
+
+func (p *Pipeline) key(index int) string { return fmt.Sprintf("%s%06d", p.KeyPrefix, index) }
+
+// recover restores the joiner from the cursor log. It returns the index
+// of the next partition to produce.
+func (p *Pipeline) recover() (int, error) {
+	committed, uncommitted, err := p.Cursors.Recover()
+	if err != nil {
+		return 0, err
+	}
+	adopt := committed
+	for _, in := range uncommitted {
+		// An uncommitted intent counts only if its partition was actually
+		// sealed before the crash; then the crash fell between seal and
+		// commit, and we adopt the state and re-commit.
+		if _, err := p.Table.Partition(in.Key); err == nil {
+			inCopy := in
+			adopt = &inCopy
+			if err := p.Cursors.Commit(in.Key); err != nil {
+				return 0, err
+			}
+		}
+	}
+	index := 0
+	if adopt != nil {
+		if err := p.Joiner.Restore(adopt.State); err != nil {
+			return 0, err
+		}
+		if _, err := fmt.Sscanf(adopt.Key, p.KeyPrefix+"%d", &index); err != nil {
+			return 0, fmt.Errorf("etl: cursor key %q does not match prefix %q", adopt.Key, p.KeyPrefix)
+		}
+		index++
+	}
+	return index, nil
+}
+
+// sealPartition runs the intent → seal → commit protocol for the open
+// partition.
+func (p *Pipeline) sealPartition(key string, pw *warehouse.PartitionWriter, rows int) error {
+	state, err := p.Joiner.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if err := p.Cursors.Intent(key, state); err != nil {
+		return err
+	}
+	if err := pw.Close(); err != nil {
+		return err
+	}
+	if err := p.Cursors.Commit(key); err != nil {
+		return err
+	}
+	p.PartitionsSealed.Inc()
+	p.RowsWritten.Add(int64(rows))
+	// Scribe records behind the checkpointed cursors are settled.
+	return p.Joiner.TrimConsumed()
+}
+
+// Run tails the streams until the producer closes them, sealing
+// partitions as the row threshold is crossed. A receive on stop aborts
+// immediately without sealing the open partition — deliberately
+// crash-shaped, so tests exercise the same recovery path a real crash
+// would; rows buffered in the unsealed partition are never visible and
+// are re-produced identically on the next Run.
+func (p *Pipeline) Run(stop <-chan struct{}) error {
+	p.defaults()
+	index, err := p.recover()
+	if err != nil {
+		return err
+	}
+	p.nextIndex = index
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		key := p.key(p.nextIndex)
+		pw, err := p.Table.NewPartition(key)
+		if err != nil {
+			return err
+		}
+		sink := &partitionSink{pw: pw}
+		prevSink := p.Joiner.sink
+		p.Joiner.sink = sink
+		final, err := p.fillPartition(sink, stop)
+		p.Joiner.sink = prevSink
+		if err != nil {
+			return err
+		}
+		switch final {
+		case fillAborted:
+			return nil
+		case fillEndOfStream:
+			if sink.rows > 0 {
+				if err := p.sealPartition(key, pw, sink.rows); err != nil {
+					return err
+				}
+				p.nextIndex++
+			}
+			return p.Table.CloseStream()
+		case fillSealed:
+			if err := p.sealPartition(key, pw, sink.rows); err != nil {
+				return err
+			}
+			p.nextIndex++
+		}
+	}
+}
+
+type fillResult int
+
+const (
+	fillSealed fillResult = iota
+	fillEndOfStream
+	fillAborted
+)
+
+// fillPartition steps the joiner until the open partition reaches the
+// seal threshold, the producer closes the stream, or stop fires.
+func (p *Pipeline) fillPartition(sink *partitionSink, stop <-chan struct{}) (fillResult, error) {
+	for sink.rows < p.PartitionRows {
+		select {
+		case <-stop:
+			return fillAborted, nil
+		default:
+		}
+		// Bound the step by the rows left before the seal threshold so a
+		// deep backlog rolls into several partitions instead of one
+		// oversized partition per drain.
+		batch := p.BatchSize
+		if rem := p.PartitionRows - sink.rows; rem < batch {
+			batch = rem
+		}
+		if batch < 1 {
+			batch = 1
+		}
+		n, err := p.Joiner.Step(batch)
+		if err != nil {
+			return 0, err
+		}
+		if n > 0 {
+			continue
+		}
+		if p.Joiner.EndOfStream() {
+			// No more input can arrive: flush pending joins as negatives
+			// into this final partition.
+			if err := p.Joiner.Flush(); err != nil {
+				return 0, err
+			}
+			return fillEndOfStream, nil
+		}
+		select {
+		case <-stop:
+			return fillAborted, nil
+		case <-time.After(p.IdleWait):
+		}
+	}
+	return fillSealed, nil
+}

@@ -31,6 +31,11 @@ var ErrStreamNotFound = errors.New("logdevice: stream not found")
 // ErrTrimmed is returned when reading below a stream's trim point.
 var ErrTrimmed = errors.New("logdevice: range trimmed")
 
+// ErrSealed is returned when appending to a sealed stream. Sealing a
+// stream is LogDevice's end-of-log marker: readers that reach the tail of
+// a sealed stream know the producer is done rather than merely idle.
+var ErrSealed = errors.New("logdevice: stream sealed")
+
 // segment is an immutable sorted run of records.
 type segment struct {
 	firstLSN LSN
@@ -46,6 +51,17 @@ type stream struct {
 	segments  []*segment
 	memBytes  int64
 	sealBytes int64
+	sealed    bool          // no further appends; end-of-log for tailers
+	changed   chan struct{} // closed and replaced on append/seal
+}
+
+// notifyLocked wakes any waiter blocked on the stream's change channel.
+// Callers must hold st.mu.
+func (st *stream) notifyLocked() {
+	if st.changed != nil {
+		close(st.changed)
+		st.changed = nil
+	}
 }
 
 // Store is a collection of named streams.
@@ -105,6 +121,9 @@ func (s *Store) Append(name string, payload []byte) (LSN, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.sealed {
+		return 0, fmt.Errorf("%w: %s", ErrSealed, name)
+	}
 	lsn := st.nextLSN
 	st.nextLSN++
 	cp := make([]byte, len(payload))
@@ -114,7 +133,73 @@ func (s *Store) Append(name string, payload []byte) (LSN, error) {
 	if st.memBytes >= s.MemtableFlushBytes {
 		st.sealLocked()
 	}
+	st.notifyLocked()
 	return lsn, nil
+}
+
+// Seal marks the stream as ended: further Appends fail with ErrSealed,
+// and tailers that drained to the tail can treat the stream as complete
+// rather than idle. Sealing is idempotent; reads and trims still work.
+func (s *Store) Seal(name string) error {
+	st, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.sealed {
+		st.sealed = true
+		st.notifyLocked()
+	}
+	return nil
+}
+
+// IsSealed reports whether the stream has been sealed by its producer.
+func (s *Store) IsSealed(name string) (bool, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return false, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sealed, nil
+}
+
+// Changed returns a channel that is closed the next time the stream
+// changes (a record is appended or the stream is sealed). Tailing
+// consumers use it to idle between polls without busy-waiting; after the
+// channel fires they must re-read and obtain a fresh channel.
+func (s *Store) Changed(name string) (<-chan struct{}, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.changed == nil {
+		st.changed = make(chan struct{})
+	}
+	return st.changed, nil
+}
+
+// Latest returns the most recent retained record, or ok=false when the
+// stream holds no records (empty or fully trimmed). Cursor stores use it
+// to locate their recovery point without scanning from the trim point.
+func (s *Store) Latest(name string) (Record, bool, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return Record{}, false, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n := len(st.memtable); n > 0 {
+		return st.memtable[n-1], true, nil
+	}
+	if n := len(st.segments); n > 0 {
+		recs := st.segments[n-1].records
+		return recs[len(recs)-1], true, nil
+	}
+	return Record{}, false, nil
 }
 
 // sealLocked moves the memtable into an immutable segment. Callers must

@@ -217,6 +217,100 @@ func TestStreams(t *testing.T) {
 	}
 }
 
+func TestSealStopsAppendsButNotReads(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateStream("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal("a"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	sealed, err := s.IsSealed("a")
+	if err != nil || !sealed {
+		t.Fatalf("IsSealed = %v, %v, want true", sealed, err)
+	}
+	if _, err := s.Append("a", []byte("y")); !errors.Is(err, ErrSealed) {
+		t.Fatalf("Append after seal = %v, want ErrSealed", err)
+	}
+	recs, err := s.ReadFrom("a", 1, 10)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadFrom after seal = %v, %v", recs, err)
+	}
+	if err := s.Trim("a", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangedFiresOnAppendAndSeal(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateStream("a"); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := s.Changed("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("channel fired before any change")
+	default:
+	}
+	if _, err := s.Append("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("channel did not fire on append")
+	}
+	ch2, err := s.Changed("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal("a"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("channel did not fire on seal")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := NewStore()
+	s.MemtableFlushBytes = 4
+	if err := s.CreateStream("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Latest("a"); err != nil || ok {
+		t.Fatalf("Latest on empty = ok=%v, err=%v", ok, err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append("a", []byte{byte(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, ok, err := s.Latest("a")
+	if err != nil || !ok || rec.LSN != 5 || rec.Payload[0] != 4 {
+		t.Fatalf("Latest = %+v, ok=%v, err=%v", rec, ok, err)
+	}
+	// Latest must also work when everything lives in sealed segments.
+	if _, err := s.Append("a", []byte{9, 0}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err = s.Latest("a")
+	if err != nil || !ok || rec.LSN != 6 {
+		t.Fatalf("Latest after flush = %+v, ok=%v, err=%v", rec, ok, err)
+	}
+}
+
 // Property: after n appends, ReadFrom(1) returns records 1..n in order
 // regardless of flush threshold.
 func TestReadOrderProperty(t *testing.T) {

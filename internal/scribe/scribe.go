@@ -86,6 +86,35 @@ func (b *Bus) Categories() []string {
 	return out
 }
 
+// CloseCategory marks a category as ended by its producer: further
+// Publishes fail, and consumers that drained to the tail can treat the
+// category as complete rather than idle. Closing is idempotent and
+// creates the backing stream if it does not exist yet, so a producer
+// that logged nothing can still signal end-of-stream.
+func (b *Bus) CloseCategory(category string) error {
+	if category == "" {
+		return fmt.Errorf("scribe: empty category")
+	}
+	if err := b.ensureCategory(category); err != nil {
+		return err
+	}
+	return b.store.Seal(streamName(category))
+}
+
+// Closed reports whether the category has been closed by its producer.
+// A category that was never published to reports false.
+func (b *Bus) Closed(category string) bool {
+	sealed, err := b.store.IsSealed(streamName(category))
+	return err == nil && sealed
+}
+
+// Changed returns a channel closed on the category's next append or
+// close, letting tailing consumers idle without busy-polling. The
+// category must exist.
+func (b *Bus) Changed(category string) (<-chan struct{}, error) {
+	return b.store.Changed(streamName(category))
+}
+
 // Tail returns up to max messages from the category starting at LSN from.
 func (b *Bus) Tail(category string, from logdevice.LSN, max int) ([]logdevice.Record, error) {
 	return b.store.ReadFrom(streamName(category), from, max)
@@ -102,13 +131,24 @@ func (b *Bus) Trim(category string, upTo logdevice.LSN) error {
 	return b.store.Trim(streamName(category), upTo)
 }
 
+// Publisher is the daemon's view of the bus: a sink for one message at a
+// time. It is an interface so tests can inject failing or blocking
+// publishers to exercise the flush error paths.
+type Publisher interface {
+	Publish(m Message) (logdevice.LSN, error)
+}
+
 // Daemon is the per-host buffering agent. Services call Log; the daemon
 // batches messages and flushes them to the bus, preserving order within a
 // category.
 type Daemon struct {
 	Host string
 
-	bus *Bus
+	bus Publisher
+
+	// flushMu serializes flushes: two concurrent flushes would otherwise
+	// interleave their batches and reorder a category.
+	flushMu sync.Mutex
 
 	mu      sync.Mutex
 	pending []Message
@@ -146,14 +186,27 @@ func (d *Daemon) Log(category string, payload []byte) error {
 	return nil
 }
 
-// Flush publishes all buffered messages in order.
+// Flush publishes all buffered messages in order. Flushes are serialized
+// so concurrent callers cannot interleave their batches within a
+// category; if a publish fails mid-batch the unpublished remainder
+// (including the failed message) is requeued at the head of the buffer,
+// ahead of anything logged meanwhile, so nothing is lost and order holds.
 func (d *Daemon) Flush() error {
+	d.flushMu.Lock()
+	defer d.flushMu.Unlock()
 	d.mu.Lock()
 	batch := d.pending
 	d.pending = nil
 	d.mu.Unlock()
-	for _, m := range batch {
+	for i, m := range batch {
 		if _, err := d.bus.Publish(m); err != nil {
+			d.mu.Lock()
+			rest := batch[i:]
+			requeued := make([]Message, 0, len(rest)+len(d.pending))
+			requeued = append(requeued, rest...)
+			requeued = append(requeued, d.pending...)
+			d.pending = requeued
+			d.mu.Unlock()
 			return fmt.Errorf("scribe: flush from %s: %w", d.Host, err)
 		}
 	}

@@ -105,6 +105,9 @@ type Table struct {
 
 	mu         sync.Mutex
 	partitions map[string]*Partition
+	unbounded  bool
+	closed     bool  // producer ended the stream (unbounded tables only)
+	generation int64 // bumped on every partition publish and stream close
 }
 
 // Partition is one date-keyed slice of a table, stored as a single DWRF
@@ -115,6 +118,11 @@ type Partition struct {
 	Rows int
 	// Bytes is the compressed data size (streams only).
 	Bytes int64
+	// MinEventTime/MaxEventTime bound the event times (Unix nanoseconds)
+	// of the rows inside, recorded by the ETL writer for freshness
+	// accounting. Zero when the writer had no event-time information.
+	MinEventTime int64
+	MaxEventTime int64
 }
 
 // CreateTable registers a new table.
@@ -126,6 +134,22 @@ func (w *Warehouse) CreateTable(name string, ts *schema.TableSchema, opts dwrf.W
 	}
 	t := &Table{Name: name, Schema: ts, WriteOptions: opts, wh: w, partitions: make(map[string]*Partition)}
 	w.tables[name] = t
+	return t, nil
+}
+
+// CreateUnboundedTable registers an append-only streaming table: a
+// producer (the ETL pipeline) keeps sealing new partitions into it until
+// it calls CloseStream. Consumers that saw StreamOpen() == true may poll
+// Generation for newly visible partitions instead of treating the
+// current set as final.
+func (w *Warehouse) CreateUnboundedTable(name string, ts *schema.TableSchema, opts dwrf.WriterOptions) (*Table, error) {
+	t, err := w.CreateTable(name, ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.unbounded = true
+	t.mu.Unlock()
 	return t, nil
 }
 
@@ -159,22 +183,37 @@ func partitionPath(table, key string) string {
 
 // PartitionWriter appends rows to a new partition.
 type PartitionWriter struct {
-	table *Table
-	key   string
-	w     *dwrf.Writer
-	rows  int
+	table    *Table
+	key      string
+	w        *dwrf.Writer
+	rows     int
+	minEvent int64
+	maxEvent int64
 }
 
 // NewPartition opens a writer for a new partition with the given key
-// (e.g. "2026-06-01"). The partition becomes visible on Close.
+// (e.g. "2026-06-01"). The partition becomes visible on Close. An
+// orphaned backing file from a writer that crashed before Close (the
+// partition never became visible) is deleted and rewritten — this is the
+// retry path of the streaming ETL pipeline's seal protocol.
 func (t *Table) NewPartition(key string) (*PartitionWriter, error) {
 	t.mu.Lock()
 	_, exists := t.partitions[key]
+	closed := t.unbounded && t.closed
 	t.mu.Unlock()
 	if exists {
 		return nil, fmt.Errorf("warehouse: partition %s/%s already exists", t.Name, key)
 	}
-	w, err := dwrf.NewWriter(t.wh.cluster, partitionPath(t.Name, key), t.Schema, t.WriteOptions)
+	if closed {
+		return nil, fmt.Errorf("warehouse: table %s stream is closed", t.Name)
+	}
+	path := partitionPath(t.Name, key)
+	if t.wh.cluster.Exists(path) {
+		if err := t.wh.cluster.Delete(path); err != nil {
+			return nil, err
+		}
+	}
+	w, err := dwrf.NewWriter(t.wh.cluster, path, t.Schema, t.WriteOptions)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +229,23 @@ func (pw *PartitionWriter) WriteRow(s *schema.Sample) error {
 	return nil
 }
 
-// Close seals the partition and publishes it in the table.
+// NoteEventTime widens the partition's event-time bounds by one row's
+// event time (Unix nanoseconds). Zero timestamps are ignored.
+func (pw *PartitionWriter) NoteEventTime(ns int64) {
+	if ns == 0 {
+		return
+	}
+	if pw.minEvent == 0 || ns < pw.minEvent {
+		pw.minEvent = ns
+	}
+	if ns > pw.maxEvent {
+		pw.maxEvent = ns
+	}
+}
+
+// Close seals the partition and publishes it in the table. Sealing and
+// visibility are one atomic step: readers either see the complete,
+// immutable partition or nothing.
 func (pw *PartitionWriter) Close() error {
 	if err := pw.w.Close(); err != nil {
 		return err
@@ -200,11 +255,56 @@ func (pw *PartitionWriter) Close() error {
 	if err != nil {
 		return err
 	}
-	p := &Partition{Key: pw.key, Path: path, Rows: pw.rows, Bytes: r.DataBytes()}
+	p := &Partition{
+		Key: pw.key, Path: path, Rows: pw.rows, Bytes: r.DataBytes(),
+		MinEventTime: pw.minEvent, MaxEventTime: pw.maxEvent,
+	}
 	pw.table.mu.Lock()
 	pw.table.partitions[pw.key] = p
+	pw.table.generation++
 	pw.table.mu.Unlock()
 	return nil
+}
+
+// Unbounded reports whether the table was created as a streaming table.
+func (t *Table) Unbounded() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.unbounded
+}
+
+// StreamOpen reports whether more partitions may still appear: true for
+// an unbounded table whose producer has not yet called CloseStream,
+// always false for static tables.
+func (t *Table) StreamOpen() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.unbounded && !t.closed
+}
+
+// CloseStream marks an unbounded table's stream as ended: no further
+// partitions will be published, and sessions tailing the table may
+// finish once every visible split is consumed. Idempotent.
+func (t *Table) CloseStream() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.unbounded {
+		return fmt.Errorf("warehouse: table %s is not unbounded", t.Name)
+	}
+	if !t.closed {
+		t.closed = true
+		t.generation++
+	}
+	return nil
+}
+
+// Generation reports a counter bumped on every partition publish and on
+// stream close. Pollers compare generations to detect new work without
+// re-enumerating splits.
+func (t *Table) Generation() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.generation
 }
 
 // Partitions returns the table's partitions sorted by key.
@@ -306,6 +406,11 @@ type Split struct {
 	Path      string
 	Stripe    int
 	Rows      int
+	// MinEventTime/MaxEventTime carry the partition's event-time bounds
+	// (Unix nanoseconds, zero if unknown) so the master can account
+	// event-time→trainer freshness when the split completes.
+	MinEventTime int64
+	MaxEventTime int64
 }
 
 // Splits enumerates the splits covering the named partitions in order.
@@ -318,26 +423,67 @@ func (t *Table) Splits(keys []string) ([]Split, error) {
 	}
 	var out []Split
 	for _, k := range keys {
-		p, err := t.Partition(k)
+		splits, err := t.PartitionSplits(k)
 		if err != nil {
 			return nil, err
 		}
-		r, err := dwrf.OpenReader(t.wh.cluster, p.Path)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < r.Stripes(); i++ {
-			out = append(out, Split{
-				Table:     t.Name,
-				Partition: k,
-				Path:      p.Path,
-				Stripe:    i,
-				Rows:      r.StripeRows(i),
-			})
-		}
+		out = append(out, splits...)
 	}
 	return out, nil
 }
+
+// PartitionSplits enumerates the splits of one visible partition. The
+// DPP master uses it to discover work incrementally as a streaming ETL
+// seals partitions, without re-enumerating the whole table.
+func (t *Table) PartitionSplits(key string) ([]Split, error) {
+	p, err := t.Partition(key)
+	if err != nil {
+		return nil, err
+	}
+	r, err := dwrf.OpenReader(t.wh.cluster, p.Path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Split, 0, r.Stripes())
+	for i := 0; i < r.Stripes(); i++ {
+		out = append(out, Split{
+			Table:        t.Name,
+			Partition:    key,
+			Path:         p.Path,
+			Stripe:       i,
+			Rows:         r.StripeRows(i),
+			MinEventTime: p.MinEventTime,
+			MaxEventTime: p.MaxEventTime,
+		})
+	}
+	return out, nil
+}
+
+// TableReader is the consumer-side half of the table interface: the view
+// a DPP master needs to enumerate and tail a table. Static and unbounded
+// tables both satisfy it; only unbounded tables ever report
+// StreamOpen() == true or a changing Generation.
+type TableReader interface {
+	Partitions() []*Partition
+	Splits(keys []string) ([]Split, error)
+	PartitionSplits(key string) ([]Split, error)
+	Generation() int64
+	StreamOpen() bool
+}
+
+// TableAppender is the producer-side half: the view the ETL pipeline
+// writes through. Sealing a partition (PartitionWriter.Close) is the
+// only way rows become visible to TableReader users.
+type TableAppender interface {
+	NewPartition(key string) (*PartitionWriter, error)
+	Partition(key string) (*Partition, error)
+	CloseStream() error
+}
+
+var (
+	_ TableReader   = (*Table)(nil)
+	_ TableAppender = (*Table)(nil)
+)
 
 // ReadSplit reads one split under a projection, returning row samples.
 func (w *Warehouse) ReadSplit(sp Split, proj *schema.Projection, opts dwrf.ReadOptions) ([]*schema.Sample, dwrf.ReadStats, error) {

@@ -341,3 +341,119 @@ func TestCachedReaderSharedAcrossSplits(t *testing.T) {
 		t.Fatalf("cached split reads returned %d rows, want 64", rows)
 	}
 }
+
+func TestUnboundedTableLifecycle(t *testing.T) {
+	wh := newWarehouse(t)
+	tbl, err := wh.CreateUnboundedTable("stream", testSchema(t), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Unbounded() || !tbl.StreamOpen() {
+		t.Fatal("unbounded table should start with an open stream")
+	}
+	g0 := tbl.Generation()
+	fillPartition(t, tbl, "p1", 32, 1)
+	if g := tbl.Generation(); g != g0+1 {
+		t.Fatalf("Generation after seal = %d, want %d", g, g0+1)
+	}
+	fillPartition(t, tbl, "p2", 32, 2)
+	splits, err := tbl.PartitionSplits("p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 2 {
+		t.Fatalf("PartitionSplits(p2) = %d splits, want 2", len(splits))
+	}
+	if err := tbl.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CloseStream(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if tbl.StreamOpen() {
+		t.Fatal("StreamOpen after CloseStream")
+	}
+	if g := tbl.Generation(); g != g0+3 {
+		t.Fatalf("Generation after close = %d, want %d", g, g0+3)
+	}
+	if _, err := tbl.NewPartition("p3"); err == nil {
+		t.Fatal("NewPartition accepted after CloseStream")
+	}
+	// Static tables are never stream-open and reject CloseStream.
+	st, err := wh.CreateTable("static", testSchema(t), dwrf.WriterOptions{Flatten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StreamOpen() || st.Unbounded() {
+		t.Fatal("static table reports streaming")
+	}
+	if err := st.CloseStream(); err == nil {
+		t.Fatal("CloseStream accepted on static table")
+	}
+}
+
+func TestPartitionEventTimeBounds(t *testing.T) {
+	wh := newWarehouse(t)
+	tbl, err := wh.CreateTable("evt", testSchema(t), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := tbl.NewPartition("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ns := range []int64{500, 0, 200, 900} { // zero = unknown, ignored
+		s := schema.NewSample()
+		s.DenseFeatures[1] = float32(i)
+		if err := pw.WriteRow(s); err != nil {
+			t.Fatal(err)
+		}
+		pw.NoteEventTime(ns)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tbl.Partition("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MinEventTime != 200 || p.MaxEventTime != 900 {
+		t.Fatalf("event-time bounds = [%d, %d], want [200, 900]", p.MinEventTime, p.MaxEventTime)
+	}
+	splits, err := tbl.PartitionSplits("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if splits[0].MinEventTime != 200 || splits[0].MaxEventTime != 900 {
+		t.Fatalf("split event-time bounds = [%d, %d], want [200, 900]", splits[0].MinEventTime, splits[0].MaxEventTime)
+	}
+}
+
+func TestNewPartitionReclaimsOrphanedFile(t *testing.T) {
+	wh := newWarehouse(t)
+	tbl, err := wh.CreateTable("orphan", testSchema(t), dwrf.WriterOptions{Flatten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer that crashed before Close: bytes on storage, no
+	// visible partition.
+	pw, err := tbl.NewPartition("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.NewSample()
+	s.DenseFeatures[1] = 1
+	if err := pw.WriteRow(s); err != nil {
+		t.Fatal(err)
+	}
+	_ = pw // never closed
+	// A retry of the same key must succeed and publish cleanly.
+	fillPartition(t, tbl, "p1", 8, 3)
+	p, err := tbl.Partition("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows != 8 {
+		t.Fatalf("retried partition rows = %d, want 8", p.Rows)
+	}
+}
