@@ -1,0 +1,95 @@
+package dsi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dsi/internal/datagen"
+	"dsi/internal/dwrf"
+	"dsi/internal/schema"
+	"dsi/internal/tectonic"
+	"dsi/internal/tectonic/faults"
+	"dsi/internal/warehouse"
+)
+
+// benchWritePartition times producing one 2048-row DWRF partition through
+// the tokened tectonic append path under the given fault schedule. Each
+// iteration writes a fresh partition key and reclaims it with Abort, so
+// the loop measures the write path alone — append, replication, token
+// bookkeeping — without publish-side table growth. The seeded draws make
+// every same-key iteration identical, so a clean first pass means a clean
+// run.
+func benchWritePartition(b *testing.B, sched *faults.Schedule) {
+	const rows = 2048
+	p, err := datagen.ProfileByName("RM1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := p.Scale(0.01, 1, rows)
+	samples := make([]*schema.Sample, rows)
+	gen := datagen.NewGenerator(spec, 17)
+	for i := range samples {
+		samples[i] = gen.Sample()
+	}
+
+	cluster, err := tectonic.NewCluster(tectonic.Options{
+		Nodes: 4, Replication: 2,
+		Retry: tectonic.RetryPolicy{MaxAttempts: 12},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sched != nil {
+		cluster.SetFaultSchedule(sched)
+	}
+	wh := warehouse.New(cluster)
+	tbl, err := wh.CreateTable("bench", spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	writeOne := func(key string) {
+		pw, err := tbl.NewPartition(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range samples {
+			if err := pw.WriteRow(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := pw.Abort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	writeOne("warmup")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		writeOne(fmt.Sprintf("it-%d", i))
+	}
+	b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/sec")
+}
+
+// BenchmarkIngestWriteFaults guards the no-faults overhead of the
+// self-healing write path and prices writing through a storm.
+// no-schedule is the production default: writeFaultsActive is false and
+// every append takes the single-branch fast path with no token ledgers
+// allocated. idle-schedule installs an empty schedule, forcing every
+// append through the recovering path — token ledger lookups, health-aware
+// placement rescoring, per-fragment verdicts — with no fault ever firing;
+// the two must stay within 1% of each other. storm writes the same
+// partitions with every node write-flaky (p=0.2) and one node tearing
+// acks (p=0.3): injected latency is virtual-clock time, so the number
+// isolates the CPU cost of retry draws, backoff accounting, and torn-ack
+// dedup.
+func BenchmarkIngestWriteFaults(b *testing.B) {
+	b.Run("no-schedule", func(b *testing.B) { benchWritePartition(b, nil) })
+	b.Run("idle-schedule", func(b *testing.B) { benchWritePartition(b, faults.NewSchedule(11)) })
+	storm := faults.NewSchedule(11)
+	for n := 0; n < 4; n++ {
+		storm.FailWrites(n, 0, 0, 0.2)
+	}
+	storm.TornWrites(1, 0, 0, 0.3)
+	b.Run("storm", func(b *testing.B) { benchWritePartition(b, storm) })
+}

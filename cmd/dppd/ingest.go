@@ -14,6 +14,7 @@ import (
 	"dsi/internal/schema"
 	"dsi/internal/scribe"
 	"dsi/internal/tectonic"
+	"dsi/internal/tectonic/faults"
 	"dsi/internal/warehouse"
 )
 
@@ -24,7 +25,7 @@ import (
 // the master discovering partitions as they seal, the session ending
 // only when the producer closes the stream. Prints the session's
 // event-time→trainer freshness accounting at the end.
-func runIngestDemo(model string, seed int64, requests, partitionRows int, dataplane string) {
+func runIngestDemo(model string, seed int64, requests, partitionRows int, dataplane string, writeFaultSeed int64) {
 	dial, err := dpp.DataPlaneDialer(dataplane)
 	if err != nil {
 		log.Fatal(err)
@@ -36,14 +37,39 @@ func runIngestDemo(model string, seed int64, requests, partitionRows int, datapl
 	spec := p.Scale(0.01, 1, requests)
 
 	store := logdevice.NewStore()
+	if writeFaultSeed != 0 {
+		// A quarter of the Scribe appends land but lose their ack; the
+		// daemon's tokened retries dedup them through the ledger.
+		store.SetWriteFaults(faults.NewSchedule(writeFaultSeed).TornWrites(0, 0, 0, 0.25), nil)
+	}
 	bus := scribe.NewBus(store)
 	daemon := scribe.NewDaemon("dppd-serving", bus)
 	sim := datagen.NewServingSimulator(model, datagen.NewGenerator(spec, seed), daemon)
 	sim.Now = func() int64 { return time.Now().UnixNano() }
 
-	cluster, err := tectonic.NewCluster(tectonic.Options{Nodes: 4, Replication: 2})
+	opts := tectonic.Options{Nodes: 4, Replication: 2}
+	if writeFaultSeed != 0 {
+		opts.Retry = tectonic.RetryPolicy{MaxAttempts: 12}
+	}
+	cluster, err := tectonic.NewCluster(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if writeFaultSeed != 0 {
+		const nodes = 4
+		sched := faults.NewSchedule(writeFaultSeed)
+		for n := 0; n < nodes; n++ {
+			sched.FailWrites(n, 0, 0, 0.15)
+		}
+		// Two seeded picks get the heavier roles, mirroring -fault-seed.
+		torn := int(uint64(writeFaultSeed) % uint64(nodes))
+		down := int((uint64(writeFaultSeed) + 1) % uint64(nodes))
+		sched.TornWrites(torn, 0, 0, 0.25)
+		sched.Down(down, 0, 0)
+		sched.FailSeals(0, 0, 0.5)
+		cluster.SetFaultSchedule(sched)
+		log.Printf("dppd ingest: write storm installed (seed %d): scribe torn p=0.25, all %d nodes write-flaky p=0.15, node %d torn, node %d down, seals failing p=0.5",
+			writeFaultSeed, nodes, torn, down)
 	}
 	wh := warehouse.New(cluster)
 	tbl, err := wh.CreateUnboundedTable(model, spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 128})
@@ -171,4 +197,13 @@ func runIngestDemo(model string, seed int64, requests, partitionRows int, datapl
 		len(discovered), len(discovered)-baseline)
 	log.Printf("dppd ingest: freshness over %d splits: mean %v, max %v (stalest event %v)",
 		fs.Samples, fs.MeanFresh.Round(time.Millisecond), fs.MaxFresh.Round(time.Millisecond), fs.MaxStale.Round(time.Millisecond))
+	if writeFaultSeed != 0 {
+		ld := store.WriteFaultCounters()
+		fc := cluster.FaultCounters()
+		ws := pipeline.WriterStats()
+		log.Printf("dppd ingest: write recovery: scribe %d torn acks -> %d dedups (%d shed, %d breaker opens); warehouse %d append retries, %d dedups, %d torn repairs, %d seal retries, %d placements avoided; %d partitions re-produced, %v virtual backoff",
+			ld.TornAcks, ld.DedupHits, daemon.Shed.Value(), daemon.BreakerOpens.Value(),
+			fc.AppendRetries, fc.AppendDedups, fc.TornRepairs, fc.SealRetries, fc.PlacementAvoids,
+			pipeline.PartitionsReproduced.Value(), ws.Backoff.Round(time.Millisecond))
+	}
 }

@@ -35,12 +35,16 @@
 //	dppd -role demo -sessions 3 -max-workers 5     # 3 tenants, one fleet
 //
 //	dppd -role ingest -requests 8192               # streaming Scribe->ETL->session loop
+//	dppd -role ingest -write-fault-seed 7          # same loop through a write storm
 //
 // The ingest role closes the DSI loop live: a serving simulator streams
 // feature/event logs into Scribe, the ETL joins and seals DWRF
 // partitions into an unbounded table, and an unbounded session tails it
 // over TCP until the producer closes the stream, reporting event-time to
-// trainer freshness lag.
+// trainer freshness lag. With -write-fault-seed the loop runs through a
+// seeded write storm — torn Scribe acks, write-flaky warehouse nodes, a
+// down node, failing seals — and reports the recovery work (retries,
+// dedups, re-produced partitions) that kept delivery exactly-once.
 package main
 
 import (
@@ -107,6 +111,8 @@ func main() {
 		"install a seeded storage fault storm on the local cluster: every node a little flaky, one corrupting, one slow (0 = faults disabled)")
 	retryBudget := flag.Int("retry-budget", 0,
 		"master/demo: per-split release budget before the session fails on a persistent storage fault (0 = default)")
+	writeFaultSeed := flag.Int64("write-fault-seed", 0,
+		"ingest: install a seeded write storm on the streaming loop: scribe torn acks, all nodes write-flaky, one node torn, one down, seals failing (0 = faults disabled)")
 	flag.Parse()
 
 	pipeline := dpp.PipelineOptions{
@@ -136,7 +142,7 @@ func main() {
 	case "submit":
 		runSubmit(*model, *seed, *masterAddr, *dataplane, *sessionID, *weight, pipeline, *bufferDepth)
 	case "ingest":
-		runIngestDemo(*model, *seed, *requests, *partRows, *dataplane)
+		runIngestDemo(*model, *seed, *requests, *partRows, *dataplane, *writeFaultSeed)
 	case "demo":
 		if *sessions > 1 {
 			runServiceDemo(*model, *seed, pipeline, *bufferDepth, *minWorkers, *maxWorkers, *scaleInterval, *dataplane, *sessions)

@@ -122,6 +122,25 @@
 // TestEndToEndChecksumStorageChaos pins exact per-tenant checksums
 // under a seeded storm; cmd/dppd installs one with -fault-seed.
 //
+// The ingestion write path heals the same way: write-shaped fault
+// windows (failed, torn, and slow appends; failing seals) draw from the
+// same seeded schedule, and every append carries a write token —
+// tectonic keys a per-file ledger by path@offset, LogDevice a
+// per-stream ledger by Scribe message token — so retries after a torn
+// ack dedup against the record that already landed instead of
+// duplicating it. Placement rescores rendezvous order by write health
+// to route new chunks around down nodes, scribe.Daemon sheds overload
+// behind watermark backpressure and a per-category circuit breaker
+// (never hot-polling a down LogDevice), and etl.Pipeline re-produces a
+// failed partition byte-identically from its base checkpoint under a
+// bounded retry budget — aborting the orphan file, restoring the
+// joiner, and poisoning the pipeline with a typed error past the
+// budget. Write recovery counters ride dwrf.WriteStats into
+// Pipeline.WriterStats; TestEndToEndStreamingIngestChaos pins exact
+// per-tenant checksums through a combined write+read storm
+// (BENCH_writefaults.json pins the no-faults overhead under 1%), and
+// `dppd -role ingest -write-fault-seed` demos the storm over TCP.
+//
 // The implementation lives under internal/; see README.md for the
 // architecture overview, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

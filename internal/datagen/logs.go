@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"dsi/internal/schema"
 	"dsi/internal/scribe"
@@ -131,7 +132,14 @@ func (s *ServingSimulator) ServeRequests(n int) error {
 			return err
 		}
 	}
-	return s.daemon.Flush()
+	// A retryable flush failure (a LogDevice brown-out, an open circuit
+	// breaker) is absorbed: the messages stay buffered in the daemon and
+	// a later flush — or Close's drain — delivers them. Serving must not
+	// fail because logging hiccuped.
+	if err := s.daemon.Flush(); err != nil && !scribe.Retryable(err) {
+		return err
+	}
+	return nil
 }
 
 // RequestsServed reports how many requests have been simulated.
@@ -141,7 +149,7 @@ func (s *ServingSimulator) RequestsServed() int64 { return s.nextID - 1 }
 // bus, signalling end-of-stream to downstream ETL: a tailing joiner that
 // drains to both tails may then finalize instead of waiting for more.
 func (s *ServingSimulator) Close(bus *scribe.Bus) error {
-	if err := s.daemon.Flush(); err != nil {
+	if err := s.daemon.DrainFlush(30 * time.Second); err != nil {
 		return err
 	}
 	if err := bus.CloseCategory(FeatureCategory(s.Model)); err != nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"time"
 
 	"dsi/internal/schema"
 	"dsi/internal/tectonic"
@@ -40,6 +41,25 @@ func (o *WriterOptions) fill() {
 	}
 }
 
+// WriteStats aggregates the write-side recovery work a writer's appends
+// performed: retried attempts, token-ledger dedups of torn acks, torn
+// repairs that resumed a partial payload, and the virtual backoff paid
+// between attempts. All zero on a fault-free cluster.
+type WriteStats struct {
+	Retries     int64
+	DedupHits   int64
+	TornRepairs int64
+	Backoff     time.Duration
+}
+
+// Merge folds another stats snapshot into s.
+func (s *WriteStats) Merge(o WriteStats) {
+	s.Retries += o.Retries
+	s.DedupHits += o.DedupHits
+	s.TornRepairs += o.TornRepairs
+	s.Backoff += o.Backoff
+}
+
 // Writer encodes samples into a DWRF file inside a Tectonic cluster.
 type Writer struct {
 	cluster *tectonic.Cluster
@@ -51,10 +71,30 @@ type Writer struct {
 	offset  int64
 	footer  FileFooter
 	closed  bool
+	stats   WriteStats
 	// enc holds the stripe encoder's scratch buffers; one per writer so
 	// steady-state stream encoding is allocation-free.
 	enc stripeEncoder
 }
+
+// append routes one physical append through the cluster's idempotent
+// tokened write path. The token "path@offset" is unique per logical
+// append of this file's life, so a retry after a torn ack resumes or
+// dedups instead of corrupting the layout with duplicate bytes.
+func (w *Writer) append(data []byte) error {
+	trace, err := w.cluster.AppendToken(w.path, fmt.Sprintf("%s@%d", w.path, w.offset), data)
+	w.stats.Merge(WriteStats{
+		Retries:     trace.Retries,
+		DedupHits:   trace.Dedups,
+		TornRepairs: trace.TornRepairs,
+		Backoff:     trace.Backoff,
+	})
+	return err
+}
+
+// WriteStats reports the cumulative recovery work behind this writer's
+// appends so far.
+func (w *Writer) WriteStats() WriteStats { return w.stats }
 
 // NewWriter creates the backing file and returns a writer. The file is
 // created immediately; Close must be called to persist the footer.
@@ -63,22 +103,23 @@ func NewWriter(cluster *tectonic.Cluster, path string, ts *schema.TableSchema, o
 	if err := cluster.Create(path); err != nil {
 		return nil, err
 	}
-	header := append([]byte(Magic), 0, 0, 0, Version)
-	if err := cluster.Append(path, header); err != nil {
-		return nil, err
-	}
-	return &Writer{
+	w := &Writer{
 		cluster: cluster,
 		path:    path,
 		schema:  ts,
 		opts:    opts,
-		offset:  int64(len(header)),
 		footer: FileFooter{
 			Flattened: opts.Flatten,
 			Columns:   append([]schema.Column(nil), ts.Columns...),
 			Version:   Version,
 		},
-	}, nil
+	}
+	header := append([]byte(Magic), 0, 0, 0, Version)
+	if err := w.append(header); err != nil {
+		return nil, err
+	}
+	w.offset = int64(len(header))
+	return w, nil
 }
 
 // WriteRow buffers one sample, flushing a stripe when full.
@@ -170,7 +211,7 @@ func (w *Writer) appendStream(meta *StripeMeta, kind streamKind, feature schema.
 	if err := cryptStream(comp, w.offset); err != nil {
 		return err
 	}
-	if err := w.cluster.Append(w.path, comp); err != nil {
+	if err := w.append(comp); err != nil {
 		return err
 	}
 	meta.Streams = append(meta.Streams, StreamMeta{
@@ -249,7 +290,7 @@ func (w *Writer) Close() error {
 	binary.LittleEndian.PutUint64(footerLen, uint64(buf.Len()))
 	tail := append(buf.Bytes(), footerLen...)
 	tail = append(tail, []byte(Magic)...)
-	if err := w.cluster.Append(w.path, tail); err != nil {
+	if err := w.append(tail); err != nil {
 		return err
 	}
 	if err := w.cluster.Seal(w.path); err != nil {

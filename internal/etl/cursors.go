@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"dsi/internal/logdevice"
+	"dsi/internal/tectonic/faults"
 )
 
 // CursorStore persists the streaming pipeline's resume state as a
@@ -48,6 +49,26 @@ type Intent struct {
 	State []byte
 }
 
+// decodeCursorRecord parses one cursor-log payload, validating it before
+// anything downstream can act on it: recovery over a hostile or corrupt
+// log must error cleanly, never panic or adopt a garbage intent.
+func decodeCursorRecord(payload []byte) (cursorRecord, error) {
+	var cr cursorRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&cr); err != nil {
+		return cursorRecord{}, fmt.Errorf("etl: decode cursor record: %w", err)
+	}
+	if cr.Kind != recIntent && cr.Kind != recCommit {
+		return cursorRecord{}, fmt.Errorf("etl: unknown cursor record kind %d", cr.Kind)
+	}
+	if cr.Key == "" {
+		return cursorRecord{}, errors.New("etl: cursor record with empty key")
+	}
+	if cr.Kind == recCommit && len(cr.State) != 0 {
+		return cursorRecord{}, fmt.Errorf("etl: commit record for %q carries %d bytes of state", cr.Key, len(cr.State))
+	}
+	return cr, nil
+}
+
 // NewCursorStore opens (creating if needed) the cursor stream name.
 func NewCursorStore(store *logdevice.Store, name string) (*CursorStore, error) {
 	if err := store.CreateStream(name); err != nil {
@@ -59,18 +80,38 @@ func NewCursorStore(store *logdevice.Store, name string) (*CursorStore, error) {
 	return &CursorStore{store: store, name: name, intentLSN: make(map[string]logdevice.LSN)}, nil
 }
 
-func (c *CursorStore) append(rec cursorRecord) (logdevice.LSN, error) {
+// cursorAppendAttempts bounds the retry loop around one cursor append.
+// LogDevice's injected write faults are drawn per attempt, so a bounded
+// number of retries rides out a flaky window; a hard-down store still
+// fails promptly.
+const cursorAppendAttempts = 8
+
+func (c *CursorStore) append(token string, rec cursorRecord) (logdevice.LSN, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
 		return 0, fmt.Errorf("etl: encode cursor record: %w", err)
 	}
-	return c.store.Append(c.name, buf.Bytes())
+	// The write token makes retries idempotent: a torn ack's retry
+	// resolves to the already landed record instead of double-logging
+	// the intent or commit.
+	var lastErr error
+	for attempt := 0; attempt < cursorAppendAttempts; attempt++ {
+		lsn, _, err := c.store.AppendToken(c.name, token, buf.Bytes())
+		if err == nil {
+			return lsn, nil
+		}
+		if !faults.IsRetryable(err) {
+			return 0, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("etl: cursor append %q gave up after %d attempts: %w", token, cursorAppendAttempts, lastErr)
 }
 
 // Intent durably logs the post-partition joiner state for key before the
 // partition is sealed.
 func (c *CursorStore) Intent(key string, state []byte) error {
-	lsn, err := c.append(cursorRecord{Kind: recIntent, Key: key, State: state})
+	lsn, err := c.append("i/"+key, cursorRecord{Kind: recIntent, Key: key, State: state})
 	if err != nil {
 		return err
 	}
@@ -81,7 +122,7 @@ func (c *CursorStore) Intent(key string, state []byte) error {
 // Commit acknowledges that key's partition was sealed and trims cursor
 // records older than its intent, keeping the log bounded.
 func (c *CursorStore) Commit(key string) error {
-	if _, err := c.append(cursorRecord{Kind: recCommit, Key: key}); err != nil {
+	if _, err := c.append("c/"+key, cursorRecord{Kind: recCommit, Key: key}); err != nil {
 		return err
 	}
 	if lsn, ok := c.intentLSN[key]; ok && lsn > 1 {
@@ -102,6 +143,7 @@ func (c *CursorStore) Recover() (committed *Intent, uncommitted []Intent, err er
 	}
 	from := tp + 1
 	intents := make(map[string]*Intent)
+	var committedIntentLSN logdevice.LSN
 	for {
 		recs, err := c.store.ReadFrom(c.name, from, 1024)
 		if err != nil {
@@ -120,9 +162,9 @@ func (c *CursorStore) Recover() (committed *Intent, uncommitted []Intent, err er
 			break
 		}
 		for _, rec := range recs {
-			var cr cursorRecord
-			if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&cr); err != nil {
-				return nil, nil, fmt.Errorf("etl: decode cursor record lsn %d: %w", rec.LSN, err)
+			cr, err := decodeCursorRecord(rec.Payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("etl: cursor record lsn %d: %w", rec.LSN, err)
 			}
 			switch cr.Kind {
 			case recIntent:
@@ -133,6 +175,7 @@ func (c *CursorStore) Recover() (committed *Intent, uncommitted []Intent, err er
 			case recCommit:
 				if in, ok := intents[cr.Key]; ok {
 					committed = in
+					committedIntentLSN = c.intentLSN[cr.Key]
 					// Everything up to the committed intent is settled.
 					uncommitted = uncommitted[:0]
 					for k := range intents {
@@ -142,8 +185,6 @@ func (c *CursorStore) Recover() (committed *Intent, uncommitted []Intent, err er
 					}
 					delete(c.intentLSN, cr.Key)
 				}
-			default:
-				return nil, nil, fmt.Errorf("etl: unknown cursor record kind %d", cr.Kind)
 			}
 			from = rec.LSN + 1
 		}
@@ -157,6 +198,16 @@ func (c *CursorStore) Recover() (committed *Intent, uncommitted []Intent, err er
 			}
 		}
 		uncommitted = trimmed
+	}
+	// Records below the last committed intent are settled history: Commit
+	// trims them in the steady state, but a crash between the commit
+	// append and its trim leaves them behind, and every recovery would
+	// re-replay (and retain) them forever. Finish the interrupted trim
+	// here so the cursor log stays bounded across restarts.
+	if committedIntentLSN > 1 {
+		if err := c.store.Trim(c.name, committedIntentLSN-1); err != nil {
+			return nil, nil, err
+		}
 	}
 	return committed, uncommitted, nil
 }

@@ -6,7 +6,12 @@
 // The join is windowed: a feature log waits up to a configurable number
 // of processed records for its matching event; if none arrives the sample
 // is emitted with a negative label (no observed engagement), so the
-// pipeline tolerates event loss.
+// pipeline tolerates event loss. The window is symmetric: an event that
+// arrives before its feature log — Scribe guarantees order only within a
+// category, and a backlogged drain delivers the sparse event stream far
+// ahead of the feature batch cursor — is buffered for the same window and
+// joins when the feature catches up, so out-of-order delivery across
+// categories never flips a label.
 package etl
 
 import (
@@ -60,11 +65,15 @@ type Joiner struct {
 	seq     int64        // records processed, drives window ageing
 	sink    Sink
 
+	earlyEvents map[int64]*earlyEvent
+	eventOrder  []orderEntry // FIFO of early events for window eviction
+
 	// Joined counts samples emitted with an observed event.
 	Joined metrics.Counter
 	// Expired counts samples emitted because the window elapsed.
 	Expired metrics.Counter
-	// OrphanEvents counts events with no pending feature log.
+	// OrphanEvents counts events whose feature log never arrived within
+	// the window (or duplicate events for an already-buffered request).
 	OrphanEvents metrics.Counter
 	// Poisoned counts undecodable log records skipped (the cursor still
 	// advances so one corrupt record cannot wedge the stream).
@@ -78,6 +87,13 @@ type Joiner struct {
 type pendingEntry struct {
 	feat *datagen.FeatureLog
 	seq  int64
+}
+
+// earlyEvent is an event log that arrived before its feature log; it waits
+// in the same window for the feature to catch up.
+type earlyEvent struct {
+	engaged bool
+	seq     int64
 }
 
 // orderEntry is one FIFO slot. The seq disambiguates slots whose request
@@ -98,6 +114,7 @@ func NewJoiner(model string, bus *scribe.Bus, sink Sink) *Joiner {
 		featCursor:  1,
 		eventCursor: 1,
 		pending:     make(map[int64]*pendingEntry),
+		earlyEvents: make(map[int64]*earlyEvent),
 		sink:        sink,
 	}
 }
@@ -136,6 +153,15 @@ func (j *Joiner) Step(batch int) (int, error) {
 			continue
 		}
 		j.seq++
+		if ev, ok := j.earlyEvents[fl.RequestID]; ok {
+			// The event outran its feature log; join immediately.
+			delete(j.earlyEvents, fl.RequestID)
+			if err := j.emit(fl, ev.engaged); err != nil {
+				return consumed, err
+			}
+			j.Joined.Inc()
+			continue
+		}
 		if old, ok := j.pending[fl.RequestID]; ok {
 			// A duplicate RequestID displaces the earlier pending join.
 			// Emit the displaced entry as an unobserved negative instead
@@ -166,7 +192,16 @@ func (j *Joiner) Step(batch int) (int, error) {
 		}
 		entry, ok := j.pending[ev.RequestID]
 		if !ok {
-			j.OrphanEvents.Inc()
+			// Cross-category delivery order is not guaranteed: buffer the
+			// early event for the window instead of dropping it, so a
+			// feature log still in the backlog keeps its true label. A
+			// second event for an already-buffered request is a duplicate.
+			if _, dup := j.earlyEvents[ev.RequestID]; dup {
+				j.OrphanEvents.Inc()
+				continue
+			}
+			j.earlyEvents[ev.RequestID] = &earlyEvent{engaged: ev.Engaged, seq: j.seq}
+			j.eventOrder = append(j.eventOrder, orderEntry{id: ev.RequestID, seq: j.seq})
 			continue
 		}
 		delete(j.pending, ev.RequestID)
@@ -202,6 +237,22 @@ func (j *Joiner) evictExpired() error {
 		}
 		j.Expired.Inc()
 	}
+	// Early events age the same way; one whose feature never arrived
+	// within the window is a true orphan.
+	for len(j.eventOrder) > 0 {
+		slot := j.eventOrder[0]
+		ev, ok := j.earlyEvents[slot.id]
+		if !ok || ev.seq != slot.seq { // joined, or re-buffered later
+			j.eventOrder = j.eventOrder[1:]
+			continue
+		}
+		if ev.seq > cutoff {
+			break
+		}
+		j.eventOrder = j.eventOrder[1:]
+		delete(j.earlyEvents, slot.id)
+		j.OrphanEvents.Inc()
+	}
 	return nil
 }
 
@@ -219,6 +270,11 @@ func (j *Joiner) Flush() error {
 		j.Expired.Inc()
 	}
 	j.order = nil
+	for range j.earlyEvents {
+		j.OrphanEvents.Inc()
+	}
+	j.earlyEvents = make(map[int64]*earlyEvent)
+	j.eventOrder = nil
 	return nil
 }
 
@@ -268,12 +324,19 @@ type joinerState struct {
 	EventCursor logdevice.LSN
 	Seq         int64
 	Entries     []savedEntry
+	Events      []savedEvent
 }
 
 type savedEntry struct {
 	ID   int64
 	Seq  int64
 	Feat *datagen.FeatureLog
+}
+
+type savedEvent struct {
+	ID      int64
+	Seq     int64
+	Engaged bool
 }
 
 // Checkpoint serializes the joiner's resume state. Restoring it on a
@@ -289,6 +352,13 @@ func (j *Joiner) Checkpoint() ([]byte, error) {
 			continue
 		}
 		st.Entries = append(st.Entries, savedEntry{ID: slot.id, Seq: slot.seq, Feat: entry.feat})
+	}
+	for _, slot := range j.eventOrder {
+		ev, ok := j.earlyEvents[slot.id]
+		if !ok || ev.seq != slot.seq {
+			continue
+		}
+		st.Events = append(st.Events, savedEvent{ID: slot.id, Seq: slot.seq, Engaged: ev.engaged})
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
@@ -312,6 +382,12 @@ func (j *Joiner) Restore(data []byte) error {
 	for _, e := range st.Entries {
 		j.pending[e.ID] = &pendingEntry{feat: e.Feat, seq: e.Seq}
 		j.order = append(j.order, orderEntry{id: e.ID, seq: e.Seq})
+	}
+	j.earlyEvents = make(map[int64]*earlyEvent, len(st.Events))
+	j.eventOrder = j.eventOrder[:0]
+	for _, e := range st.Events {
+		j.earlyEvents[e.ID] = &earlyEvent{engaged: e.Engaged, seq: e.Seq}
+		j.eventOrder = append(j.eventOrder, orderEntry{id: e.ID, seq: e.Seq})
 	}
 	return nil
 }

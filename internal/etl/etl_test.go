@@ -97,15 +97,64 @@ func TestJoinerWindowEviction(t *testing.T) {
 	}
 }
 
+func TestJoinerEventBeforeFeatureJoins(t *testing.T) {
+	bus := scribe.NewBus(logdevice.NewStore())
+	sink := &collectSink{}
+	j := NewJoiner("m", bus, sink)
+	// Cross-category order is not guaranteed: the event lands first and
+	// must wait in the window, keeping its label, until the feature log
+	// catches up.
+	publishEvent(t, bus, "m", 7, true)
+	if _, err := j.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if j.OrphanEvents.Value() != 0 {
+		t.Fatalf("early event counted as orphan: %d", j.OrphanEvents.Value())
+	}
+	publishFeature(t, bus, "m", 7)
+	if _, err := j.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if j.Joined.Value() != 1 || len(sink.samples) != 1 || sink.samples[0].Label != 1 {
+		t.Fatalf("early event did not join: joined=%d samples=%d", j.Joined.Value(), len(sink.samples))
+	}
+}
+
 func TestJoinerOrphanEvents(t *testing.T) {
 	bus := scribe.NewBus(logdevice.NewStore())
-	j := NewJoiner("m", bus, &collectSink{})
+	sink := &collectSink{}
+	j := NewJoiner("m", bus, sink)
+	j.Window = 2
 	publishEvent(t, bus, "m", 99, true)
+	if _, err := j.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	// The feature never arrives: the buffered event ages out of the
+	// window like a pending feature would, without emitting a sample.
+	for id := int64(1); id <= 3; id++ {
+		publishFeature(t, bus, "m", id)
+	}
 	if _, err := j.Step(100); err != nil {
 		t.Fatal(err)
 	}
 	if j.OrphanEvents.Value() != 1 {
 		t.Fatalf("OrphanEvents = %d, want 1", j.OrphanEvents.Value())
+	}
+	for _, s := range sink.samples {
+		if s.Label != 0 {
+			t.Fatal("orphan event leaked a positive label")
+		}
+	}
+	// Flush drops any still-buffered orphan the same way.
+	publishEvent(t, bus, "m", 100, true)
+	if _, err := j.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if j.OrphanEvents.Value() != 2 {
+		t.Fatalf("OrphanEvents after flush = %d, want 2", j.OrphanEvents.Value())
 	}
 }
 

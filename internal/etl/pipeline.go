@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"dsi/internal/dwrf"
 	"dsi/internal/metrics"
 	"dsi/internal/schema"
+	"dsi/internal/tectonic/faults"
 	"dsi/internal/warehouse"
 )
 
@@ -55,15 +57,32 @@ type Pipeline struct {
 	// drained but still open. Default 200µs.
 	IdleWait time.Duration
 
+	// WriteRetryBudget is how many times one partition may be aborted and
+	// re-produced from its base checkpoint after a retryable write
+	// failure before the pipeline gives up on it as poisoned. Default 2.
+	WriteRetryBudget int
+
 	// PartitionsSealed counts partitions made visible.
 	PartitionsSealed metrics.Counter
 	// RowsWritten counts rows across all sealed partitions.
 	RowsWritten metrics.Counter
+	// PartitionsReproduced counts aborted partition attempts re-produced
+	// byte-for-byte from the base checkpoint after a write failure.
+	PartitionsReproduced metrics.Counter
 
 	nextIndex int
+	wstats    dwrf.WriteStats
 }
 
+// WriterStats reports the cumulative write-side recovery work (append
+// retries, torn-ack dedups and repairs, virtual backoff) behind every
+// partition attempt this pipeline has made, including aborted ones.
+func (p *Pipeline) WriterStats() dwrf.WriteStats { return p.wstats }
+
 func (p *Pipeline) defaults() {
+	if p.WriteRetryBudget <= 0 {
+		p.WriteRetryBudget = 2
+	}
 	if p.PartitionRows <= 0 {
 		p.PartitionRows = 4096
 	}
@@ -154,16 +173,7 @@ func (p *Pipeline) Run(stop <-chan struct{}) error {
 			return nil
 		default:
 		}
-		key := p.key(p.nextIndex)
-		pw, err := p.Table.NewPartition(key)
-		if err != nil {
-			return err
-		}
-		sink := &partitionSink{pw: pw}
-		prevSink := p.Joiner.sink
-		p.Joiner.sink = sink
-		final, err := p.fillPartition(sink, stop)
-		p.Joiner.sink = prevSink
+		final, err := p.producePartition(p.key(p.nextIndex), stop)
 		if err != nil {
 			return err
 		}
@@ -171,20 +181,100 @@ func (p *Pipeline) Run(stop <-chan struct{}) error {
 		case fillAborted:
 			return nil
 		case fillEndOfStream:
-			if sink.rows > 0 {
-				if err := p.sealPartition(key, pw, sink.rows); err != nil {
-					return err
-				}
-				p.nextIndex++
-			}
 			return p.Table.CloseStream()
 		case fillSealed:
-			if err := p.sealPartition(key, pw, sink.rows); err != nil {
-				return err
-			}
 			p.nextIndex++
 		}
 	}
+}
+
+// producePartition rolls one partition with a bounded write-retry loop.
+// The joiner is checkpointed before any row is written; a retryable
+// failure anywhere before the partition became visible aborts the
+// attempt, reclaims the orphan file, restores the joiner to the base
+// checkpoint, and re-produces the partition byte-identically from the
+// same Scribe records (untrimmed until commit). A failure after the
+// partition is visible — the crash-shaped window between seal and
+// commit — is returned as-is: retrying would double-produce, and the
+// next Run's recovery adopts the intent instead. A partition still
+// failing past the budget is poisoned and fails the pipeline.
+func (p *Pipeline) producePartition(key string, stop <-chan struct{}) (fillResult, error) {
+	base, err := p.Joiner.Checkpoint()
+	if err != nil {
+		return 0, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= p.WriteRetryBudget; attempt++ {
+		if attempt > 0 {
+			if err := p.Joiner.Restore(base); err != nil {
+				return 0, err
+			}
+			p.PartitionsReproduced.Inc()
+		}
+		final, err := p.attemptPartition(key, stop)
+		if err == nil {
+			if final == fillEndOfStream {
+				p.nextIndex++ // the final partition, when non-empty, was sealed too
+			}
+			return final, nil
+		}
+		if _, verr := p.Table.Partition(key); verr == nil {
+			// Visible but the commit failed: crash-shaped by design.
+			return 0, err
+		}
+		if !faults.IsRetryable(err) {
+			return 0, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("etl: partition %s poisoned: still failing after %d re-produces: %w",
+		key, p.WriteRetryBudget, lastErr)
+}
+
+// attemptPartition runs one fill → intent → seal → commit attempt. On a
+// write failure before visibility the orphan backing file is reclaimed
+// immediately so the retry starts clean.
+func (p *Pipeline) attemptPartition(key string, stop <-chan struct{}) (fillResult, error) {
+	pw, err := p.Table.NewPartition(key)
+	if err != nil {
+		return 0, err
+	}
+	sink := &partitionSink{pw: pw}
+	prevSink := p.Joiner.sink
+	p.Joiner.sink = sink
+	final, err := p.fillPartition(sink, stop)
+	p.Joiner.sink = prevSink
+	defer func() { p.wstats.Merge(pw.WriteStats()) }()
+	if err != nil {
+		// No row of this attempt was ever visible; reclaim the orphan.
+		if aerr := pw.Abort(); aerr != nil {
+			return 0, aerr
+		}
+		return 0, err
+	}
+	switch final {
+	case fillAborted:
+		// Deliberately crash-shaped: the unsealed partition's rows are
+		// invisible and the orphan is reclaimed by the next Run's retry.
+		return fillAborted, nil
+	case fillEndOfStream:
+		if sink.rows == 0 {
+			if err := pw.Abort(); err != nil {
+				return 0, err
+			}
+			return fillEndOfStream, nil
+		}
+	}
+	if err := p.sealPartition(key, pw, sink.rows); err != nil {
+		if _, verr := p.Table.Partition(key); verr != nil {
+			// Not visible: reclaim so a re-produce starts clean.
+			if aerr := pw.Abort(); aerr != nil {
+				return 0, aerr
+			}
+		}
+		return 0, err
+	}
+	return final, nil
 }
 
 type fillResult int

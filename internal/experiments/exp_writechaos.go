@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dsi/internal/datagen"
+	"dsi/internal/dwrf"
+	"dsi/internal/etl"
+	"dsi/internal/logdevice"
+	"dsi/internal/scribe"
+	"dsi/internal/tectonic"
+	"dsi/internal/tectonic/faults"
+	"dsi/internal/warehouse"
+)
+
+func init() {
+	register("writechaos", "Self-healing write path under a seeded storm: idempotent retried appends, torn-ack dedup, placement avoidance, partition recovery", runWriteChaos)
+}
+
+// runWriteChaos drives the streaming ingestion loop — serving simulator
+// -> Scribe -> ETL -> sealed DWRF partitions — while both storage planes
+// are in a seeded write storm: LogDevice tears acks off a third of the
+// Scribe appends, every warehouse node throws transient write failures,
+// one node tears acks, one is hard down, and half the partition seals
+// fail on the first try. The target is exactness, not a paper figure
+// (the paper's evaluation runs with storage faults disabled): every
+// served request must land in a sealed partition exactly once, with the
+// recovery counters showing the write path absorbed the storm.
+func runWriteChaos() (Result, error) {
+	res := Result{ID: "writechaos", Title: Title("writechaos")}
+	const (
+		model         = "rm-wstorm"
+		seed          = 23
+		totalRequests = 600
+		chunk         = 150
+		partitionRows = 96
+	)
+	p, err := datagen.ProfileByName("RM1")
+	if err != nil {
+		return res, err
+	}
+	spec := p.Scale(0.01, 1, totalRequests)
+
+	store := logdevice.NewStore()
+	store.SetWriteFaults(faults.NewSchedule(seed).TornWrites(0, 0, 0, 0.35), nil)
+	bus := scribe.NewBus(store)
+	daemon := scribe.NewDaemon("web-1", bus)
+	// Exactness needs strict cross-category FIFO; the breaker's deferral
+	// relaxes it, so this run leans on the order-preserving requeue path.
+	daemon.BreakerThreshold = 1 << 30
+	sim := datagen.NewServingSimulator(model, datagen.NewGenerator(spec, seed), daemon)
+	sim.Now = func() int64 { return time.Now().UnixNano() }
+
+	cluster, err := tectonic.NewCluster(tectonic.Options{
+		Nodes: 4, Replication: 2,
+		Retry: tectonic.RetryPolicy{MaxAttempts: 12},
+	})
+	if err != nil {
+		return res, err
+	}
+	sched := faults.NewSchedule(seed)
+	for n := 0; n < 4; n++ {
+		sched.FailWrites(n, 0, 0, 0.2)
+	}
+	sched.TornWrites(1, 0, 0, 0.3)
+	sched.Down(3, 0, 0)
+	sched.FailSeals(0, 0, 0.5)
+	cluster.SetFaultSchedule(sched)
+
+	wh := warehouse.New(cluster)
+	tbl, err := wh.CreateUnboundedTable("ingest", spec.BuildSchema(), dwrf.WriterOptions{Flatten: true, RowsPerStripe: 64})
+	if err != nil {
+		return res, err
+	}
+	cursors, err := etl.NewCursorStore(store, "etl/"+model+"/cursors")
+	if err != nil {
+		return res, err
+	}
+	pipeline := &etl.Pipeline{
+		Joiner:        etl.NewJoiner(model, bus, nil),
+		Table:         tbl,
+		Cursors:       cursors,
+		PartitionRows: partitionRows,
+	}
+	etlDone := make(chan error, 1)
+	go func() { etlDone <- pipeline.Run(nil) }()
+
+	for served := 0; served < totalRequests; served += chunk {
+		if err := sim.ServeRequests(chunk); err != nil {
+			return res, err
+		}
+		// Under the torn storm each Flush only delivers a prefix; drain so
+		// the ETL tails a steadily advancing stream.
+		if err := daemon.DrainFlush(20 * time.Second); err != nil {
+			return res, err
+		}
+	}
+	if err := sim.Close(bus); err != nil {
+		return res, err
+	}
+	if err := <-etlDone; err != nil {
+		return res, err
+	}
+
+	if got := pipeline.RowsWritten.Value(); got != totalRequests {
+		return res, fmt.Errorf("writechaos: sealed %d rows, want %d (exactly-once violated)", got, totalRequests)
+	}
+	if shed, dropped := daemon.Shed.Value(), daemon.Dropped.Value(); shed != 0 || dropped != 0 {
+		return res, fmt.Errorf("writechaos: producer lost messages: shed=%d dropped=%d", shed, dropped)
+	}
+
+	ld := store.WriteFaultCounters()
+	fc := cluster.FaultCounters()
+	ws := pipeline.WriterStats()
+	res.Rows = append(res.Rows,
+		Row{
+			Label:    "rows sealed exactly once",
+			Paper:    "-",
+			Measured: fmt.Sprintf("%d/%d", pipeline.RowsWritten.Value(), totalRequests),
+			Note:     "zero shed, zero dropped; paper eval runs faults-disabled",
+		},
+		Row{
+			Label:    "scribe torn acks -> dedups",
+			Paper:    "-",
+			Measured: fmt.Sprintf("%d -> %d", ld.TornAcks, ld.DedupHits),
+			Note:     "tokened retries resolved from the LogDevice ledger, no duplicate records",
+		},
+		Row{
+			Label:    "warehouse append retries",
+			Paper:    "-",
+			Measured: fmt.Sprint(fc.AppendRetries),
+			Note:     "failed fragment attempts retried with capped backoff + jitter",
+		},
+		Row{
+			Label:    "warehouse torn acks -> dedups",
+			Paper:    "-",
+			Measured: fmt.Sprintf("%d -> %d", fc.TornAcks, fc.AppendDedups),
+			Note:     "per-file write tokens repair torn-ack retries in place",
+		},
+		Row{
+			Label:    "seal retries",
+			Paper:    "-",
+			Measured: fmt.Sprint(fc.SealRetries),
+			Note:     "metadata seals failing at p=0.5, retried to completion",
+		},
+		Row{
+			Label:    "placements steered off condemned nodes",
+			Paper:    "-",
+			Measured: fmt.Sprint(fc.PlacementAvoids),
+			Note:     "health-ranked rendezvous placement around the down node",
+		},
+		Row{
+			Label:    "partitions re-produced",
+			Paper:    "-",
+			Measured: fmt.Sprint(pipeline.PartitionsReproduced.Value()),
+			Note:     fmt.Sprintf("aborted attempts replayed byte-identically; writer backoff %s virtual", ws.Backoff),
+		},
+	)
+	return res, nil
+}

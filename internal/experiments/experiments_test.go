@@ -15,7 +15,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"gaps", "ingest", "membw", "multitenant", "scaling",
 		"table10", "table11", "table12", "table2", "table3", "table4",
-		"table5", "table6", "table7", "table8", "table9",
+		"table5", "table6", "table7", "table8", "table9", "writechaos",
 	}
 	got := IDs()
 	if len(got) != len(want) {

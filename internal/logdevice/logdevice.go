@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"dsi/internal/tectonic/faults"
 )
 
 // LSN is a log sequence number. LSNs start at 1 and increase by one per
@@ -53,6 +56,13 @@ type stream struct {
 	sealBytes int64
 	sealed    bool          // no further appends; end-of-log for tailers
 	changed   chan struct{} // closed and replaced on append/seal
+	// tokens is the idempotent-append ledger, populated only while write
+	// faults are active: write token -> the LSN it landed at. Entries
+	// are dropped when their LSN is trimmed.
+	tokens map[string]LSN
+	// failSalt differentiates the seeded fault draws of successive
+	// append attempts on this stream.
+	failSalt int64
 }
 
 // notifyLocked wakes any waiter blocked on the stream's change channel.
@@ -71,6 +81,13 @@ type Store struct {
 	// MemtableFlushBytes is the memtable size that triggers sealing into
 	// a segment.
 	MemtableFlushBytes int64
+
+	// fmu guards the write-fault plane: the installed schedule, its
+	// virtual clock, and the recovery counters.
+	fmu    sync.Mutex
+	sched  *faults.Schedule
+	now    func() time.Duration
+	wstats WriteFaultCounters
 }
 
 // NewStore returns an empty store with a 1 MiB memtable flush threshold.
@@ -113,16 +130,62 @@ func (s *Store) Streams() []string {
 }
 
 // Append appends payload to the stream and returns its LSN. The payload
-// is copied.
+// is copied. Equivalent to AppendToken with an empty token: under an
+// installed fault schedule a failed or torn append cannot be safely
+// retried without one.
 func (s *Store) Append(name string, payload []byte) (LSN, error) {
+	lsn, _, err := s.AppendToken(name, "", payload)
+	return lsn, err
+}
+
+// AppendToken appends payload idempotently under the given write token
+// and returns the record's LSN plus whether the append deduplicated
+// against an earlier attempt that already landed. While a write-fault
+// schedule is installed, appends can fail cleanly (WriteFailing, Down)
+// or land and then lose their acknowledgement (WriteTorn → ErrTornAck);
+// a retry with the same token returns the landed record's LSN instead
+// of appending twice. Tokens must be unique per logical record; the
+// ledger entry is dropped when the record is trimmed. With no schedule
+// installed this is exactly the legacy append — one branch, no ledger.
+func (s *Store) AppendToken(name, token string, payload []byte) (LSN, bool, error) {
 	st, err := s.lookup(name)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
+	sched := s.faultSchedule()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.sealed {
-		return 0, fmt.Errorf("%w: %s", ErrSealed, name)
+		return 0, false, fmt.Errorf("%w: %s", ErrSealed, name)
+	}
+	torn := false
+	if sched != nil {
+		if token != "" {
+			if lsn, ok := st.tokens[token]; ok {
+				s.fmu.Lock()
+				s.wstats.DedupHits++
+				s.fmu.Unlock()
+				return lsn, true, nil
+			}
+		}
+		now := s.faultNow()
+		st.failSalt++
+		switch nodeState, win := sched.WriteState(0, now); nodeState {
+		case faults.Down:
+			s.fmu.Lock()
+			s.wstats.Failures++
+			s.fmu.Unlock()
+			return 0, false, fmt.Errorf("%w: logdevice stream %s", faults.ErrNodeDown, name)
+		case faults.WriteFailing:
+			if sched.Fires(win.ErrProb, 0, name, int64(st.nextLSN), int(st.failSalt)) {
+				s.fmu.Lock()
+				s.wstats.Failures++
+				s.fmu.Unlock()
+				return 0, false, fmt.Errorf("%w: logdevice stream %s append (lsn %d)", faults.ErrNodeIO, name, st.nextLSN)
+			}
+		case faults.WriteTorn:
+			torn = sched.Fires(win.ErrProb, 0, name, int64(st.nextLSN), int(st.failSalt))
+		}
 	}
 	lsn := st.nextLSN
 	st.nextLSN++
@@ -130,11 +193,26 @@ func (s *Store) Append(name string, payload []byte) (LSN, error) {
 	copy(cp, payload)
 	st.memtable = append(st.memtable, Record{LSN: lsn, Payload: cp})
 	st.memBytes += int64(len(cp))
+	if sched != nil && token != "" {
+		if st.tokens == nil {
+			st.tokens = make(map[string]LSN)
+		}
+		st.tokens[token] = lsn
+	}
 	if st.memBytes >= s.MemtableFlushBytes {
 		st.sealLocked()
 	}
 	st.notifyLocked()
-	return lsn, nil
+	if torn {
+		// The record IS durable (tailers will see it); only the ack is
+		// lost. A tokened retry dedups; a tokenless caller would
+		// double-append.
+		s.fmu.Lock()
+		s.wstats.TornAcks++
+		s.fmu.Unlock()
+		return lsn, false, fmt.Errorf("%w: logdevice stream %s (lsn %d)", faults.ErrTornAck, name, lsn)
+	}
+	return lsn, false, nil
 }
 
 // Seal marks the stream as ended: further Appends fail with ErrSealed,
@@ -254,6 +332,14 @@ func (s *Store) Trim(name string, upTo LSN) error {
 		st.memBytes -= int64(len(r.Payload))
 	}
 	st.memtable = st.memtable[idx:]
+	// Trimmed records can no longer be retried, so their write tokens
+	// leave the ledger with them — the ledger stays bounded by the
+	// stream's retained span.
+	for tok, lsn := range st.tokens {
+		if lsn <= upTo {
+			delete(st.tokens, tok)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,60 @@
+package logdevice
+
+import (
+	"time"
+
+	"dsi/internal/tectonic/faults"
+)
+
+// WriteFaultCounters is a snapshot of the store's cumulative write-fault
+// accounting.
+type WriteFaultCounters struct {
+	// Failures counts appends rejected before any byte landed (Down or
+	// WriteFailing windows).
+	Failures int64
+	// TornAcks counts appends that landed but lost their ack.
+	TornAcks int64
+	// DedupHits counts tokened retries resolved from the ledger.
+	DedupHits int64
+}
+
+// SetWriteFaults installs (or, with nil, removes) a seeded schedule of
+// write-fault windows consulted by every subsequent append. LogDevice is
+// modelled as one logical sequencer, so windows target node 0 (plus
+// Down, which it shares with the read-shaped states). now supplies the
+// virtual time that window spans are evaluated against; nil pins it to
+// zero, the natural choice for always-active windows. With no schedule
+// installed appends take the exact legacy path and keep no token
+// ledger.
+func (s *Store) SetWriteFaults(sched *faults.Schedule, now func() time.Duration) {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	s.fmu.Lock()
+	s.sched = sched
+	s.now = now
+	s.fmu.Unlock()
+}
+
+func (s *Store) faultSchedule() *faults.Schedule {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	return s.sched
+}
+
+func (s *Store) faultNow() time.Duration {
+	s.fmu.Lock()
+	now := s.now
+	s.fmu.Unlock()
+	if now == nil {
+		return 0
+	}
+	return now()
+}
+
+// WriteFaultCounters snapshots the cumulative write-fault accounting.
+func (s *Store) WriteFaultCounters() WriteFaultCounters {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	return s.wstats
+}

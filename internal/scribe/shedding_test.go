@@ -1,0 +1,289 @@
+package scribe
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dsi/internal/logdevice"
+	"dsi/internal/tectonic/faults"
+)
+
+// countingPublisher fails every publish and counts the attempts, standing
+// in for a LogDevice that is down and staying down.
+type countingPublisher struct {
+	mu       sync.Mutex
+	attempts int
+	err      error
+}
+
+func (p *countingPublisher) Publish(m Message) (logdevice.LSN, error) {
+	p.mu.Lock()
+	p.attempts++
+	n, err := p.attempts, p.err
+	p.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return logdevice.LSN(n), nil
+}
+
+// TestFlushBackoffNotHotPolled pins the satellite fix: once a category's
+// breaker opens, flushes defer the category without touching the bus —
+// a down LogDevice is not hot-polled — until the backoff window passes.
+func TestFlushBackoffNotHotPolled(t *testing.T) {
+	pub := &countingPublisher{err: faults.ErrNodeDown}
+	clock := time.Unix(1000, 0)
+	d := &Daemon{
+		Host:           "web1",
+		bus:            pub,
+		FlushThreshold: 100,
+		Now:            func() time.Time { return clock },
+	}
+	d.Log("cat", []byte("a"))
+	d.Log("cat", []byte("b"))
+
+	// Two failed flushes trip the breaker (threshold defaults to 2).
+	for i := 0; i < 2; i++ {
+		if err := d.Flush(); !errors.Is(err, faults.ErrNodeDown) {
+			t.Fatalf("flush %d: %v, want ErrNodeDown", i, err)
+		}
+	}
+	if pub.attempts != 2 {
+		t.Fatalf("publish attempts before breaker opened: %d, want 2", pub.attempts)
+	}
+	if d.BreakerOpens.Value() == 0 {
+		t.Fatal("breaker never opened")
+	}
+
+	// With the breaker open, flushes must defer without a single bus call.
+	for i := 0; i < 50; i++ {
+		err := d.Flush()
+		if !errors.Is(err, ErrDeferred) {
+			t.Fatalf("flush under open breaker: %v, want ErrDeferred", err)
+		}
+		if !Retryable(err) {
+			t.Fatal("deferred flush not classified retryable")
+		}
+	}
+	if pub.attempts != 2 {
+		t.Fatalf("open breaker hot-polled the store: %d attempts, want 2", pub.attempts)
+	}
+	if d.PendingCount() != 2 {
+		t.Fatalf("deferred messages lost: %d pending, want 2", d.PendingCount())
+	}
+
+	// Advance past the window and heal the store: the retry goes through
+	// in order.
+	clock = clock.Add(time.Second)
+	pub.err = nil
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush after window: %v", err)
+	}
+	if d.PendingCount() != 0 {
+		t.Fatalf("%d messages still pending after healed flush", d.PendingCount())
+	}
+}
+
+// categoryPublisher records the categories of successful publishes and
+// fails by category.
+type categoryPublisher struct {
+	published []string
+	onPublish func(category string) error
+}
+
+func (p *categoryPublisher) Publish(m Message) (logdevice.LSN, error) {
+	if p.onPublish != nil {
+		if err := p.onPublish(m.Category); err != nil {
+			return 0, err
+		}
+	}
+	p.published = append(p.published, m.Category)
+	return 0, nil
+}
+
+// TestBreakerPerCategoryIsolation: an open breaker on one category must
+// not block flushing of a healthy one.
+func TestBreakerPerCategoryIsolation(t *testing.T) {
+	fail := true
+	pub := &categoryPublisher{onPublish: func(cat string) error {
+		if cat == "sick" && fail {
+			return faults.ErrNodeIO
+		}
+		return nil
+	}}
+	clock := time.Unix(1000, 0)
+	d := &Daemon{
+		Host:           "web1",
+		bus:            pub,
+		FlushThreshold: 100,
+		Now:            func() time.Time { return clock },
+	}
+	d.Log("sick", []byte("s1"))
+	for i := 0; i < 2; i++ {
+		if err := d.Flush(); err == nil {
+			t.Fatalf("flush %d unexpectedly succeeded", i)
+		}
+	}
+
+	// sick's breaker is open; healthy traffic must still flow.
+	d.Log("ok", []byte("o1"))
+	d.Log("ok", []byte("o2"))
+	if err := d.Flush(); !errors.Is(err, ErrDeferred) {
+		t.Fatalf("mixed flush: %v, want ErrDeferred for the sick category", err)
+	}
+	if len(pub.published) != 2 || pub.published[0] != "ok" || pub.published[1] != "ok" {
+		t.Fatalf("healthy category blocked: published %v", pub.published)
+	}
+	if d.PendingCount() != 1 {
+		t.Fatalf("pending %d, want just the deferred sick message", d.PendingCount())
+	}
+
+	// Heal: deferred message delivered after the window.
+	clock = clock.Add(time.Second)
+	fail = false
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.published) != 3 || pub.published[2] != "sick" {
+		t.Fatalf("deferred sick message not delivered: %v", pub.published)
+	}
+}
+
+// TestDaemonShedsWhenLogDeviceStaysDown: with the breaker open and the
+// buffer full, new messages are counted as shed (not silently confused
+// with ordinary drops).
+func TestDaemonShedsWhenLogDeviceStaysDown(t *testing.T) {
+	pub := &countingPublisher{err: faults.ErrNodeDown}
+	clock := time.Unix(1000, 0)
+	d := &Daemon{
+		Host:           "web1",
+		bus:            pub,
+		FlushThreshold: 100,
+		BufferLimit:    3,
+		Now:            func() time.Time { return clock },
+	}
+	for i := 0; i < 3; i++ {
+		d.Log("cat", []byte{byte(i)})
+	}
+	for i := 0; i < 2; i++ {
+		d.Flush()
+	}
+
+	// Buffer full, breaker open: sheds, not drops.
+	for i := 0; i < 5; i++ {
+		if err := d.Log("cat", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Shed.Value(); got != 5 {
+		t.Fatalf("Shed = %d, want 5", got)
+	}
+	if got := d.Dropped.Value(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0 (store-down overflow is shedding)", got)
+	}
+	// The buffered originals survive the storm.
+	clock = clock.Add(time.Second)
+	pub.err = nil
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if pub.attempts != 2+3 {
+		t.Fatalf("publish attempts %d, want 5 (2 failed + 3 delivered)", pub.attempts)
+	}
+}
+
+// TestDaemonWatermarkBackpressure: crossing the high watermark makes
+// logging pay a synchronous flush until the buffer drains below the low
+// watermark.
+func TestDaemonWatermarkBackpressure(t *testing.T) {
+	pub := &categoryPublisher{}
+	d := &Daemon{
+		Host:           "web1",
+		bus:            pub,
+		FlushThreshold: 1000, // never reached; watermark must trigger the flush
+		HighWatermark:  4,
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.Log("cat", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(pub.published) != 4 {
+		t.Fatalf("watermark did not force a flush: %d published", len(pub.published))
+	}
+	if d.PendingCount() != 0 {
+		t.Fatalf("pending %d after backpressure flush", d.PendingCount())
+	}
+	// Below the low watermark the daemon buffers again.
+	if err := d.Log("cat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.published) != 4 || d.PendingCount() != 1 {
+		t.Fatalf("backpressure did not disarm: published=%d pending=%d", len(pub.published), d.PendingCount())
+	}
+}
+
+// TestTornAckNoDuplicateThroughBus: a torn ack from LogDevice retried
+// through the daemon's requeue path must not duplicate the record —
+// the message token dedups on the second publish.
+func TestTornAckNoDuplicateThroughBus(t *testing.T) {
+	store := logdevice.NewStore()
+	store.SetWriteFaults(faults.NewSchedule(7).TornWrites(0, 0, 0, 1), nil)
+	bus := NewBus(store)
+	d := NewDaemon("web1", bus)
+
+	if err := d.Log("cat", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Flush()
+	if !errors.Is(err, faults.ErrTornAck) {
+		t.Fatalf("flush under p=1 torn acks: %v, want ErrTornAck", err)
+	}
+	if d.PendingCount() != 1 {
+		t.Fatalf("torn message not requeued: pending=%d", d.PendingCount())
+	}
+	// Lift the storm; the retry dedups against the token ledger.
+	store.SetWriteFaults(faults.NewSchedule(7), nil)
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.ReadFrom(streamName("cat"), 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "hello" {
+		t.Fatalf("stream holds %d records after torn-ack retry, want exactly 1", len(recs))
+	}
+	if got := bus.MessagesIn.Value(); got != 1 {
+		t.Fatalf("MessagesIn = %d, want 1", got)
+	}
+}
+
+// TestDrainFlushDeliversAfterStorm: DrainFlush keeps retrying through
+// breaker windows until the buffer empties.
+func TestDrainFlushDeliversAfterStorm(t *testing.T) {
+	pub := &countingPublisher{err: faults.ErrNodeIO}
+	d := &Daemon{
+		Host:           "web1",
+		bus:            pub,
+		FlushThreshold: 100,
+		BreakerBase:    time.Millisecond,
+		BreakerMax:     2 * time.Millisecond,
+	}
+	d.Log("cat", []byte("a"))
+	// Heal the store shortly; DrainFlush should ride out the failures.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		pub.mu.Lock()
+		pub.err = nil
+		pub.mu.Unlock()
+	}()
+	if err := d.DrainFlush(5 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if d.PendingCount() != 0 {
+		t.Fatalf("drain left %d pending", d.PendingCount())
+	}
+}

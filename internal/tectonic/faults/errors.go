@@ -1,0 +1,45 @@
+package faults
+
+import "errors"
+
+// Canonical storage-error taxonomy, shared by every layer that talks to
+// faulted storage (tectonic chunk I/O, logdevice appends). The sentinels
+// live here — below both — so logdevice can classify errors without
+// importing tectonic; tectonic re-exports them under its historical
+// names, and the message text keeps the "tectonic:" prefix those aliases
+// established so wrapped errors render identically.
+var (
+	// ErrNodeDown marks an I/O addressed to a node that is offline.
+	ErrNodeDown = errors.New("tectonic: node down")
+	// ErrNodeIO marks a transient per-I/O failure on a flaky node.
+	ErrNodeIO = errors.New("tectonic: transient I/O error")
+	// ErrCorrupt marks data that failed checksum verification.
+	ErrCorrupt = errors.New("tectonic: corrupt data")
+	// ErrAllReplicas marks an I/O that exhausted its attempt budget
+	// across every replica.
+	ErrAllReplicas = errors.New("tectonic: all replicas failed")
+	// ErrTornAck marks an append whose bytes landed but whose
+	// acknowledgement was lost: the write IS durable, the writer just
+	// doesn't know it. Retryable by definition — a tokened retry
+	// deduplicates against the landed bytes instead of double-appending.
+	ErrTornAck = errors.New("tectonic: append acknowledgement lost")
+)
+
+// IsRetryable reports whether a storage error is worth retrying — on
+// another replica, after a backoff, or by re-driving the append with the
+// same write token. Node loss, transient I/O errors, corruption (other
+// replicas may hold good bytes), torn acknowledgements (the token dedups
+// the landed bytes), and whole-replica-set exhaustion (nodes recover)
+// are retryable; unknown paths, sealed-file writes, and out-of-range
+// reads are permanent.
+func IsRetryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrNodeDown), errors.Is(err, ErrNodeIO),
+		errors.Is(err, ErrCorrupt), errors.Is(err, ErrAllReplicas),
+		errors.Is(err, ErrTornAck):
+		return true
+	}
+	return false
+}

@@ -15,6 +15,14 @@
 //   - Corrupting: reads return the stored bytes with a deterministically
 //     chosen bit flipped (silent corruption; only checksums catch it).
 //
+// Four more states are write-shaped and visible only through WriteState,
+// mirroring the same design onto the append path: WriteFailing (appends
+// fail cleanly), WriteTorn (appends land but the ack is lost — the case
+// that forces idempotent write tokens), WriteSlow (write brownout), and
+// SealFlaky (metadata-plane seal failures, keyed to MetaNode). Read and
+// write storms compose on one schedule without perturbing each other;
+// Down is the one state both views share.
+//
 // All randomness is derived by hashing the seed with the identity of the
 // read (node, stream, offset, attempt), never from shared RNG state, so
 // outcomes do not depend on goroutine interleaving.
@@ -38,7 +46,32 @@ const (
 	Slow
 	// Corrupting serves reads with one bit flipped.
 	Corrupting
+
+	// The states below are write-shaped: they are matched only by
+	// WriteState (the write path's view of a node) and are invisible to
+	// NodeState, so a write storm never perturbs read behaviour — and
+	// vice versa. Down is the one state both views share.
+
+	// WriteFailing fails appends with probability Window.ErrProb before
+	// any byte is applied (a clean write error).
+	WriteFailing
+	// WriteTorn applies the append to every replica, then fails the
+	// acknowledgement with probability Window.ErrProb (a torn ack): the
+	// bytes are durable but the writer sees an error. Only tokened
+	// retries recover without duplicating.
+	WriteTorn
+	// WriteSlow serves appends but counts a brownout occurrence
+	// (slow-write accounting; appends carry no device-time model).
+	WriteSlow
+	// SealFlaky fails file seals with probability Window.ErrProb. Seal
+	// is a metadata operation, so SealFlaky windows are keyed to the
+	// MetaNode pseudo-node rather than a storage node.
+	SealFlaky
 )
+
+// MetaNode is the pseudo-node identity for metadata-plane fault windows
+// (seal failures), which have no storage node to attach to.
+const MetaNode = -1
 
 // String names the state for logs and test output.
 func (s State) String() string {
@@ -53,8 +86,21 @@ func (s State) String() string {
 		return "slow"
 	case Corrupting:
 		return "corrupting"
+	case WriteFailing:
+		return "write-failing"
+	case WriteTorn:
+		return "write-torn"
+	case WriteSlow:
+		return "write-slow"
+	case SealFlaky:
+		return "seal-flaky"
 	}
 	return "unknown"
+}
+
+// WriteShaped reports whether the state applies to the write path only.
+func (s State) WriteShaped() bool {
+	return s >= WriteFailing && s <= SealFlaky
 }
 
 // Window puts one node into a fault state for a span of virtual time.
@@ -104,6 +150,12 @@ func (s *Schedule) Add(w Window) *Schedule {
 	if w.State == Slow && w.SlowFactor <= 1 {
 		w.SlowFactor = 4
 	}
+	if (w.State == WriteFailing || w.State == WriteTorn || w.State == SealFlaky) && w.ErrProb <= 0 {
+		w.ErrProb = 0.5
+	}
+	if w.State == SealFlaky {
+		w.Node = MetaNode
+	}
 	s.windows = append(s.windows, w)
 	return s
 }
@@ -128,6 +180,29 @@ func (s *Schedule) Corrupting(node int, from, until time.Duration) *Schedule {
 	return s.Add(Window{Node: node, State: Corrupting, From: from, Until: until})
 }
 
+// FailWrites makes node fail appends with probability p during
+// [from, until), before any byte lands.
+func (s *Schedule) FailWrites(node int, from, until time.Duration, p float64) *Schedule {
+	return s.Add(Window{Node: node, State: WriteFailing, From: from, Until: until, ErrProb: p})
+}
+
+// TornWrites makes node tear append acknowledgements with probability p
+// during [from, until): the bytes land, the ack is lost.
+func (s *Schedule) TornWrites(node int, from, until time.Duration, p float64) *Schedule {
+	return s.Add(Window{Node: node, State: WriteTorn, From: from, Until: until, ErrProb: p})
+}
+
+// SlowWrites puts node in a write brownout during [from, until).
+func (s *Schedule) SlowWrites(node int, from, until time.Duration) *Schedule {
+	return s.Add(Window{Node: node, State: WriteSlow, From: from, Until: until})
+}
+
+// FailSeals makes file seals fail with probability p during
+// [from, until). Seal windows attach to MetaNode.
+func (s *Schedule) FailSeals(from, until time.Duration, p float64) *Schedule {
+	return s.Add(Window{Node: MetaNode, State: SealFlaky, From: from, Until: until, ErrProb: p})
+}
+
 // Windows returns the schedule's windows (for display; do not mutate).
 func (s *Schedule) Windows() []Window {
 	if s == nil {
@@ -136,19 +211,54 @@ func (s *Schedule) Windows() []Window {
 	return s.windows
 }
 
-// NodeState returns node's state at virtual time now. A nil schedule is
-// always Healthy. The latest matching window wins.
+// NodeState returns node's state as the READ path sees it at virtual
+// time now: write-shaped windows are skipped, so a node that only fails
+// writes still serves reads normally. A nil schedule is always Healthy.
+// The latest matching window wins.
 func (s *Schedule) NodeState(node int, now time.Duration) (State, Window) {
 	if s == nil {
 		return Healthy, Window{}
 	}
 	for i := len(s.windows) - 1; i >= 0; i-- {
 		w := s.windows[i]
-		if w.Node == node && w.active(now) {
+		if w.Node == node && w.active(now) && !w.State.WriteShaped() {
 			return w.State, w
 		}
 	}
 	return Healthy, Window{Node: node}
+}
+
+// WriteState returns node's state as the WRITE path sees it at virtual
+// time now: write-shaped windows plus Down (an offline node fails both
+// directions); read-only fault states are invisible. A nil schedule is
+// always Healthy. The latest matching window wins.
+func (s *Schedule) WriteState(node int, now time.Duration) (State, Window) {
+	if s == nil {
+		return Healthy, Window{}
+	}
+	for i := len(s.windows) - 1; i >= 0; i-- {
+		w := s.windows[i]
+		if w.Node == node && w.active(now) && (w.State.WriteShaped() || w.State == Down) {
+			return w.State, w
+		}
+	}
+	return Healthy, Window{Node: node}
+}
+
+// SealFires makes the deterministic draw for one seal attempt of path at
+// virtual time now: true when an active SealFlaky window fires. attempt
+// must vary across retries of the same seal.
+func (s *Schedule) SealFires(path string, now time.Duration, attempt int) bool {
+	if s == nil {
+		return false
+	}
+	for i := len(s.windows) - 1; i >= 0; i-- {
+		w := s.windows[i]
+		if w.State == SealFlaky && w.active(now) {
+			return s.Fires(w.ErrProb, MetaNode, path, 0, attempt)
+		}
+	}
+	return false
 }
 
 // fnv-1a over the draw identity, seeded. Keying draws by read identity

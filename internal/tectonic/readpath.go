@@ -9,41 +9,34 @@ import (
 	"dsi/internal/tectonic/faults"
 )
 
-// Typed read-path errors. The retry layers above (dwrf stripe fetch, dpp
-// split requeue) classify on these with errors.Is instead of string
-// matching.
+// Typed storage errors. The retry layers above (dwrf stripe fetch, dpp
+// split requeue, etl partition re-produce) classify on these with
+// errors.Is instead of string matching. The canonical sentinels live in
+// the faults package so logdevice shares the same taxonomy; these
+// aliases keep tectonic's historical names working.
 var (
-	// ErrNodeDown marks a read addressed to a node that is offline.
-	ErrNodeDown = errors.New("tectonic: node down")
-	// ErrNodeIO marks a transient per-read I/O failure on a flaky node.
-	ErrNodeIO = errors.New("tectonic: transient I/O error")
+	// ErrNodeDown marks an I/O addressed to a node that is offline.
+	ErrNodeDown = faults.ErrNodeDown
+	// ErrNodeIO marks a transient per-I/O failure on a flaky node.
+	ErrNodeIO = faults.ErrNodeIO
 	// ErrCorrupt marks data that failed checksum verification. The
 	// cluster itself never detects corruption (it is silent by nature);
 	// dwrf wraps this sentinel when StripeMeta.ContentHash disagrees.
-	ErrCorrupt = errors.New("tectonic: corrupt data")
-	// ErrAllReplicas marks a chunk read that exhausted its attempt
+	ErrCorrupt = faults.ErrCorrupt
+	// ErrAllReplicas marks a chunk I/O that exhausted its attempt
 	// budget across every replica.
-	ErrAllReplicas = errors.New("tectonic: all replicas failed")
+	ErrAllReplicas = faults.ErrAllReplicas
+	// ErrTornAck marks an append whose bytes landed but whose ack was
+	// lost; a tokened retry deduplicates against the landed bytes.
+	ErrTornAck = faults.ErrTornAck
 	// ErrOutOfRange marks a read outside the file's current extent.
 	ErrOutOfRange = errors.New("tectonic: read out of range")
 )
 
-// IsRetryable reports whether a read error is worth retrying — on
+// IsRetryable reports whether a storage error is worth retrying — on
 // another replica, after a backoff, or by requeueing the split to a
-// different worker. Node loss, transient I/O errors, corruption (other
-// replicas may hold good bytes), and whole-replica-set exhaustion
-// (nodes recover) are retryable; unknown paths, sealed-file writes, and
-// out-of-range reads are permanent.
-func IsRetryable(err error) bool {
-	switch {
-	case err == nil:
-		return false
-	case errors.Is(err, ErrNodeDown), errors.Is(err, ErrNodeIO),
-		errors.Is(err, ErrCorrupt), errors.Is(err, ErrAllReplicas):
-		return true
-	}
-	return false
-}
+// different worker. See faults.IsRetryable for the taxonomy.
+func IsRetryable(err error) bool { return faults.IsRetryable(err) }
 
 // RetryPolicy governs the self-healing read path: how many replica
 // attempts a chunk I/O gets, the capped exponential backoff (with
@@ -117,7 +110,7 @@ func (t *ReadTrace) merge(o ReadTrace) {
 }
 
 // FaultCounters is a snapshot of the cluster's cumulative recovery
-// accounting.
+// accounting, read side and write side.
 type FaultCounters struct {
 	Retries       int64
 	Failovers     int64
@@ -125,6 +118,15 @@ type FaultCounters struct {
 	HedgeWins     int64
 	CorruptServes int64
 	Quarantines   int64
+
+	// Write-side recovery accounting.
+	AppendRetries   int64 // retried append attempts beyond the first
+	AppendDedups    int64 // retries that found their token fully landed (torn ack)
+	TornAcks        int64 // appends that landed but lost their ack
+	TornRepairs     int64 // retries that resumed a partially landed token
+	SlowWriteServes int64 // fragment writes served by a browned-out node
+	SealRetries     int64 // failed seal attempts absorbed by internal retry
+	PlacementAvoids int64 // chunk placements steered away from unhealthy/condemned nodes
 }
 
 type replicaKey struct {
@@ -166,6 +168,10 @@ func (c *Cluster) Quarantine(path string, chunk int64, node int) bool {
 		return false
 	}
 	c.quarantined[k] = true
+	if c.condemned == nil {
+		c.condemned = make(map[int]int64)
+	}
+	c.condemned[node]++
 	c.counters.Quarantines++
 	return true
 }
@@ -178,13 +184,15 @@ func (c *Cluster) Quarantined(path string, chunk int64, node int) bool {
 	return c.quarantined[replicaKey{path: path, chunk: chunk, node: node}]
 }
 
-// ResetFaultPlane clears the quarantined-replica set, the recovery
-// counters, and the hedging latency EWMA, leaving the installed fault
-// schedule in place. Chaos experiments use it to take fault-free and
-// degraded measurements of the same cluster from a clean slate.
+// ResetFaultPlane clears the quarantined-replica set, the per-node
+// condemnation tallies, the recovery counters, and the hedging latency
+// EWMA, leaving the installed fault schedule in place. Chaos experiments
+// use it to take fault-free and degraded measurements of the same
+// cluster from a clean slate.
 func (c *Cluster) ResetFaultPlane() {
 	c.fmu.Lock()
 	c.quarantined = nil
+	c.condemned = nil
 	c.counters = FaultCounters{}
 	c.ewmaLatNs = 0
 	c.fmu.Unlock()

@@ -109,11 +109,12 @@ type Cluster struct {
 	ReadBytes metrics.Counter
 
 	// fmu guards the failure plane: the installed fault schedule, the
-	// quarantined-replica set, recovery counters, and the latency EWMA
-	// feeding the hedged-read threshold.
+	// quarantined-replica set, per-node condemnation tallies, recovery
+	// counters, and the latency EWMA feeding the hedged-read threshold.
 	fmu         sync.Mutex
 	schedule    *faults.Schedule
 	quarantined map[replicaKey]bool
+	condemned   map[int]int64
 	counters    FaultCounters
 	ewmaLatNs   float64
 }
@@ -124,6 +125,10 @@ type fileMeta struct {
 	sealed bool
 	// replicas[i] lists the node IDs holding chunk i.
 	replicas [][]int
+	// tokens is the per-file idempotent-append ledger, populated only
+	// while write faults are active: token -> how much of that token's
+	// payload has durably landed. Cleared when the file seals.
+	tokens map[string]*tokenState
 }
 
 // NewCluster creates a cluster with the given options.
@@ -155,9 +160,9 @@ func (c *Cluster) Replication() int { return c.opts.Replication }
 // Nodes returns the storage nodes (for inspection in experiments).
 func (c *Cluster) Nodes() []*StorageNode { return c.nodes }
 
-// placement deterministically picks the replica nodes for a chunk using
-// rendezvous hashing, so placement is stable across runs.
-func (c *Cluster) placement(path string, chunk int64) []int {
+// rendezvousOrder ranks every node for a chunk by rendezvous hashing,
+// best-first, so placement is stable across runs.
+func (c *Cluster) rendezvousOrder(path string, chunk int64) []int {
 	type scored struct {
 		node  int
 		score uint64
@@ -169,11 +174,17 @@ func (c *Cluster) placement(path string, chunk int64) []int {
 		scoredNodes[i] = scored{node: i, score: h.Sum64()}
 	}
 	sort.Slice(scoredNodes, func(i, j int) bool { return scoredNodes[i].score > scoredNodes[j].score })
-	out := make([]int, c.opts.Replication)
+	out := make([]int, len(scoredNodes))
 	for i := range out {
 		out[i] = scoredNodes[i].node
 	}
 	return out
+}
+
+// placement deterministically picks the replica nodes for a chunk: the
+// rendezvous prefix.
+func (c *Cluster) placement(path string, chunk int64) []int {
+	return c.rendezvousOrder(path, chunk)[:c.opts.Replication]
 }
 
 // Create creates an empty append-only file. Creating an existing path is
@@ -198,12 +209,25 @@ func (c *Cluster) lookup(path string) (*fileMeta, error) {
 	return f, nil
 }
 
-// Append appends data to the file, writing through to all chunk replicas.
+// Append appends data to the file, writing through to all chunk
+// replicas. When a fault schedule is active the write is evaluated
+// against it (a single attempt, no token); callers that need retries
+// with torn-ack deduplication use AppendToken.
 func (c *Cluster) Append(path string, data []byte) error {
 	f, err := c.lookup(path)
 	if err != nil {
 		return err
 	}
+	if c.writeFaultsActive() {
+		var trace WriteTrace
+		return c.appendAttempt(f, path, "", data, c.FaultSchedule(), 0, &trace)
+	}
+	return c.appendLegacy(f, path, data)
+}
+
+// appendLegacy is the fault-free append fast path: primary placement,
+// no schedule checks, no token ledger.
+func (c *Cluster) appendLegacy(f *fileMeta, path string, data []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.sealed {
@@ -241,14 +265,35 @@ func (c *Cluster) Append(path string, data []byte) error {
 }
 
 // Seal marks the file immutable. Reads are allowed before sealing (the
-// paper's files are append-only but readable while being written).
+// paper's files are append-only but readable while being written). When
+// a SealFlaky window is active, seal attempts fail with a seeded
+// probability and retry internally up to the attempt budget; an
+// exhausted budget surfaces a retryable error with the file unsealed.
 func (c *Cluster) Seal(path string) error {
 	f, err := c.lookup(path)
 	if err != nil {
 		return err
 	}
+	if sched := c.FaultSchedule(); sched != nil {
+		now := c.opts.Clock.Now()
+		pol := c.opts.Retry
+		sealed := false
+		for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+			if !sched.SealFires(path, now, attempt) {
+				sealed = true
+				break
+			}
+			c.fmu.Lock()
+			c.counters.SealRetries++
+			c.fmu.Unlock()
+		}
+		if !sealed {
+			return fmt.Errorf("%w: seal of %s gave up after %d attempts", ErrNodeIO, path, pol.MaxAttempts)
+		}
+	}
 	f.mu.Lock()
 	f.sealed = true
+	f.tokens = nil
 	f.mu.Unlock()
 	return nil
 }

@@ -245,7 +245,10 @@ func (pw *PartitionWriter) NoteEventTime(ns int64) {
 
 // Close seals the partition and publishes it in the table. Sealing and
 // visibility are one atomic step: readers either see the complete,
-// immutable partition or nothing.
+// immutable partition or nothing — a publish failure anywhere in the
+// sequence leaves the table exactly as it was, with no entry and no
+// generation bump, so a retrying producer can Abort the orphan and
+// re-produce the partition from its checkpoint.
 func (pw *PartitionWriter) Close() error {
 	if err := pw.w.Close(); err != nil {
 		return err
@@ -265,6 +268,24 @@ func (pw *PartitionWriter) Close() error {
 	pw.table.mu.Unlock()
 	return nil
 }
+
+// Abort discards a partition that will never be published: the backing
+// file is reclaimed and the table is untouched (the partition was never
+// visible). It is the cleanup half of a producer's write-retry loop —
+// called after a failed Close so the re-produce starts from a clean
+// slate instead of leaking an orphan file per attempt. Idempotent.
+func (pw *PartitionWriter) Abort() error {
+	path := partitionPath(pw.table.Name, pw.key)
+	if !pw.table.wh.cluster.Exists(path) {
+		return nil
+	}
+	return pw.table.wh.cluster.Delete(path)
+}
+
+// WriteStats reports the write-side recovery work (append retries, torn
+// ack dedups and repairs, backoff paid) behind this partition's rows so
+// far.
+func (pw *PartitionWriter) WriteStats() dwrf.WriteStats { return pw.w.WriteStats() }
 
 // Unbounded reports whether the table was created as a streaming table.
 func (t *Table) Unbounded() bool {
